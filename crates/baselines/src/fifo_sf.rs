@@ -1,0 +1,411 @@
+//! A store-and-forward FIFO router (baseline; the §3.1 strawman).
+//!
+//! Every packet — both classes — is fully buffered at each hop, then queued
+//! FIFO at its output port and retransmitted. This is the design the paper
+//! contrasts wormhole switching against: per-hop latency grows by the full
+//! packet length, and intermediate nodes need whole-packet buffers (this
+//! model advertises a large input buffer so long packets fit).
+
+use std::collections::VecDeque;
+
+use rtr_core::conn_table::{ConnEntry, ConnectionTable, TableError};
+use rtr_types::chip::{Chip, ChipIo};
+use rtr_types::clock::SlotClock;
+use rtr_types::config::RouterConfig;
+use rtr_types::error::ConfigError;
+use rtr_types::flit::{BeByte, LinkSymbol};
+use rtr_types::ids::{ConnectionId, Port, PORT_COUNT};
+use rtr_types::packet::{BeHeader, BePacket, PacketTrace, TcPacket};
+use rtr_types::time::Cycle;
+
+/// A packet queued at an output port.
+#[derive(Debug, Clone)]
+enum Queued {
+    Tc(TcPacket),
+    Be(BePacket),
+}
+
+/// A transmission in progress.
+#[derive(Debug)]
+struct InFlight {
+    packet: Queued,
+    wire: Vec<u8>,
+    sent: usize,
+}
+
+/// Per-input best-effort reassembly.
+#[derive(Debug, Default)]
+struct BeAssembly {
+    buf: Vec<u8>,
+    trace: Option<PacketTrace>,
+}
+
+/// Counters for the store-and-forward baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoSfStats {
+    /// Packets transmitted per output port (both classes).
+    pub transmitted: [u64; PORT_COUNT],
+    /// Packets delivered locally (both classes).
+    pub delivered: u64,
+    /// Packets dropped (no table entry or malformed).
+    pub dropped: u64,
+}
+
+/// The store-and-forward FIFO baseline router.
+#[derive(Debug)]
+pub struct FifoSfRouter {
+    config: RouterConfig,
+    clock: SlotClock,
+    table: ConnectionTable,
+    input_buffer_bytes: usize,
+    /// Per-hop processing latency applied after full reception.
+    hop_latency: Cycle,
+    /// Time-constrained reassembly per input: packet and remaining symbols.
+    tc_rx: [Option<(TcPacket, usize)>; PORT_COUNT],
+    be_rx: [BeAssembly; PORT_COUNT],
+    /// Packets waiting out the hop latency before queueing: (ready, port
+    /// mask or DOR target, packet).
+    pending: VecDeque<(Cycle, Queued)>,
+    queues: [VecDeque<Queued>; PORT_COUNT],
+    tx: [Option<InFlight>; PORT_COUNT],
+    credits: [u32; PORT_COUNT],
+    tc_inject_remaining: Option<usize>,
+    be_inject: Option<(Vec<u8>, usize, PacketTrace)>,
+    stats: FifoSfStats,
+}
+
+impl FifoSfRouter {
+    /// Builds a store-and-forward router. Inputs buffer whole packets, so
+    /// the advertised flit buffer is `input_buffer_bytes` (default 4096).
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(config: RouterConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let t = &config.timing;
+        let hop_latency = t.sync_cycles + t.header_cycles + t.bus_grant_cycles;
+        Ok(FifoSfRouter {
+            clock: SlotClock::new(config.clock_bits),
+            table: ConnectionTable::new(config.connections),
+            input_buffer_bytes: 4096,
+            hop_latency,
+            tc_rx: Default::default(),
+            be_rx: Default::default(),
+            pending: VecDeque::new(),
+            queues: std::array::from_fn(|_| VecDeque::new()),
+            tx: Default::default(),
+            credits: [4096; PORT_COUNT],
+            tc_inject_remaining: None,
+            be_inject: None,
+            stats: FifoSfStats::default(),
+            config,
+        })
+    }
+
+    /// Installs a routing-table entry for time-constrained connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the table's validation error.
+    pub fn install(
+        &mut self,
+        incoming: ConnectionId,
+        outgoing: ConnectionId,
+        out_mask: u8,
+    ) -> Result<(), TableError> {
+        self.table
+            .install(incoming, ConnEntry { outgoing, delay: 0, out_mask }, &self.clock)
+    }
+
+    /// Statistics counters.
+    #[must_use]
+    pub fn stats(&self) -> &FifoSfStats {
+        &self.stats
+    }
+
+    /// The router's architectural parameters.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    fn finish_tc_rx(&mut self, now: Cycle, packet: TcPacket) {
+        self.pending.push_back((now + self.hop_latency, Queued::Tc(packet)));
+    }
+
+    fn ingest_be_byte(&mut self, now: Cycle, idx: usize, byte: BeByte) {
+        let asm = &mut self.be_rx[idx];
+        if byte.head {
+            asm.buf.clear();
+            asm.trace = byte.trace;
+        }
+        asm.buf.push(byte.byte);
+        if byte.tail {
+            match BePacket::from_wire(&asm.buf) {
+                Ok(mut packet) => {
+                    packet.trace = asm.trace.take().unwrap_or_default();
+                    self.pending.push_back((now + self.hop_latency, Queued::Be(packet)));
+                }
+                Err(_) => self.stats.dropped += 1,
+            }
+            asm.buf.clear();
+        }
+    }
+
+    fn route_pending(&mut self, now: Cycle) {
+        while let Some((ready, _)) = self.pending.front() {
+            if *ready > now {
+                break;
+            }
+            let (_, queued) = self.pending.pop_front().unwrap();
+            match queued {
+                Queued::Tc(packet) => {
+                    let Some(entry) = self.table.lookup(packet.conn) else {
+                        self.stats.dropped += 1;
+                        continue;
+                    };
+                    let rewritten = TcPacket { conn: entry.outgoing, ..packet };
+                    for port in rtr_types::ids::ports_in_mask(entry.out_mask) {
+                        self.queues[port.index()].push_back(Queued::Tc(rewritten.clone()));
+                    }
+                }
+                Queued::Be(packet) => {
+                    let (port, header) = packet.header.dimension_ordered_step();
+                    let stepped = BePacket {
+                        header: BeHeader { length: packet.header.length, ..header },
+                        ..packet
+                    };
+                    self.queues[port.index()].push_back(Queued::Be(stepped));
+                }
+            }
+        }
+    }
+
+    fn drive_output(&mut self, now: Cycle, out_idx: usize, io: &mut ChipIo) {
+        if self.tx[out_idx].is_none() {
+            if let Some(next) = self.queues[out_idx].pop_front() {
+                // Best-effort transmissions respect downstream buffering.
+                if matches!(next, Queued::Be(_)) && out_idx != 0 {
+                    let len = match &next {
+                        Queued::Be(p) => p.wire_len() as u32,
+                        Queued::Tc(_) => unreachable!(),
+                    };
+                    if self.credits[out_idx] < len {
+                        self.queues[out_idx].push_front(next);
+                        return;
+                    }
+                    self.credits[out_idx] -= len;
+                }
+                let wire = match &next {
+                    Queued::Tc(p) => p.to_wire().unwrap_or_default(),
+                    Queued::Be(p) => p.to_wire(),
+                };
+                self.stats.transmitted[out_idx] += 1;
+                self.tx[out_idx] = Some(InFlight { packet: next, wire, sent: 0 });
+            } else {
+                return;
+            }
+        }
+        let inflight = self.tx[out_idx].as_mut().expect("transmission just ensured");
+        let pos = inflight.sent;
+        let last = pos == inflight.wire.len() - 1;
+        if out_idx != 0 {
+            let symbol = match &inflight.packet {
+                Queued::Tc(p) => {
+                    if pos == 0 {
+                        LinkSymbol::TcStart(Box::new(p.clone()))
+                    } else {
+                        LinkSymbol::TcCont { index: pos as u8 }
+                    }
+                }
+                Queued::Be(p) => LinkSymbol::Be(BeByte {
+                    byte: inflight.wire[pos],
+                    head: pos == 0,
+                    tail: last,
+                    trace: (pos == 0).then_some(p.trace),
+                }),
+            };
+            io.tx[out_idx] = Some(symbol);
+        }
+        inflight.sent += 1;
+        if last {
+            let done = self.tx[out_idx].take().unwrap();
+            if out_idx == 0 {
+                self.stats.delivered += 1;
+                match done.packet {
+                    Queued::Tc(p) => io.delivered_tc.push((now, p)),
+                    Queued::Be(p) => io.delivered_be.push((now, p)),
+                }
+            }
+        }
+    }
+}
+
+impl Chip for FifoSfRouter {
+    fn tick(&mut self, now: Cycle, io: &mut ChipIo) {
+        for idx in 0..PORT_COUNT {
+            self.credits[idx] += u32::from(io.credit_in[idx]);
+        }
+        for idx in 1..PORT_COUNT {
+            if let Some(symbol) = io.rx[idx].take() {
+                match symbol {
+                    LinkSymbol::TcStart(packet) => {
+                        let remaining = packet.wire_len() - 1;
+                        if remaining == 0 {
+                            self.finish_tc_rx(now, *packet);
+                        } else {
+                            self.tc_rx[idx] = Some((*packet, remaining));
+                        }
+                        // Return whole-packet credit on receipt completion
+                        // (below) — head bytes carry no credit.
+                    }
+                    LinkSymbol::TcCont { .. } => {
+                        if let Some((packet, remaining)) = self.tc_rx[idx].take() {
+                            if remaining == 1 {
+                                self.finish_tc_rx(now, packet);
+                            } else {
+                                self.tc_rx[idx] = Some((packet, remaining - 1));
+                            }
+                        }
+                    }
+                    LinkSymbol::Be(byte) => {
+                        let was_tail = byte.tail;
+                        let len_hint = self.be_rx[idx].buf.len() as u16 + 1;
+                        self.ingest_be_byte(now, idx, byte);
+                        if was_tail {
+                            // Free the whole packet's worth of buffer.
+                            io.credit_out[idx] += len_hint;
+                        }
+                    }
+                }
+            }
+        }
+        // Injection (one byte per cycle per class, like the other routers).
+        if let Some(remaining) = self.tc_inject_remaining {
+            self.tc_inject_remaining = if remaining == 1 {
+                None
+            } else {
+                Some(remaining - 1)
+            };
+        } else if let Some(packet) = io.inject_tc.pop_front() {
+            let remaining = packet.wire_len() - 1;
+            // Model the serial transfer then hand the whole packet over.
+            self.pending
+                .push_back((now + remaining as Cycle + self.hop_latency, Queued::Tc(packet)));
+            self.tc_inject_remaining = (remaining > 0).then_some(remaining);
+        }
+        if self.be_inject.is_none() {
+            if let Some(packet) = io.inject_be.pop_front() {
+                let wire_len = packet.wire_len();
+                self.pending
+                    .push_back((now + wire_len as Cycle - 1 + self.hop_latency, Queued::Be(packet)));
+                self.be_inject = Some((vec![0; wire_len], 1, PacketTrace::default()));
+            }
+        }
+        if let Some((wire, pos, _)) = &mut self.be_inject {
+            *pos += 1;
+            if *pos >= wire.len() {
+                self.be_inject = None;
+            }
+        }
+        self.route_pending(now);
+        for out_idx in 0..PORT_COUNT {
+            self.drive_output(now, out_idx, io);
+        }
+    }
+
+    fn flit_buffer_bytes(&self) -> usize {
+        self.input_buffer_bytes
+    }
+
+    fn set_output_credits(&mut self, port: Port, bytes: u32) {
+        if port != Port::Local {
+            self.credits[port.index()] = bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_mesh::{Simulator, Topology};
+    use rtr_types::ids::{Direction, NodeId};
+
+    #[test]
+    fn be_store_and_forward_latency_grows_per_hop() {
+        // Measure a b-byte packet over 1 hop vs 2 hops: store-and-forward
+        // adds ≈ b cycles per extra hop (the §3.1 contrast with wormhole's
+        // constant per-hop cost).
+        let measure = |hops: u16, b: usize| -> Cycle {
+            let topo = Topology::mesh(hops + 1, 1);
+            let mut sim =
+                Simulator::build(topo.clone(), |_| FifoSfRouter::new(RouterConfig::default()))
+                    .unwrap();
+            let dst = topo.node_at(hops, 0);
+            sim.inject_be(
+                NodeId(0),
+                BePacket::new(hops as i8, 0, vec![0; b], PacketTrace::default()),
+            );
+            assert!(sim.run_until(20_000, |s| !s.log(dst).be.is_empty()));
+            sim.log(dst).be[0].0
+        };
+        let b = 100;
+        let one = measure(1, b);
+        let two = measure(2, b);
+        let extra = two - one;
+        assert!(
+            extra as i64 >= b as i64 && extra < (b + 20) as u64,
+            "store-and-forward must pay ≈ packet length per hop, paid {extra}"
+        );
+    }
+
+    #[test]
+    fn tc_packets_route_by_table() {
+        let topo = Topology::mesh(2, 1);
+        let mut sim =
+            Simulator::build(topo.clone(), |_| FifoSfRouter::new(RouterConfig::default()))
+                .unwrap();
+        let src = topo.node_at(0, 0);
+        let dst = topo.node_at(1, 0);
+        sim.chip_mut(src)
+            .install(ConnectionId(1), ConnectionId(2), Port::Dir(Direction::XPlus).mask())
+            .unwrap();
+        sim.chip_mut(dst)
+            .install(ConnectionId(2), ConnectionId(2), Port::Local.mask())
+            .unwrap();
+        sim.inject_tc(
+            src,
+            TcPacket {
+                conn: ConnectionId(1),
+                arrival: SlotClock::new(8).wrap(0),
+                payload: vec![0x42; 18],
+                trace: PacketTrace::default(),
+            },
+        );
+        assert!(sim.run_until(3000, |s| !s.log(dst).tc.is_empty()));
+        assert_eq!(sim.log(dst).tc[0].1.payload[0], 0x42);
+    }
+
+    #[test]
+    fn fifo_has_no_deadline_awareness() {
+        // Two packets with reversed deadline order still deliver FIFO.
+        let mut r = FifoSfRouter::new(RouterConfig::default()).unwrap();
+        r.install(ConnectionId(1), ConnectionId(1), Port::Local.mask()).unwrap();
+        let mut io = ChipIo::new();
+        let mk = |tag: u8| TcPacket {
+            conn: ConnectionId(1),
+            arrival: SlotClock::new(8).wrap(0),
+            payload: vec![tag; 18],
+            trace: PacketTrace::default(),
+        };
+        io.inject_tc.push_back(mk(1)); // later deadline, injected first
+        io.inject_tc.push_back(mk(2)); // earlier deadline, injected second
+        for now in 0..500 {
+            io.begin_cycle();
+            r.tick(now, &mut io);
+        }
+        assert_eq!(io.delivered_tc.len(), 2);
+        assert_eq!(io.delivered_tc[0].1.payload[0], 1);
+    }
+}

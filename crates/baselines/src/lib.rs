@@ -1,0 +1,31 @@
+//! Baseline router designs for comparison (paper §6 "Related Work").
+//!
+//! Three points on the design spectrum the paper positions itself against:
+//!
+//! * [`wormhole::WormholeRouter`] — a classic single-class wormhole router
+//!   with dimension-ordered routing and round-robin arbitration: the
+//!   "modern parallel machine" design with no real-time support at all.
+//!   Deadline traffic rides the same best-effort channel as everything
+//!   else.
+//! * [`priority_vc::PriorityVcRouter`] — two classes with fixed priority:
+//!   the high class is packet-switched and always beats best-effort bytes
+//!   (flit-level preemption), but within the class service is FIFO — no
+//!   deadlines, no logical-arrival regulation. This isolates the value of
+//!   the real-time router's deadline scheduling from mere class priority.
+//! * [`fifo_sf::FifoSfRouter`] — store-and-forward FIFO for *all* traffic:
+//!   the packet-switching strawman of §3.1 ("packet switching would
+//!   introduce additional delay to buffer the packet at each hop").
+//!
+//! All three implement [`rtr_types::chip::Chip`] and run unmodified in the
+//! mesh simulator, so every experiment can swap routers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fifo_sf;
+pub mod priority_vc;
+pub mod wormhole;
+
+pub use fifo_sf::FifoSfRouter;
+pub use priority_vc::PriorityVcRouter;
+pub use wormhole::WormholeRouter;

@@ -1,0 +1,421 @@
+//! A fixed-priority two-class router (baseline; §6's virtual-channel
+//! priority schemes).
+//!
+//! Like the real-time router, the high-priority class is packet-switched
+//! with table-driven routing and preempts best-effort bytes at byte
+//! granularity. Unlike the real-time router, service within the class is
+//! **FIFO**: no deadlines, no logical-arrival regulation, no horizon. This
+//! isolates exactly what deadline-driven scheduling buys — class priority
+//! alone cannot differentiate packets with different latency tolerances,
+//! and unregulated high-priority traffic can starve its own class.
+
+use std::collections::VecDeque;
+
+use rtr_core::conn_table::{ConnEntry, ConnectionTable, TableError};
+use rtr_core::memory::{PacketMemory, SlotAddr};
+use rtr_core::ports::input::InputPort;
+use rtr_types::chip::{Chip, ChipIo};
+use rtr_types::clock::SlotClock;
+use rtr_types::config::RouterConfig;
+use rtr_types::error::ConfigError;
+use rtr_types::flit::{BeByte, LinkSymbol};
+use rtr_types::ids::{ConnectionId, Port, PORT_COUNT};
+use rtr_types::packet::{BePacket, PacketTrace, TcPacket};
+use rtr_types::time::Cycle;
+
+/// Counters for the priority-VC baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorityVcStats {
+    /// High-class packets transmitted per output port.
+    pub tc_transmitted: [u64; PORT_COUNT],
+    /// High-class packets delivered locally.
+    pub tc_delivered: u64,
+    /// High-class packets dropped (no table entry or no buffer).
+    pub tc_dropped: u64,
+    /// Best-effort bytes transmitted per output port.
+    pub be_bytes: [u64; PORT_COUNT],
+    /// Best-effort packets delivered locally.
+    pub be_delivered: u64,
+}
+
+#[derive(Debug)]
+struct Out {
+    tc_tx: Option<(TcPacket, usize, usize)>, // packet, sent, total
+    be_bound: Option<usize>,
+    rr_next: usize,
+    credits: u32,
+    infinite_credit: bool,
+}
+
+/// The fixed-priority two-class baseline router.
+#[derive(Debug)]
+pub struct PriorityVcRouter {
+    config: RouterConfig,
+    clock: SlotClock,
+    table: ConnectionTable,
+    memory: PacketMemory,
+    /// FIFO of buffered high-class packets per output port.
+    queues: [VecDeque<SlotAddr>; PORT_COUNT],
+    /// Remaining output-port mask per memory slot (multicast refcount).
+    remaining: Vec<u8>,
+    inputs: [InputPort; PORT_COUNT],
+    outputs: [Out; PORT_COUNT],
+    tc_inject_remaining: Option<usize>,
+    be_inject: Option<(Vec<u8>, usize, PacketTrace)>,
+    rx_buf: Vec<u8>,
+    rx_trace: Option<PacketTrace>,
+    stats: PriorityVcStats,
+}
+
+impl PriorityVcRouter {
+    /// Builds a priority-VC router with the same datapath geometry as the
+    /// real-time router.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(config: RouterConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let t = &config.timing;
+        let be_latency =
+            t.sync_cycles + t.header_cycles + config.chunk_bytes as u64 + t.bus_grant_cycles;
+        let store_chunks = config.slot_bytes.div_ceil(config.memory_chunk_bytes) as u64;
+        let tc_latency = t.sync_cycles + t.header_cycles + store_chunks * t.bus_grant_cycles;
+        let flit = config.be_path_bytes();
+        Ok(PriorityVcRouter {
+            clock: SlotClock::new(config.clock_bits),
+            table: ConnectionTable::new(config.connections),
+            memory: PacketMemory::new(config.packet_slots),
+            queues: std::array::from_fn(|_| VecDeque::new()),
+            remaining: vec![0; config.packet_slots],
+            inputs: std::array::from_fn(|_| InputPort::new(be_latency, tc_latency, flit)),
+            outputs: std::array::from_fn(|i| Out {
+                tc_tx: None,
+                be_bound: None,
+                rr_next: 0,
+                credits: flit as u32,
+                infinite_credit: i == 0,
+            }),
+            tc_inject_remaining: None,
+            be_inject: None,
+            rx_buf: Vec::new(),
+            rx_trace: None,
+            stats: PriorityVcStats::default(),
+            config,
+        })
+    }
+
+    /// Installs a routing-table entry (this baseline keeps table-driven
+    /// routing but ignores delay bounds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the table's validation error.
+    pub fn install(
+        &mut self,
+        incoming: ConnectionId,
+        outgoing: ConnectionId,
+        out_mask: u8,
+    ) -> Result<(), TableError> {
+        self.table
+            .install(incoming, ConnEntry { outgoing, delay: 0, out_mask }, &self.clock)
+    }
+
+    /// Statistics counters.
+    #[must_use]
+    pub fn stats(&self) -> &PriorityVcStats {
+        &self.stats
+    }
+
+    fn process_arrivals(&mut self, now: Cycle) {
+        for idx in 0..PORT_COUNT {
+            let Some(packet) = self.inputs[idx].take_ready_tc(now) else {
+                continue;
+            };
+            let Some(entry) = self.table.lookup(packet.conn) else {
+                self.stats.tc_dropped += 1;
+                continue;
+            };
+            let rewritten = TcPacket { conn: entry.outgoing, ..packet };
+            let addr = match self.memory.store(rewritten) {
+                Ok(addr) => addr,
+                Err(_) => {
+                    self.stats.tc_dropped += 1;
+                    continue;
+                }
+            };
+            self.remaining[addr.index()] = entry.out_mask;
+            for port in rtr_types::ids::ports_in_mask(entry.out_mask) {
+                self.queues[port.index()].push_back(addr);
+            }
+        }
+    }
+
+    fn be_pick(&mut self, out_idx: usize, now: Cycle) -> Option<usize> {
+        let port = Port::from_index(out_idx);
+        if let Some(bound) = self.outputs[out_idx].be_bound {
+            return self.inputs[bound].be_front_for(port, now).map(|_| bound);
+        }
+        let start = self.outputs[out_idx].rr_next;
+        for k in 0..PORT_COUNT {
+            let i = (start + k) % PORT_COUNT;
+            if self.inputs[i].be_front_for(port, now).is_some() {
+                self.outputs[out_idx].rr_next = (i + 1) % PORT_COUNT;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn deliver_be_byte(&mut self, now: Cycle, byte: BeByte, io: &mut ChipIo) {
+        if byte.head {
+            self.rx_buf.clear();
+            self.rx_trace = byte.trace;
+        }
+        self.rx_buf.push(byte.byte);
+        if byte.tail {
+            if let Ok(mut packet) = BePacket::from_wire(&self.rx_buf) {
+                packet.trace = self.rx_trace.take().unwrap_or_default();
+                self.stats.be_delivered += 1;
+                io.delivered_be.push((now, packet));
+            }
+            self.rx_buf.clear();
+        }
+    }
+
+    fn drive_output(&mut self, now: Cycle, out_idx: usize, io: &mut ChipIo) {
+        // Continue a high-class transmission.
+        if let Some((packet, sent, total)) = self.outputs[out_idx].tc_tx.take() {
+            if out_idx != 0 {
+                io.tx[out_idx] = Some(LinkSymbol::TcCont { index: sent as u8 });
+            }
+            if sent + 1 == total {
+                if out_idx == 0 {
+                    self.stats.tc_delivered += 1;
+                    io.delivered_tc.push((now, packet));
+                }
+            } else {
+                self.outputs[out_idx].tc_tx = Some((packet, sent + 1, total));
+            }
+            return;
+        }
+        // Start the FIFO head, preempting best-effort traffic.
+        if let Some(addr) = self.queues[out_idx].pop_front() {
+            let packet = self
+                .memory
+                .peek(addr)
+                .expect("queued address points at an idle slot")
+                .clone();
+            self.remaining[addr.index()] &= !Port::from_index(out_idx).mask();
+            if self.remaining[addr.index()] == 0 {
+                self.memory.free(addr);
+            }
+            self.stats.tc_transmitted[out_idx] += 1;
+            let total = packet.wire_len();
+            if out_idx != 0 {
+                io.tx[out_idx] = Some(LinkSymbol::TcStart(Box::new(packet.clone())));
+            }
+            if total == 1 {
+                if out_idx == 0 {
+                    self.stats.tc_delivered += 1;
+                    io.delivered_tc.push((now, packet));
+                }
+            } else {
+                self.outputs[out_idx].tc_tx = Some((packet, 1, total));
+            }
+            return;
+        }
+        // Best-effort service.
+        let has_credit = self.outputs[out_idx].infinite_credit || self.outputs[out_idx].credits > 0;
+        if has_credit {
+            if let Some(in_idx) = self.be_pick(out_idx, now) {
+                let routed = self.inputs[in_idx].pop_be();
+                self.outputs[out_idx].be_bound = (!routed.byte.tail).then_some(in_idx);
+                if !self.outputs[out_idx].infinite_credit {
+                    self.outputs[out_idx].credits -= 1;
+                }
+                if in_idx != 0 {
+                    io.credit_out[in_idx] += 1;
+                }
+                self.stats.be_bytes[out_idx] += 1;
+                if out_idx == 0 {
+                    self.deliver_be_byte(now, routed.byte, io);
+                } else {
+                    io.tx[out_idx] = Some(LinkSymbol::Be(routed.byte));
+                }
+            }
+        }
+    }
+}
+
+impl Chip for PriorityVcRouter {
+    fn tick(&mut self, now: Cycle, io: &mut ChipIo) {
+        for idx in 0..PORT_COUNT {
+            let bytes = io.credit_in[idx];
+            if bytes > 0 && !self.outputs[idx].infinite_credit {
+                self.outputs[idx].credits += u32::from(bytes);
+            }
+        }
+        for idx in 1..PORT_COUNT {
+            if let Some(symbol) = io.rx[idx].take() {
+                match symbol {
+                    LinkSymbol::TcStart(packet) => self.inputs[idx].push_tc_start(now, *packet),
+                    LinkSymbol::TcCont { .. } => self.inputs[idx].push_tc_cont(now),
+                    LinkSymbol::Be(byte) => self.inputs[idx].push_be(now, byte),
+                }
+            }
+        }
+        // High-class injection: one byte per cycle.
+        if let Some(remaining) = self.tc_inject_remaining {
+            self.inputs[0].push_tc_cont(now);
+            self.tc_inject_remaining = if remaining == 1 { None } else { Some(remaining - 1) };
+        } else if let Some(packet) = io.inject_tc.pop_front() {
+            let remaining = packet.wire_len() - 1;
+            self.inputs[0].push_tc_start(now, packet);
+            self.tc_inject_remaining = (remaining > 0).then_some(remaining);
+        }
+        // Best-effort injection.
+        if self.be_inject.is_none() {
+            if let Some(packet) = io.inject_be.pop_front() {
+                self.be_inject = Some((packet.to_wire(), 0, packet.trace));
+            }
+        }
+        if let Some((wire, pos, trace)) = &mut self.be_inject {
+            if self.inputs[0].be_free_space() > 0 {
+                let head = *pos == 0;
+                let tail = *pos == wire.len() - 1;
+                let byte =
+                    BeByte { byte: wire[*pos], head, tail, trace: head.then_some(*trace) };
+                self.inputs[0].push_be(now, byte);
+                *pos += 1;
+                if *pos == wire.len() {
+                    self.be_inject = None;
+                }
+            }
+        }
+        self.process_arrivals(now);
+        for out_idx in 0..PORT_COUNT {
+            self.drive_output(now, out_idx, io);
+        }
+    }
+
+    fn flit_buffer_bytes(&self) -> usize {
+        self.config.be_path_bytes()
+    }
+
+    fn set_output_credits(&mut self, port: Port, bytes: u32) {
+        let out = &mut self.outputs[port.index()];
+        if !out.infinite_credit {
+            out.credits = bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_mesh::{Simulator, Topology};
+    use rtr_types::ids::Direction;
+
+    fn packet(conn: u16, payload: u8) -> TcPacket {
+        TcPacket {
+            conn: ConnectionId(conn),
+            arrival: SlotClock::new(8).wrap(0),
+            payload: vec![payload; 18],
+            trace: PacketTrace::default(),
+        }
+    }
+
+    #[test]
+    fn fifo_order_within_class() {
+        let mut r = PriorityVcRouter::new(RouterConfig::default()).unwrap();
+        r.install(ConnectionId(1), ConnectionId(1), Port::Local.mask()).unwrap();
+        let mut io = ChipIo::new();
+        io.inject_tc.push_back(packet(1, 0xA));
+        io.inject_tc.push_back(packet(1, 0xB));
+        for now in 0..400 {
+            io.begin_cycle();
+            r.tick(now, &mut io);
+        }
+        assert_eq!(io.delivered_tc.len(), 2);
+        assert_eq!(io.delivered_tc[0].1.payload[0], 0xA);
+        assert_eq!(io.delivered_tc[1].1.payload[0], 0xB, "FIFO preserves order");
+    }
+
+    #[test]
+    fn high_class_preempts_best_effort() {
+        let topo = Topology::mesh(2, 1);
+        let mut sim =
+            Simulator::build(topo.clone(), |_| PriorityVcRouter::new(RouterConfig::default()))
+                .unwrap();
+        let src = topo.node_at(0, 0);
+        let dst = topo.node_at(1, 0);
+        sim.chip_mut(src)
+            .install(ConnectionId(1), ConnectionId(1), Port::Dir(Direction::XPlus).mask())
+            .unwrap();
+        sim.chip_mut(dst)
+            .install(ConnectionId(1), ConnectionId(1), Port::Local.mask())
+            .unwrap();
+        // A long best-effort stream plus one high-class packet.
+        sim.inject_be(src, BePacket::new(1, 0, vec![0; 400], PacketTrace::default()));
+        sim.run(100);
+        sim.inject_tc(src, packet(1, 0xEE));
+        assert!(sim.run_until(3000, |s| !s.log(dst).tc.is_empty()));
+        let tc_cycle = sim.log(dst).tc[0].0;
+        assert!(
+            sim.log(dst).be.is_empty() || sim.log(dst).be[0].0 > tc_cycle,
+            "the high-class packet must not wait for the 400-byte stream"
+        );
+    }
+
+    #[test]
+    fn multicast_shares_the_memory_slot() {
+        let mut r = PriorityVcRouter::new(RouterConfig::default()).unwrap();
+        let mask = Port::Dir(Direction::XPlus).mask() | Port::Local.mask();
+        r.install(ConnectionId(1), ConnectionId(1), mask).unwrap();
+        let mut io = ChipIo::new();
+        io.inject_tc.push_back(packet(1, 0x5C));
+        let mut starts = 0;
+        for now in 0..400 {
+            io.begin_cycle();
+            r.tick(now, &mut io);
+            if matches!(io.tx[Port::Dir(Direction::XPlus).index()], Some(LinkSymbol::TcStart(_))) {
+                starts += 1;
+            }
+            io.tx = Default::default();
+        }
+        assert_eq!(starts, 1, "one copy per masked port");
+        assert_eq!(io.delivered_tc.len(), 1, "local copy delivered");
+        assert_eq!(r.stats().tc_transmitted.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn credits_gate_best_effort_like_the_real_router() {
+        let mut r = PriorityVcRouter::new(RouterConfig::default()).unwrap();
+        r.set_output_credits(Port::Dir(Direction::XPlus), 2);
+        let mut io = ChipIo::new();
+        io.inject_be.push_back(BePacket::new(1, 0, vec![0; 30], PacketTrace::default()));
+        let mut sent = 0;
+        for now in 0..500 {
+            io.begin_cycle();
+            r.tick(now, &mut io);
+            if matches!(io.tx[Port::Dir(Direction::XPlus).index()], Some(LinkSymbol::Be(_))) {
+                sent += 1;
+            }
+            io.tx = Default::default();
+        }
+        assert_eq!(sent, 2, "only the credit pool leaves");
+    }
+
+    #[test]
+    fn no_table_entry_drops() {
+        let mut r = PriorityVcRouter::new(RouterConfig::default()).unwrap();
+        let mut io = ChipIo::new();
+        io.inject_tc.push_back(packet(9, 0));
+        for now in 0..100 {
+            io.begin_cycle();
+            r.tick(now, &mut io);
+        }
+        assert_eq!(r.stats().tc_dropped, 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! A classic single-class wormhole router (baseline).
+//!
+//! Dimension-ordered routing on header offsets, small per-input flit
+//! buffers, round-robin arbitration over the input links, credit-based flow
+//! control — and nothing else. Everything travels on the one wormhole
+//! channel; packets with deadlines get no preferential treatment, which is
+//! exactly what the baseline-comparison experiments measure.
+
+use rtr_core::ports::input::InputPort;
+use rtr_types::chip::{Chip, ChipIo};
+use rtr_types::config::RouterConfig;
+use rtr_types::error::ConfigError;
+use rtr_types::flit::{BeByte, LinkSymbol};
+use rtr_types::ids::{Port, PORT_COUNT};
+use rtr_types::packet::{BePacket, PacketTrace};
+use rtr_types::time::Cycle;
+
+/// Per-output-port state of the wormhole router.
+#[derive(Debug)]
+struct Out {
+    be_bound: Option<usize>,
+    rr_next: usize,
+    credits: u32,
+    infinite_credit: bool,
+}
+
+/// Counters for the wormhole baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WormholeStats {
+    /// Bytes transmitted per output port.
+    pub bytes: [u64; PORT_COUNT],
+    /// Packets delivered locally.
+    pub delivered: u64,
+    /// Time-constrained injections rejected (this router has no
+    /// time-constrained channel; the harness must encode such traffic as
+    /// best-effort packets).
+    pub tc_rejected: u64,
+}
+
+/// The single-class wormhole baseline router.
+#[derive(Debug)]
+pub struct WormholeRouter {
+    config: RouterConfig,
+    inputs: [InputPort; PORT_COUNT],
+    outputs: [Out; PORT_COUNT],
+    be_inject: Option<(Vec<u8>, usize, PacketTrace)>,
+    rx_buf: Vec<u8>,
+    rx_trace: Option<PacketTrace>,
+    stats: WormholeStats,
+}
+
+impl WormholeRouter {
+    /// Builds a wormhole router sharing the real-time router's datapath
+    /// geometry (flit buffers, pipeline timing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(config: RouterConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let t = &config.timing;
+        let latency =
+            t.sync_cycles + t.header_cycles + config.chunk_bytes as u64 + t.bus_grant_cycles;
+        let flit = config.be_path_bytes();
+        Ok(WormholeRouter {
+            inputs: std::array::from_fn(|_| InputPort::new(latency, latency, flit)),
+            outputs: std::array::from_fn(|i| Out {
+                be_bound: None,
+                rr_next: 0,
+                credits: flit as u32,
+                infinite_credit: i == 0,
+            }),
+            be_inject: None,
+            rx_buf: Vec::new(),
+            rx_trace: None,
+            stats: WormholeStats::default(),
+            config,
+        })
+    }
+
+    /// Statistics counters.
+    #[must_use]
+    pub fn stats(&self) -> &WormholeStats {
+        &self.stats
+    }
+
+    fn be_pick(&mut self, out_idx: usize, now: Cycle) -> Option<usize> {
+        let port = Port::from_index(out_idx);
+        if let Some(bound) = self.outputs[out_idx].be_bound {
+            return self.inputs[bound].be_front_for(port, now).map(|_| bound);
+        }
+        let start = self.outputs[out_idx].rr_next;
+        for k in 0..PORT_COUNT {
+            let i = (start + k) % PORT_COUNT;
+            if self.inputs[i].be_front_for(port, now).is_some() {
+                self.outputs[out_idx].rr_next = (i + 1) % PORT_COUNT;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn deliver_byte(&mut self, now: Cycle, byte: BeByte, io: &mut ChipIo) {
+        if byte.head {
+            self.rx_buf.clear();
+            self.rx_trace = byte.trace;
+        }
+        self.rx_buf.push(byte.byte);
+        if byte.tail {
+            if let Ok(mut packet) = BePacket::from_wire(&self.rx_buf) {
+                packet.trace = self.rx_trace.take().unwrap_or_default();
+                self.stats.delivered += 1;
+                io.delivered_be.push((now, packet));
+            }
+            self.rx_buf.clear();
+        }
+    }
+}
+
+impl Chip for WormholeRouter {
+    fn tick(&mut self, now: Cycle, io: &mut ChipIo) {
+        for idx in 0..PORT_COUNT {
+            let bytes = io.credit_in[idx];
+            if bytes > 0 && !self.outputs[idx].infinite_credit {
+                self.outputs[idx].credits += u32::from(bytes);
+            }
+        }
+        for idx in 1..PORT_COUNT {
+            if let Some(symbol) = io.rx[idx].take() {
+                match symbol {
+                    LinkSymbol::Be(byte) => self.inputs[idx].push_be(now, byte),
+                    _ => panic!("wormhole baseline received a time-constrained symbol"),
+                }
+            }
+        }
+        // This router has no time-constrained channel.
+        while io.inject_tc.pop_front().is_some() {
+            self.stats.tc_rejected += 1;
+        }
+        // Injection: one byte per cycle through the local input port.
+        if self.be_inject.is_none() {
+            if let Some(packet) = io.inject_be.pop_front() {
+                self.be_inject = Some((packet.to_wire(), 0, packet.trace));
+            }
+        }
+        if let Some((wire, pos, trace)) = &mut self.be_inject {
+            if self.inputs[0].be_free_space() > 0 {
+                let head = *pos == 0;
+                let tail = *pos == wire.len() - 1;
+                let byte =
+                    BeByte { byte: wire[*pos], head, tail, trace: head.then_some(*trace) };
+                self.inputs[0].push_be(now, byte);
+                *pos += 1;
+                if *pos == wire.len() {
+                    self.be_inject = None;
+                }
+            }
+        }
+        // Outputs: round-robin wormhole service.
+        for out_idx in 0..PORT_COUNT {
+            let has_credit =
+                self.outputs[out_idx].infinite_credit || self.outputs[out_idx].credits > 0;
+            if !has_credit {
+                continue;
+            }
+            let Some(in_idx) = self.be_pick(out_idx, now) else {
+                continue;
+            };
+            let routed = self.inputs[in_idx].pop_be();
+            self.outputs[out_idx].be_bound = (!routed.byte.tail).then_some(in_idx);
+            if !self.outputs[out_idx].infinite_credit {
+                self.outputs[out_idx].credits -= 1;
+            }
+            if in_idx != 0 {
+                io.credit_out[in_idx] += 1;
+            }
+            self.stats.bytes[out_idx] += 1;
+            if out_idx == 0 {
+                self.deliver_byte(now, routed.byte, io);
+            } else {
+                io.tx[out_idx] = Some(LinkSymbol::Be(routed.byte));
+            }
+        }
+    }
+
+    fn flit_buffer_bytes(&self) -> usize {
+        self.config.be_path_bytes()
+    }
+
+    fn set_output_credits(&mut self, port: Port, bytes: u32) {
+        let out = &mut self.outputs[port.index()];
+        if !out.infinite_credit {
+            out.credits = bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_mesh::{Simulator, Topology};
+    use rtr_types::ids::NodeId;
+
+    #[test]
+    fn forwards_across_a_mesh() {
+        let topo = Topology::mesh(3, 3);
+        let mut sim =
+            Simulator::build(topo.clone(), |_| WormholeRouter::new(RouterConfig::default()))
+                .unwrap();
+        let src = topo.node_at(0, 0);
+        let dst = topo.node_at(2, 2);
+        let (x, y) = topo.be_offsets(src, dst);
+        sim.inject_be(
+            src,
+            BePacket::new(x, y, vec![0x77; 40], PacketTrace {
+                source: src,
+                destination: dst,
+                injected_at: 0,
+                ..PacketTrace::default()
+            }),
+        );
+        assert!(sim.run_until(5000, |s| !s.log(dst).be.is_empty()));
+        assert_eq!(sim.log(dst).be[0].1.payload.len(), 40);
+    }
+
+    #[test]
+    fn latency_is_linear_in_packet_length() {
+        // Same shape as the paper's Experiment 1, on the plain wormhole
+        // baseline: latency = overhead + b.
+        let measure = |b: usize| -> Cycle {
+            let topo = Topology::mesh(2, 1);
+            let mut sim =
+                Simulator::build(topo.clone(), |_| WormholeRouter::new(RouterConfig::default()))
+                    .unwrap();
+            let dst = topo.node_at(1, 0);
+            sim.inject_be(NodeId(0), BePacket::new(1, 0, vec![0; b], PacketTrace::default()));
+            assert!(sim.run_until(10_000, |s| !s.log(dst).be.is_empty()));
+            sim.log(dst).be[0].0
+        };
+        let l16 = measure(16);
+        let l64 = measure(64);
+        assert_eq!(l64 - l16, 48, "one extra cycle per extra byte");
+    }
+
+    #[test]
+    fn tc_injections_are_rejected() {
+        let mut r = WormholeRouter::new(RouterConfig::default()).unwrap();
+        let mut io = ChipIo::new();
+        io.inject_tc.push_back(rtr_types::packet::TcPacket {
+            conn: rtr_types::ids::ConnectionId(0),
+            arrival: rtr_types::clock::SlotClock::new(8).wrap(0),
+            payload: vec![0; 18],
+            trace: PacketTrace::default(),
+        });
+        io.begin_cycle();
+        r.tick(0, &mut io);
+        assert_eq!(r.stats().tc_rejected, 1);
+        assert!(io.inject_tc.is_empty());
+    }
+}

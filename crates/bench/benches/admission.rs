@@ -1,0 +1,57 @@
+//! Criterion bench: admission-control cost — the link demand test and
+//! whole-channel establishment (protocol-software operations, §4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtr_channels::admission::{LinkBook, LinkReservation};
+use rtr_channels::establish::{ChannelManager, ControlPlane};
+use rtr_channels::spec::{ChannelRequest, TrafficSpec};
+use rtr_core::control::{ControlCommand, ControlError};
+use rtr_mesh::Topology;
+use rtr_types::config::RouterConfig;
+use rtr_types::ids::NodeId;
+
+struct NullPlane;
+
+impl ControlPlane for NullPlane {
+    fn apply(&mut self, _node: NodeId, _cmd: ControlCommand) -> Result<(), ControlError> {
+        Ok(())
+    }
+}
+
+fn bench_demand_test(c: &mut Criterion) {
+    let mut book = LinkBook::new();
+    for i in 0..24u32 {
+        book.reserve(LinkReservation {
+            packets: 1,
+            period: 32 + i,
+            delay: 8 + i % 16,
+        });
+    }
+    let candidate = LinkReservation { packets: 1, period: 64, delay: 16 };
+    c.bench_function("link_demand_test_24_connections", |b| {
+        b.iter(|| book.admissible(candidate, 2));
+    });
+}
+
+fn bench_establish(c: &mut Criterion) {
+    let topo = Topology::mesh(8, 8);
+    let config = RouterConfig::default();
+    c.bench_function("establish_teardown_cross_mesh_channel", |b| {
+        let mut manager = ChannelManager::new(&config);
+        let request = ChannelRequest::unicast(
+            topo.node_at(0, 0),
+            topo.node_at(7, 7),
+            TrafficSpec::periodic(32, 18),
+            120,
+        );
+        b.iter(|| {
+            let ch = manager
+                .establish(&topo, request.clone(), &mut NullPlane)
+                .expect("admissible");
+            manager.teardown(ch.id, &mut NullPlane).unwrap();
+        });
+    });
+}
+
+criterion_group!(benches, bench_demand_test, bench_establish);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: full-mesh simulation throughput under random
+//! best-effort load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtr_core::RealTimeRouter;
+use rtr_mesh::{Simulator, Topology};
+use rtr_types::config::RouterConfig;
+use rtr_workloads::be::{RandomBeSource, SizeDist};
+use rtr_workloads::patterns::TrafficPattern;
+
+fn make_sim() -> Simulator<RealTimeRouter> {
+    let topo = Topology::mesh(4, 4);
+    let mut sim =
+        Simulator::build(topo.clone(), |_| RealTimeRouter::new(RouterConfig::default()))
+            .unwrap();
+    for node in topo.nodes() {
+        sim.add_source(
+            node,
+            Box::new(
+                RandomBeSource::new(
+                    topo.clone(),
+                    TrafficPattern::Uniform,
+                    0.2,
+                    SizeDist::Uniform(8, 64),
+                    u64::from(node.0),
+                )
+                .with_max_queue(8),
+            ),
+        );
+    }
+    sim
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    c.bench_function("mesh_4x4_1000_cycles_be_load", |b| {
+        b.iter_batched(
+            make_sim,
+            |mut sim| {
+                sim.run(1000);
+                sim.now()
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_mesh);
+criterion_main!(benches);

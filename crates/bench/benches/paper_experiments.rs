@@ -1,0 +1,35 @@
+//! Criterion bench: timed runs of the paper-reproduction experiments
+//! themselves (E1 and a shortened Figure 7), so regressions in simulator
+//! performance show up alongside the functional results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_exp1(c: &mut Criterion) {
+    c.bench_function("exp1_wormhole_loopback_b64", |b| {
+        b.iter(|| rtr_bench::exp1::run(&[64]));
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("fig7_service_10k_cycles", |b| {
+        b.iter(|| rtr_bench::fig7::run(0, 92, 10_000, 2_000));
+    });
+    group.finish();
+}
+
+fn bench_vct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("vct_ablation_3_hops", |b| {
+        b.iter(|| rtr_bench::vct::run(&[3], 20_000));
+    });
+    group.bench_function("sched_ablation_banded_shift3", |b| {
+        b.iter(|| rtr_bench::sched_ablation::run(&[3], 20_000));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exp1, bench_fig7, bench_vct);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: single-router simulation throughput under the
+//! Figure 7 mixed-class load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtr_core::control::ControlCommand;
+use rtr_core::RealTimeRouter;
+use rtr_types::chip::{Chip, ChipIo};
+use rtr_types::config::RouterConfig;
+use rtr_types::ids::{ConnectionId, Direction, Port};
+use rtr_types::packet::{BePacket, PacketTrace, TcPacket};
+
+fn loaded_router() -> (RealTimeRouter, ChipIo) {
+    let mut router = RealTimeRouter::new(RouterConfig::default()).unwrap();
+    let out = Port::Dir(Direction::XPlus);
+    for i in 1..=3u16 {
+        router
+            .apply_control(ControlCommand::SetConnection {
+                incoming: ConnectionId(i),
+                outgoing: ConnectionId(i),
+                delay: 4 * u32::from(i),
+                out_mask: out.mask(),
+            })
+            .unwrap();
+    }
+    let mut io = ChipIo::new();
+    for k in 0..64u64 {
+        io.inject_tc.push_back(TcPacket {
+            conn: ConnectionId((k % 3 + 1) as u16),
+            arrival: router.clock().wrap(k),
+            payload: vec![0; router.config().tc_data_bytes()],
+            trace: PacketTrace::default(),
+        });
+        io.inject_be
+            .push_back(BePacket::new(1, 0, vec![0; 60], PacketTrace::default()));
+    }
+    (router, io)
+}
+
+fn bench_router_cycles(c: &mut Criterion) {
+    c.bench_function("router_1000_cycles_mixed_load", |b| {
+        b.iter_batched(
+            loaded_router,
+            |(mut router, mut io)| {
+                for now in 0..1000u64 {
+                    io.begin_cycle();
+                    io.credit_in[1] = 1;
+                    router.tick(now, &mut io);
+                    io.tx = Default::default();
+                    io.credit_out = [0; 5];
+                }
+                router.stats().tc_transmitted[1]
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_router_cycles);
+criterion_main!(benches);

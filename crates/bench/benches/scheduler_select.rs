@@ -1,0 +1,105 @@
+//! Criterion bench: comparator-tree selection cost vs leaf count
+//! (experiment X4 — the §5.1 scalability claim that the scheduler could
+//! serve more packets or more ports).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_core::memory::SlotAddr;
+use rtr_core::sched::leaf::Leaf;
+use rtr_core::sched::tree::ComparatorTree;
+use rtr_types::clock::SlotClock;
+use rtr_types::ids::{Direction, Port};
+use rtr_types::key::LatePolicy;
+
+fn populated_tree(leaves: usize, fill: usize) -> ComparatorTree {
+    let clock = SlotClock::new(8);
+    let mut tree = ComparatorTree::new(leaves, clock, LatePolicy::Saturate);
+    for i in 0..fill {
+        // Deterministic spread of arrival times and delays around t = 100.
+        let l = 60 + (i * 7) % 90;
+        let d = 4 + (i * 13) % 100;
+        tree.insert(Leaf {
+            l: clock.wrap(l as u64),
+            delay: d as u32,
+            port_mask: 1 << (i % 5),
+            addr: SlotAddr(i as u16),
+        })
+        .unwrap();
+    }
+    tree
+}
+
+fn bench_select(c: &mut Criterion) {
+    let clock = SlotClock::new(8);
+    let t = clock.wrap(100);
+    let mut group = c.benchmark_group("tree_select");
+    for &leaves in &[64usize, 256, 1024] {
+        let tree = populated_tree(leaves, leaves);
+        group.bench_with_input(BenchmarkId::from_parameter(leaves), &tree, |b, tree| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for port in Port::ALL {
+                    if let Some(sel) = tree.select(port, t) {
+                        acc += sel.leaf;
+                    }
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_banded_select(c: &mut Criterion) {
+    use rtr_core::sched::banded::BandedScheduler;
+    let clock = SlotClock::new(8);
+    let t = clock.wrap(100);
+    let mut group = c.benchmark_group("banded_select");
+    for &shift in &[1u32, 3, 5] {
+        let mut sched = BandedScheduler::new(256, clock, LatePolicy::Saturate, shift);
+        for i in 0..256usize {
+            let l = 60 + (i * 7) % 90;
+            let d = 4 + (i * 13) % 100;
+            sched
+                .insert(Leaf {
+                    l: clock.wrap(l as u64),
+                    delay: d as u32,
+                    port_mask: 1 << (i % 5),
+                    addr: SlotAddr(i as u16),
+                })
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(shift), &sched, |b, sched| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for port in Port::ALL {
+                    if let Some(sel) = sched.select(port, t) {
+                        acc += sel.leaf;
+                    }
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_commit(c: &mut Criterion) {
+    let clock = SlotClock::new(8);
+    c.bench_function("tree_insert_commit_cycle", |b| {
+        let mut tree = ComparatorTree::new(256, clock, LatePolicy::Saturate);
+        b.iter(|| {
+            let idx = tree
+                .insert(Leaf {
+                    l: clock.wrap(100),
+                    delay: 10,
+                    port_mask: Port::Dir(Direction::XPlus).mask(),
+                    addr: SlotAddr(0),
+                })
+                .unwrap();
+            tree.commit(idx, Port::Dir(Direction::XPlus))
+        });
+    });
+}
+
+criterion_group!(benches, bench_select, bench_banded_select, bench_insert_commit);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Extension X2: the real-time router against the §6 baselines. One
+//! tight-deadline channel shares its destination with two legally-bursty
+//! aggressors under rising best-effort background load.
+
+use rtr_bench::baseline_compare::run;
+
+fn main() {
+    let rows = run(&[0.0, 0.1, 0.2, 0.3], 60_000);
+    println!("Baseline comparison — tight channel: period 8 slots, deadline 12 slots");
+    println!();
+    println!(
+        "{:>20} {:>8} {:>10} {:>8} {:>8} {:>12} {:>10}",
+        "design", "BE rate", "delivered", "misses", "miss %", "mean cycles", "max cycles"
+    );
+    for r in &rows {
+        println!(
+            "{:>20} {:>8.2} {:>10} {:>8} {:>8.1} {:>12.1} {:>10}",
+            r.design.to_string(),
+            r.be_rate,
+            r.delivered,
+            r.misses,
+            r.miss_percent(),
+            r.mean_latency,
+            r.max_latency
+        );
+    }
+    println!();
+    println!("expected shape: the real-time router never misses; priority-FIFO misses under");
+    println!("bursty peers (no regulation, no deadlines); wormhole degrades with load.");
+}

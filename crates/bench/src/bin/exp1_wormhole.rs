@@ -1,0 +1,39 @@
+//! Experiment E1 (paper §5.2): best-effort wormhole latency on the
+//! single-router loop-back configuration. The paper reports `30 + b`
+//! cycles for a `b`-byte packet; see `EXPERIMENTS.md` for the one-cycle
+//! constant offset of our link model.
+
+fn main() {
+    let rows = rtr_bench::exp1::run(&[8, 16, 20, 32, 64, 96, 128, 192, 256]);
+    println!("Experiment 1 — wormhole loop-back latency (3 router traversals)");
+    println!();
+    println!(
+        "{:>8} {:>16} {:>14} {:>10} {:>20}",
+        "bytes b", "measured cycles", "paper 30 + b", "delta", "store&forward cycles"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>16} {:>14} {:>10} {:>20}",
+            r.bytes,
+            r.wormhole_latency,
+            r.paper_formula,
+            r.wormhole_latency as i64 - r.paper_formula as i64,
+            r.store_forward_latency,
+        );
+    }
+    println!();
+    let d0 = rows[0].wormhole_latency as i64 - rows[0].bytes as i64;
+    let all_linear = rows
+        .iter()
+        .all(|r| r.wormhole_latency as i64 - r.bytes as i64 == d0);
+    println!(
+        "latency = {} + b for every size (paper: 30 + b): linear fit {}",
+        d0,
+        if all_linear { "EXACT" } else { "FAILED" }
+    );
+    println!(
+        "store-and-forward pays ≈ 3× the packet length (the §3.1 contrast): {} vs {} cycles at b = 256",
+        rows.last().unwrap().store_forward_latency,
+        rows.last().unwrap().wormhole_latency
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 7 (paper §5.2): cumulative time-constrained and best-effort
+//! service on one link; three backlogged connections with
+//! `(d, I_min)` = (4,8), (8,16), (16,32) slots plus backlogged best-effort
+//! traffic, horizon `h = 0`.
+
+fn main() {
+    let result = rtr_bench::fig7::run(0, 92, 40_000, 2_000);
+    println!("Figure 7 — time-constrained and best-effort service (cumulative bytes)");
+    println!();
+    println!("connection parameters (20-byte slots):");
+    for (i, (d, i_min)) in result.params.iter().enumerate() {
+        println!("  connection {}: d = {d}, I_min = {i_min}", i + 1);
+    }
+    println!();
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "cycles", "conn 1", "conn 2", "conn 3", "best-effort"
+    );
+    for s in &result.samples {
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12}",
+            s.cycle, s.tc_bytes[0], s.tc_bytes[1], s.tc_bytes[2], s.be_bytes
+        );
+    }
+    println!();
+    println!("long-run bandwidth shares (bytes/cycle; link capacity 1.0):");
+    for (i, (share, reserved)) in result
+        .tc_shares
+        .iter()
+        .zip([1.0 / 8.0, 1.0 / 16.0, 1.0 / 32.0])
+        .enumerate()
+    {
+        println!(
+            "  connection {}: measured {:.5}  reserved {:.5}",
+            i + 1,
+            share,
+            reserved
+        );
+    }
+    println!("  best-effort:  measured {:.5}  (absorbs the excess)", result.be_share);
+    println!();
+    println!(
+        "deadline misses: {} / {} delivered (paper: every packet by its deadline)",
+        result.deadline_misses, result.delivered
+    );
+}

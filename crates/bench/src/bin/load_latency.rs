@@ -1,0 +1,29 @@
+//! Extension X12: best-effort load–latency curves under real-time
+//! reservations (4×4 mesh, uniform random traffic).
+
+fn main() {
+    let periods = [None, Some(16), Some(8)];
+    let rates = [0.002, 0.005, 0.01, 0.02, 0.03, 0.045];
+    println!("Best-effort load–latency curves (4×4 mesh, uniform random, 28-byte payloads)");
+    println!();
+    println!(
+        "{:>14} {:>9} {:>10} {:>12} {:>10} {:>12} {:>9}",
+        "reserved", "offered", "delivered", "mean cycles", "p99", "throughput", "tc miss"
+    );
+    for &period in &periods {
+        for &rate in &rates {
+            let p = rtr_bench::load_latency::run_point(period, rate, 60_000);
+            let reserved = match period {
+                None => "none".to_string(),
+                Some(per) => format!("20/{per} slots"),
+            };
+            println!(
+                "{:>14} {:>9.3} {:>10} {:>12.1} {:>10} {:>12.5} {:>9}",
+                reserved, rate, p.be_delivered, p.be_mean, p.be_p99, p.throughput, p.tc_misses
+            );
+        }
+        println!();
+    }
+    println!("expected shape: latency knees upward with offered load; heavier reservations");
+    println!("shift the knee left; the reserved channels never miss at any point.");
+}

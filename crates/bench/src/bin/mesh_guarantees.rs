@@ -1,0 +1,45 @@
+//! Extension X3 (paper §7): end-to-end guarantees across a 4×4 mesh —
+//! seeded random channel set, periodic senders, best-effort background.
+
+use rtr_bench::mesh_guarantees::run;
+
+fn main() {
+    println!("Mesh guarantees — 4×4 mesh, random admitted channels + background load");
+    println!();
+    println!(
+        "{:>6} {:>8} {:>9} {:>10} {:>7} {:>10} {:>8} {:>9} {:>12}",
+        "seed", "offered", "admitted", "delivered", "misses", "min slack", "aliased", "peak mem", "BE delivered"
+    );
+    for seed in [1u64, 7, 42, 1234] {
+        let r = run(4, 16, 0.15, seed, 100_000);
+        println!(
+            "{:>6} {:>8} {:>9} {:>10} {:>7} {:>10} {:>8} {:>9} {:>12}",
+            seed,
+            r.offered,
+            r.admitted,
+            r.delivered,
+            r.misses,
+            r.min_slack,
+            r.aliased_keys,
+            r.peak_memory,
+            r.be_delivered
+        );
+    }
+    println!();
+    println!("scalability (8×8 mesh, 48 offered channels):");
+    let r = run(8, 48, 0.1, 2026, 100_000);
+    println!(
+        "{:>6} {:>8} {:>9} {:>10} {:>7} {:>10} {:>8} {:>9} {:>12}",
+        2026,
+        r.offered,
+        r.admitted,
+        r.delivered,
+        r.misses,
+        r.min_slack,
+        r.aliased_keys,
+        r.peak_memory,
+        r.be_delivered
+    );
+    println!();
+    println!("the guarantee under test: zero misses, zero key aliasing for every admitted set");
+}

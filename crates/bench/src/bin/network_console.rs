@@ -1,0 +1,162 @@
+//! An ops-style console: build a mesh scenario from the command line, run
+//! it, and print the manager's reservation report plus the network report
+//! (deliveries, latency histograms, hottest links).
+//!
+//! ```text
+//! cargo run --release -p rtr-bench --bin network_console -- \
+//!     [side=4] [channels=12] [be_rate=0.1] [cycles=100000] \
+//!     [scheduler=tree|banded:<shift>] [vct=0|1] [seed=42]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtr_channels::establish::ChannelManager;
+use rtr_channels::sender::ChannelSender;
+use rtr_channels::spec::{ChannelRequest, TrafficSpec};
+use rtr_core::RealTimeRouter;
+use rtr_mesh::{NetworkReport, Simulator, Topology};
+use rtr_types::config::{RouterConfig, SchedulerKind};
+use rtr_types::ids::NodeId;
+use rtr_workloads::be::{RandomBeSource, SizeDist};
+use rtr_workloads::patterns::TrafficPattern;
+use rtr_workloads::tc::PeriodicTcSource;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let side: u16 = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let offered: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let be_rate: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let cycles: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let scheduler = match args.get(4).map(String::as_str) {
+        Some(s) if s.starts_with("banded:") => SchedulerKind::Banded {
+            band_shift: s["banded:".len()..].parse().unwrap_or(1),
+        },
+        _ => SchedulerKind::ComparatorTree,
+    };
+    let vct = args.get(5).map(String::as_str) == Some("1");
+    let seed: u64 = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let config = RouterConfig { scheduler, tc_cut_through: vct, ..RouterConfig::default() };
+    println!(
+        "scenario: {side}×{side} mesh, {offered} offered channels, BE rate {be_rate}, \
+         {cycles} cycles, scheduler {scheduler:?}, cut-through {vct}, seed {seed}"
+    );
+    println!();
+
+    let topo = Topology::mesh(side, side);
+    let mut sim =
+        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut manager = ChannelManager::new(&config);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut admitted = Vec::new();
+    for _ in 0..offered {
+        let src = NodeId(rng.gen_range(0..topo.len() as u16));
+        let dst = loop {
+            let d = NodeId(rng.gen_range(0..topo.len() as u16));
+            if d != src {
+                break d;
+            }
+        };
+        let i_min = *[8u32, 16, 32].get(rng.gen_range(0..3)).unwrap();
+        let depth = topo.dor_route(src, dst).len() as u32 + 1;
+        let d_per = rng.gen_range(4..=8.min(i_min));
+        if let Ok(channel) = manager.establish(
+            &topo,
+            ChannelRequest::unicast(src, dst, TrafficSpec::periodic(i_min, 18), depth * d_per),
+            &mut sim,
+        ) {
+            admitted.push(channel);
+        }
+    }
+    println!("admitted {}/{} channels", admitted.len(), offered);
+    for channel in &admitted {
+        let src = channel.request.source;
+        let sender = ChannelSender::new(
+            channel,
+            sim.chip(src).clock(),
+            config.slot_bytes,
+            config.tc_data_bytes(),
+        );
+        sim.add_source(
+            src,
+            Box::new(PeriodicTcSource::new(
+                sender,
+                u64::from(channel.request.spec.i_min),
+                channel.id % 8,
+                config.slot_bytes,
+                vec![0x42; config.tc_data_bytes()],
+            )),
+        );
+    }
+    if be_rate > 0.0 && topo.len() > 1 {
+        for node in topo.nodes() {
+            sim.add_source(
+                node,
+                Box::new(
+                    RandomBeSource::new(
+                        topo.clone(),
+                        TrafficPattern::Uniform,
+                        be_rate,
+                        SizeDist::Uniform(8, 64),
+                        seed.wrapping_mul(7919) ^ u64::from(node.0),
+                    )
+                    .with_max_queue(8),
+                ),
+            );
+        }
+    }
+
+    sim.run(cycles);
+
+    println!();
+    println!("reserved links (top 8, densest first):");
+    for row in manager.utilization_report().iter().take(8) {
+        println!(
+            "  node {:>4} port {:<5}  {:>2} conn  util {:.4}  headroom {:>3} slots",
+            row.node.to_string(),
+            row.port.to_string(),
+            row.connections,
+            row.utilization,
+            row.headroom_slots
+        );
+    }
+
+    let report = NetworkReport::capture(&sim, config.slot_bytes);
+    println!();
+    println!(
+        "deliveries: {} time-constrained ({} misses), {} best-effort",
+        report.tc_delivered, report.deadline_misses, report.be_delivered
+    );
+    println!(
+        "tc latency: mean {:.0}  p50 {}  p99 {}  max {} cycles",
+        report.tc_latency.mean(),
+        report.tc_latency.percentile(50.0),
+        report.tc_latency.percentile(99.0),
+        report.tc_latency.max()
+    );
+    println!(
+        "be latency: mean {:.0}  p50 {}  p99 {}  max {} cycles",
+        report.be_latency.mean(),
+        report.be_latency.percentile(50.0),
+        report.be_latency.percentile(99.0),
+        report.be_latency.max()
+    );
+    println!();
+    println!("hottest links (symbols carried):");
+    for (node, dir, usage) in report.hottest_links(6) {
+        println!(
+            "  node {:>4} {:<2}  tc {:>8}  be {:>8}  util {:.3}",
+            node.to_string(),
+            dir.to_string(),
+            usage.tc_symbols,
+            usage.be_symbols,
+            usage.utilization(report.cycles)
+        );
+    }
+    let cut: u64 = topo.nodes().map(|n| sim.chip(n).stats().tc_cut_through).sum();
+    if vct {
+        println!();
+        println!("virtual cut-through traversals: {cut}");
+    }
+}

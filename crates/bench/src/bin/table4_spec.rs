@@ -1,0 +1,76 @@
+//! Table 4 (paper §5.1): the router specification — architectural
+//! parameters (4a) and estimated chip complexity (4b) from the analytical
+//! hardware model.
+
+use rtr_hwcost::HardwareModel;
+use rtr_types::config::{table2_policy, RouterConfig};
+use rtr_types::ids::TrafficClass;
+
+fn main() {
+    let config = RouterConfig::default();
+    println!("Table 4(a) — architectural parameters");
+    println!("  Connections:               {}", config.connections);
+    println!("  Time-constrained packets:  {}", config.packet_slots);
+    println!(
+        "  Clock (sorting key):       {} ({}) bits",
+        config.clock_bits,
+        config.key_bits()
+    );
+    println!("  Comparator tree pipeline:  {} stages", config.sched_pipeline_stages);
+    println!("  Flit input buffer:         {} bytes", config.flit_buffer_bytes);
+    println!("  Packet size:               {} bytes", config.slot_bytes);
+    println!();
+
+    let report = HardwareModel::new(config.clone()).report();
+    println!("Table 4(b) — estimated chip complexity (paper: 905,104 T; 8.1 × 8.7 mm; 2.3 W; 123 pins)");
+    for block in &report.blocks {
+        println!(
+            "  {:<22} {:>9} transistors ({:>4.1}%)",
+            block.name,
+            block.transistors,
+            100.0 * block.transistors as f64 / report.total_transistors as f64
+        );
+    }
+    println!("  {:<22} {:>9} transistors", "TOTAL", report.total_transistors);
+    println!("  Estimated area:            {:.1} mm²", report.area_mm2);
+    println!("  Estimated power:           {:.2} W", report.power_w);
+    println!("  Signal pins:               {}", report.signal_pins);
+    println!(
+        "  Scheduling logic dominates (paper's observation): {}",
+        report.scheduler_dominates()
+    );
+    println!();
+
+    let t = report.tree;
+    println!("Comparator-tree timing (§5.1):");
+    println!("  levels: {}   stages: {}   stage: {:.1} ns", t.levels, t.stages, t.stage_ns);
+    println!(
+        "  selections per {}-cycle slot: {:.1} → supports {} output ports (chip has 5)",
+        config.slot_bytes, t.selections_per_slot, t.ports_supported
+    );
+    println!();
+
+    println!("Table 2 — per-class policies:");
+    for class in [TrafficClass::TimeConstrained, TrafficClass::BestEffort] {
+        let p = table2_policy(class);
+        println!("  {class}: {p:?}");
+    }
+    println!();
+
+    println!("Scaling study (§5.1 — larger trees, deeper pipelines):");
+    println!(
+        "  {:>7} {:>7} {:>12} {:>9} {:>7} {:>9}",
+        "packets", "stages", "transistors", "mm²", "ports", "5-port?"
+    );
+    for row in rtr_hwcost::scaling_table(&[64, 256, 1024, 4096], &[2, 5]) {
+        println!(
+            "  {:>7} {:>7} {:>12} {:>9.1} {:>7} {:>9}",
+            row.packet_slots,
+            row.stages,
+            row.transistors,
+            row.area_mm2,
+            row.ports_supported,
+            row.feasible_for_five_ports
+        );
+    }
+}

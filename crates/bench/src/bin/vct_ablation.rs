@@ -1,0 +1,27 @@
+//! Extension X7 (paper §7): virtual cut-through for time-constrained
+//! traffic — per-hop latency saving at zero cost to guarantees.
+
+fn main() {
+    let rows = rtr_bench::vct::run(&[1, 2, 3, 4, 6], 60_000);
+    println!("Virtual cut-through ablation — light periodic load over a chain");
+    println!();
+    println!(
+        "{:>6} {:>16} {:>16} {:>14} {:>10} {:>8}",
+        "hops", "buffered cycles", "cut-through", "saved per hop", "cut frac", "misses"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:>16.1} {:>16.1} {:>14.1} {:>10.2} {:>8}",
+            r.hops,
+            r.buffered_latency,
+            r.cut_latency,
+            r.saving_per_hop(),
+            r.cut_fraction,
+            r.misses
+        );
+    }
+    println!();
+    println!("expected shape: per-hop saving ≈ packet time + store/schedule waits;");
+    println!("misses stay 0 — the §7 claim that cut-through improves average latency");
+    println!("without touching the guarantees.");
+}

@@ -1,0 +1,134 @@
+//! Experiment E1 (paper §5.2, first experiment): best-effort wormhole
+//! latency on the single-router loop-back configuration.
+//!
+//! The packet "proceeds from the injection port to the positive x link,
+//! then travels from the negative x input link to the positive y
+//! direction; after reentering the router on the negative y link, the
+//! packet proceeds to the reception port" — three router traversals. The
+//! paper reports an end-to-end latency of `30 + b` cycles for a `b`-byte
+//! packet; our model reproduces the exact slope (one cycle per byte) with a
+//! constant of `31` (one extra link-register cycle relative to the
+//! directly-wired Verilog testbench; see `EXPERIMENTS.md`).
+//!
+//! For the §3.1 contrast ("packet switching would introduce additional
+//! delay to buffer the packet at each hop"), the same route is also
+//! measured on the store-and-forward baseline.
+
+use rtr_baselines::fifo_sf::FifoSfRouter;
+use rtr_core::RealTimeRouter;
+use rtr_mesh::{Simulator, Topology};
+use rtr_types::config::RouterConfig;
+use rtr_types::ids::NodeId;
+use rtr_types::packet::{BePacket, PacketTrace};
+use rtr_types::time::Cycle;
+
+/// One measured row of the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Row {
+    /// Total wormhole packet length in bytes (header + payload).
+    pub bytes: usize,
+    /// Measured end-to-end latency on the real-time router, cycles.
+    pub wormhole_latency: Cycle,
+    /// The paper's reported formula, `30 + b`.
+    pub paper_formula: Cycle,
+    /// The same packet over the same route on the store-and-forward
+    /// baseline, cycles.
+    pub store_forward_latency: Cycle,
+}
+
+/// Runs the loop-back experiment for each packet size.
+///
+/// # Panics
+///
+/// Panics if a packet fails to arrive (simulation bug) or a size is below
+/// the 4-byte header.
+#[must_use]
+pub fn run(sizes: &[usize]) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&bytes| {
+            assert!(bytes >= 4, "packets need the 4-byte header");
+            Row {
+                bytes,
+                wormhole_latency: measure_wormhole(bytes),
+                paper_formula: 30 + bytes as Cycle,
+                store_forward_latency: measure_store_forward(bytes),
+            }
+        })
+        .collect()
+}
+
+fn loopback_packet(bytes: usize) -> BePacket {
+    // Offsets (1, 1): one +x hop (looped to −x), one +y hop (looped to −y),
+    // then the reception port — the paper's exact route.
+    BePacket::new(1, 1, vec![0xE1; bytes - 4], PacketTrace::default())
+}
+
+fn measure_wormhole(bytes: usize) -> Cycle {
+    let mut sim = Simulator::build(Topology::loopback(), |_| {
+        RealTimeRouter::new(RouterConfig::default())
+    })
+    .expect("default config is valid");
+    sim.inject_be(NodeId(0), loopback_packet(bytes));
+    assert!(
+        sim.run_until(100_000, |s| !s.log(NodeId(0)).be.is_empty()),
+        "loop-back packet must arrive"
+    );
+    sim.log(NodeId(0)).be[0].0
+}
+
+fn measure_store_forward(bytes: usize) -> Cycle {
+    let mut sim = Simulator::build(Topology::loopback(), |_| {
+        FifoSfRouter::new(RouterConfig::default())
+    })
+    .expect("default config is valid");
+    sim.inject_be(NodeId(0), loopback_packet(bytes));
+    assert!(
+        sim.run_until(200_000, |s| !s.log(NodeId(0)).be.is_empty()),
+        "store-and-forward packet must arrive"
+    );
+    sim.log(NodeId(0)).be[0].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_linear_with_unit_slope() {
+        let rows = run(&[8, 16, 32, 64, 128]);
+        for w in rows.windows(2) {
+            let db = (w[1].bytes - w[0].bytes) as Cycle;
+            assert_eq!(
+                w[1].wormhole_latency - w[0].wormhole_latency,
+                db,
+                "one cycle per byte"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_is_within_one_cycle_of_the_paper() {
+        for row in run(&[16, 64]) {
+            let constant = row.wormhole_latency - row.bytes as Cycle;
+            assert!(
+                (30..=31).contains(&constant),
+                "constant {constant} vs the paper's 30"
+            );
+        }
+    }
+
+    #[test]
+    fn store_and_forward_pays_per_hop_buffering() {
+        let rows = run(&[64]);
+        let r = rows[0];
+        // Three traversals, each buffering the whole packet: latency grows
+        // roughly 3× the packet length instead of 1×.
+        assert!(
+            r.store_forward_latency > r.wormhole_latency + 2 * r.bytes as Cycle - 20,
+            "S&F {} vs wormhole {}",
+            r.store_forward_latency,
+            r.wormhole_latency
+        );
+    }
+}

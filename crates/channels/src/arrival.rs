@@ -1,0 +1,217 @@
+//! Logical arrival times and traffic policing (paper §2).
+//!
+//! At the source, message `m_i` generated at time `t_i` has logical arrival
+//! time
+//!
+//! ```text
+//! ℓ0(m_0) = t_0
+//! ℓ0(m_i) = max(ℓ0(m_{i-1}) + I_min, t_i)      for i > 0
+//! ```
+//!
+//! Basing guarantees on logical (not actual) arrival times is what limits
+//! the damage an ill-behaving connection can do to others: sending faster
+//! than the contract just pushes the sender's own logical times — and hence
+//! deadlines — into the future.
+//!
+//! [`Policer`] is the complementary token-bucket check: a conforming source
+//! never exceeds `B_max` messages beyond the `I_min` periodic restriction.
+
+use rtr_types::time::Slot;
+
+use crate::spec::TrafficSpec;
+
+/// Tracks a connection's logical arrival times at the source.
+///
+/// # Example
+///
+/// ```
+/// use rtr_channels::arrival::ArrivalTracker;
+///
+/// let mut tracker = ArrivalTracker::new(8);
+/// assert_eq!(tracker.next(5), 5);   // first message: ℓ0 = t
+/// assert_eq!(tracker.next(6), 13);  // too soon: ℓ0 advances by I_min
+/// assert_eq!(tracker.next(40), 40); // slack restored: ℓ0 = t again
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArrivalTracker {
+    last: Option<Slot>,
+    i_min: u32,
+}
+
+impl ArrivalTracker {
+    /// Creates a tracker for a connection with the given spacing.
+    #[must_use]
+    pub fn new(i_min: u32) -> Self {
+        ArrivalTracker { last: None, i_min }
+    }
+
+    /// Registers a message generated at slot `t` and returns its logical
+    /// arrival time `ℓ0`.
+    pub fn next(&mut self, t: Slot) -> Slot {
+        let l = match self.last {
+            None => t,
+            Some(prev) => (prev + u64::from(self.i_min)).max(t),
+        };
+        self.last = Some(l);
+        l
+    }
+
+    /// The most recent logical arrival time, if any message was registered.
+    #[must_use]
+    pub fn last(&self) -> Option<Slot> {
+        self.last
+    }
+}
+
+/// A token-bucket conformance checker for the linear bounded arrival
+/// process: rate `1/I_min` messages per slot, depth `B_max + 1`.
+///
+/// # Example
+///
+/// ```
+/// use rtr_channels::arrival::Policer;
+/// use rtr_channels::spec::TrafficSpec;
+///
+/// let mut policer = Policer::new(TrafficSpec { i_min: 10, s_max_bytes: 18, b_max: 1 });
+/// assert!(policer.conforms(0));  // first message
+/// assert!(policer.conforms(0));  // burst allowance
+/// assert!(!policer.conforms(0)); // flooding is stopped at the host
+/// assert!(policer.conforms(10)); // a period later a token is back
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Policer {
+    spec: TrafficSpec,
+    /// Tokens scaled by `I_min` to stay in integers: a full token is
+    /// `i_min` units; one accrues per slot.
+    scaled_tokens: u64,
+    last_slot: Slot,
+}
+
+impl Policer {
+    /// Creates a policer with a full bucket at slot 0.
+    #[must_use]
+    pub fn new(spec: TrafficSpec) -> Self {
+        Policer {
+            spec,
+            scaled_tokens: u64::from(spec.b_max + 1) * u64::from(spec.i_min.max(1)),
+            last_slot: 0,
+        }
+    }
+
+    /// Checks whether a message at slot `t` conforms; conforming messages
+    /// consume a token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slots go backwards.
+    pub fn conforms(&mut self, t: Slot) -> bool {
+        assert!(t >= self.last_slot, "policer time went backwards");
+        let i_min = u64::from(self.spec.i_min.max(1));
+        let cap = u64::from(self.spec.b_max + 1) * i_min;
+        self.scaled_tokens = (self.scaled_tokens + (t - self.last_slot)).min(cap);
+        self.last_slot = t;
+        if self.scaled_tokens >= i_min {
+            self.scaled_tokens -= i_min;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn logical_arrivals_follow_the_recurrence() {
+        let mut tr = ArrivalTracker::new(8);
+        assert_eq!(tr.next(5), 5); // first message: ℓ0 = t
+        assert_eq!(tr.next(6), 13); // too soon: ℓ0 = 5 + 8
+        assert_eq!(tr.next(30), 30); // late enough: ℓ0 = t
+        assert_eq!(tr.last(), Some(30));
+    }
+
+    #[test]
+    fn back_to_back_burst_spaces_logically() {
+        let mut tr = ArrivalTracker::new(10);
+        let ls: Vec<Slot> = (0..4).map(|_| tr.next(100)).collect();
+        assert_eq!(ls, vec![100, 110, 120, 130]);
+    }
+
+    #[test]
+    fn policer_allows_burst_then_throttles() {
+        let spec = TrafficSpec { i_min: 10, s_max_bytes: 18, b_max: 2 };
+        let mut p = Policer::new(spec);
+        // Bucket depth 3: three immediate messages conform, the fourth not.
+        assert!(p.conforms(0));
+        assert!(p.conforms(0));
+        assert!(p.conforms(0));
+        assert!(!p.conforms(0));
+        // After I_min slots a token is back.
+        assert!(p.conforms(10));
+        assert!(!p.conforms(10));
+    }
+
+    #[test]
+    fn periodic_source_always_conforms() {
+        let spec = TrafficSpec::periodic(7, 18);
+        let mut p = Policer::new(spec);
+        for k in 0..100u64 {
+            assert!(p.conforms(k * 7));
+        }
+    }
+
+    proptest! {
+        /// Logical arrival times are always ≥ the generation time and spaced
+        /// at least I_min apart — the two invariants guarantees rest on.
+        #[test]
+        fn tracker_invariants(i_min in 1u32..64, gaps in proptest::collection::vec(0u64..100, 1..50)) {
+            let mut tr = ArrivalTracker::new(i_min);
+            let mut t = 0;
+            let mut prev: Option<Slot> = None;
+            for g in gaps {
+                t += g;
+                let l = tr.next(t);
+                prop_assert!(l >= t);
+                if let Some(p) = prev {
+                    prop_assert!(l >= p + u64::from(i_min));
+                }
+                prev = Some(l);
+            }
+        }
+
+        /// A policer-conforming trace never exceeds the LBAP envelope:
+        /// in any window of length L it sees at most B_max + 1 + L/I_min
+        /// messages.
+        #[test]
+        fn policer_enforces_envelope(
+            i_min in 1u32..16,
+            b_max in 0u32..4,
+            gaps in proptest::collection::vec(0u64..8, 1..80),
+        ) {
+            let spec = TrafficSpec { i_min, s_max_bytes: 18, b_max };
+            let mut p = Policer::new(spec);
+            let mut t = 0;
+            let mut accepted: Vec<Slot> = Vec::new();
+            for g in gaps {
+                t += g;
+                if p.conforms(t) {
+                    accepted.push(t);
+                }
+            }
+            for (i, &start) in accepted.iter().enumerate() {
+                for (j, &end) in accepted.iter().enumerate().skip(i) {
+                    let window = end - start;
+                    let allowed = u64::from(b_max) + 1 + window / u64::from(i_min);
+                    prop_assert!(
+                        (j - i + 1) as u64 <= allowed,
+                        "window [{start},{end}] holds {} > {allowed}",
+                        j - i + 1
+                    );
+                }
+            }
+        }
+    }
+}

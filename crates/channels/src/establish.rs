@@ -1,0 +1,1151 @@
+//! Channel establishment: route selection, delay-bound decomposition,
+//! admission, and router programming (paper §2, §4.1).
+//!
+//! Establishment is deliberately *software*: the chip only exposes the
+//! Table 3 control interface, and everything here — admission tests, route
+//! selection, identifier allocation — runs in the protocol stack, exactly as
+//! the paper argues for (§4.1: "relegates these non-real-time operations to
+//! the protocol software").
+//!
+//! A channel is a tree rooted at the source (a chain for unicast). Every
+//! tree node gets one local delay bound `d` (the paper's simplification: a
+//! multicast connection uses the same `d` for all output ports at a node),
+//! one incoming connection identifier, and one outgoing identifier shared by
+//! all children. The reception port at each destination is scheduled like a
+//! link and receives its own `d`.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use rtr_core::control::{ControlCommand, ControlError};
+use rtr_core::RealTimeRouter;
+use rtr_mesh::sim::Simulator;
+use rtr_mesh::topology::Topology;
+use rtr_types::config::RouterConfig;
+use rtr_types::ids::{ConnectionId, Direction, NodeId, Port};
+
+use crate::admission::{
+    buffers_needed, AdmissionError, AdmissionPolicy, BufferBook, LinkBook, LinkReservation,
+};
+use crate::spec::ChannelRequest;
+
+/// A failure to establish a channel.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EstablishError {
+    /// Admission control rejected the request (network state unchanged).
+    Admission(AdmissionError),
+    /// Programming a router failed (should not happen when the manager is
+    /// the only writer of the tables).
+    Control(ControlError),
+}
+
+impl From<AdmissionError> for EstablishError {
+    fn from(e: AdmissionError) -> Self {
+        EstablishError::Admission(e)
+    }
+}
+
+impl From<ControlError> for EstablishError {
+    fn from(e: ControlError) -> Self {
+        EstablishError::Control(e)
+    }
+}
+
+impl std::fmt::Display for EstablishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstablishError::Admission(e) => write!(f, "admission rejected: {e}"),
+            EstablishError::Control(e) => write!(f, "router programming failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstablishError {}
+
+/// Applies control commands to routers — implemented for the mesh simulator
+/// and mockable in tests.
+pub trait ControlPlane {
+    /// Applies one Table 3 command at a node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the router's [`ControlError`].
+    fn apply(&mut self, node: NodeId, cmd: ControlCommand) -> Result<(), ControlError>;
+}
+
+impl ControlPlane for Simulator<RealTimeRouter> {
+    fn apply(&mut self, node: NodeId, cmd: ControlCommand) -> Result<(), ControlError> {
+        self.chip_mut(node).apply_control(cmd)
+    }
+}
+
+/// A control plane that drives the routers through the raw Table 3 pin
+/// protocol (the 4-write connection sequence and 2-write horizon sequence)
+/// instead of the typed convenience API — byte-for-byte what the
+/// controlling processor would do.
+#[derive(Debug)]
+pub struct WordLevelPlane<'a>(pub &'a mut Simulator<RealTimeRouter>);
+
+impl ControlPlane for WordLevelPlane<'_> {
+    fn apply(&mut self, node: NodeId, cmd: ControlCommand) -> Result<(), ControlError> {
+        use rtr_core::control::ControlReg;
+        let chip = self.0.chip_mut(node);
+        match cmd {
+            ControlCommand::SetConnection { incoming, outgoing, delay, out_mask } => {
+                chip.control_write(ControlReg::OutConn, outgoing.0)?;
+                chip.control_write(ControlReg::Delay, delay as u16)?;
+                chip.control_write(ControlReg::PortMask, u16::from(out_mask))?;
+                chip.control_write(ControlReg::InConnCommit, incoming.0)?;
+                Ok(())
+            }
+            ControlCommand::SetHorizon { port_mask, horizon } => {
+                chip.control_write(ControlReg::HorizonMask, u16::from(port_mask))?;
+                chip.control_write(ControlReg::HorizonCommit, horizon as u16)?;
+                Ok(())
+            }
+            // The chip has no teardown pin sequence; protocol software
+            // clears entries through the same typed path.
+            ControlCommand::ClearConnection { .. } => chip.apply_control(cmd),
+        }
+    }
+}
+
+/// One node of an established channel's tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// The router.
+    pub node: NodeId,
+    /// Incoming connection identifier at this router.
+    pub conn: ConnectionId,
+    /// Identifier written into forwarded headers (shared by all children).
+    pub out_conn: ConnectionId,
+    /// Local delay bound `d` at this router, in slots.
+    pub delay: u32,
+    /// Output-port mask (network children plus `Local` at destinations).
+    pub out_mask: u8,
+    /// Packet buffers reserved at this node.
+    pub buffers: usize,
+}
+
+/// A successfully established real-time channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EstablishedChannel {
+    /// Manager-assigned identifier.
+    pub id: u64,
+    /// The original request.
+    pub request: ChannelRequest,
+    /// Tree nodes in breadth-first order from the source.
+    pub hops: Vec<Hop>,
+    /// The connection identifier the source uses when injecting.
+    pub ingress: ConnectionId,
+    /// Scheduled hops on the deepest source→destination path (links plus
+    /// the reception port).
+    pub depth: u32,
+    /// The analytic worst-case end-to-end delay: the largest sum of
+    /// per-hop delay bounds over any source→destination path. Always at
+    /// most the requested deadline.
+    pub guaranteed: u32,
+}
+
+impl EstablishedChannel {
+    /// The hop entry for a node, if the tree passes through it.
+    #[must_use]
+    pub fn hop_at(&self, node: NodeId) -> Option<&Hop> {
+        self.hops.iter().find(|h| h.node == node)
+    }
+
+    /// The analytic worst-case end-to-end delay (slots): the largest sum
+    /// of per-hop delay bounds over any source→destination path. A message
+    /// with logical arrival time `ℓ0` is guaranteed delivered by
+    /// `ℓ0 + guaranteed_bound()`, which never exceeds the requested
+    /// deadline.
+    #[must_use]
+    pub fn guaranteed_bound(&self) -> u32 {
+        self.guaranteed
+    }
+}
+
+/// One row of [`ChannelManager::utilization_report`]: the reservation
+/// state of a single scheduled link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkLoad {
+    /// The node owning the link.
+    pub node: NodeId,
+    /// The outgoing port (reception = `Port::Local`).
+    pub port: Port,
+    /// Connections reserved on this link.
+    pub connections: usize,
+    /// Long-run reserved utilisation (packet slots per slot).
+    pub utilization: f64,
+    /// Schedulability headroom: the largest overhead allowance `η` (slots)
+    /// the current set still tolerates.
+    pub headroom_slots: u32,
+}
+
+/// The channel manager: owns the network's reservation state and programs
+/// routers through a [`ControlPlane`].
+///
+/// The manager assumes it is the only writer of connection tables.
+#[derive(Debug)]
+pub struct ChannelManager {
+    eta: u32,
+    data_bytes: usize,
+    half_range: u32,
+    buffer_capacity: usize,
+    conn_capacity: usize,
+    /// Horizon the manager assumes links use when sizing downstream buffers
+    /// (§4.1: larger horizons require more reservation).
+    assumed_horizon: u32,
+    /// Link schedulability test variant.
+    policy: AdmissionPolicy,
+    links: HashMap<(NodeId, usize), LinkBook>,
+    buffers: HashMap<NodeId, BufferBook>,
+    used_ids: HashMap<NodeId, HashSet<u16>>,
+    channels: HashMap<u64, EstablishedChannel>,
+    next_id: u64,
+}
+
+impl ChannelManager {
+    /// Creates a manager for routers built with `config`.
+    #[must_use]
+    pub fn new(config: &RouterConfig) -> Self {
+        ChannelManager {
+            eta: 2,
+            data_bytes: config.tc_data_bytes(),
+            half_range: 1 << (config.clock_bits - 1),
+            buffer_capacity: config.packet_slots,
+            conn_capacity: config.connections,
+            assumed_horizon: 0,
+            policy: AdmissionPolicy::default(),
+            links: HashMap::new(),
+            buffers: HashMap::new(),
+            used_ids: HashMap::new(),
+            channels: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Sets the blocking/overhead allowance `η` used by the link test.
+    pub fn set_eta(&mut self, eta: u32) {
+        self.eta = eta;
+    }
+
+    /// Sets the horizon value assumed when sizing downstream buffers. Must
+    /// match (or exceed) the horizon registers actually programmed into the
+    /// routers.
+    pub fn set_assumed_horizon(&mut self, horizon: u32) {
+        self.assumed_horizon = horizon;
+    }
+
+    /// Selects the link schedulability test (see [`AdmissionPolicy`]; the
+    /// unsound utilisation-only variant exists for the ablation study).
+    pub fn set_policy(&mut self, policy: AdmissionPolicy) {
+        self.policy = policy;
+    }
+
+    /// Caps the packet buffers reservable by connections leaving `node` on
+    /// `port` — the §3.4 logical memory partitioning. `None` restores full
+    /// sharing.
+    pub fn set_buffer_partition(&mut self, node: NodeId, port: Port, cap: Option<usize>) {
+        self.buffers
+            .entry(node)
+            .or_insert_with(|| BufferBook::new(self.buffer_capacity))
+            .set_partition(port.index(), cap);
+    }
+
+    /// Established channels, by identifier.
+    #[must_use]
+    pub fn channels(&self) -> &HashMap<u64, EstablishedChannel> {
+        &self.channels
+    }
+
+    /// The link book of `(node, port)` (reception = `Port::Local`).
+    #[must_use]
+    pub fn link_book(&self, node: NodeId, port: Port) -> Option<&LinkBook> {
+        self.links.get(&(node, port.index()))
+    }
+
+    /// A network-wide reservation summary: per reserved link, its
+    /// utilisation and schedulability headroom, densest first. Protocol
+    /// software uses this to pick routes, size horizons, and decide
+    /// partitions.
+    #[must_use]
+    pub fn utilization_report(&self) -> Vec<LinkLoad> {
+        let mut rows: Vec<LinkLoad> = self
+            .links
+            .iter()
+            .filter(|(_, book)| !book.reservations().is_empty())
+            .map(|(&(node, port_index), book)| LinkLoad {
+                node,
+                port: Port::from_index(port_index),
+                connections: book.reservations().len(),
+                utilization: book.utilization_with(None),
+                headroom_slots: book.headroom(),
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.utilization
+                .partial_cmp(&a.utilization)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.node, a.port.index()).cmp(&(b.node, b.port.index())))
+        });
+        rows
+    }
+
+    /// Attempts to establish `request`; on success the routers reached
+    /// through `plane` are programmed and reservations committed. On
+    /// failure, no state changes.
+    ///
+    /// # Errors
+    ///
+    /// See [`EstablishError`].
+    pub fn establish(
+        &mut self,
+        topo: &Topology,
+        request: ChannelRequest,
+        plane: &mut impl ControlPlane,
+    ) -> Result<EstablishedChannel, EstablishError> {
+        // Default route selection: dimension-ordered paths (which always
+        // merge into a tree from one source).
+        let routes: Vec<Vec<Direction>> = request
+            .destinations
+            .iter()
+            .map(|&dst| topo.dor_route(request.source, dst))
+            .collect();
+        self.establish_routed(topo, request, &routes, plane)
+    }
+
+    /// Like [`Self::establish`], but over explicitly chosen routes (one per
+    /// destination) — e.g. paths produced by
+    /// [`Topology::route_avoiding`] to steer around failed or saturated
+    /// links. The routes must merge into a tree (§3.3's table-driven
+    /// routing forwards one copy per output port, so a node cannot have
+    /// two parents).
+    ///
+    /// # Errors
+    ///
+    /// See [`EstablishError`]; in particular
+    /// [`AdmissionError::InvalidRoute`] if the routes do not form a tree or
+    /// do not end at the request's destinations.
+    pub fn establish_routed(
+        &mut self,
+        topo: &Topology,
+        request: ChannelRequest,
+        routes: &[Vec<Direction>],
+        plane: &mut impl ControlPlane,
+    ) -> Result<EstablishedChannel, EstablishError> {
+        if request.destinations.is_empty() {
+            return Err(AdmissionError::NoRoute.into());
+        }
+        let packets = request.spec.packets_per_message(self.data_bytes);
+
+        // 1. Build the routing tree (BFS order; each node has a unique
+        //    parent).
+        let tree = RouteTree::build_from_routes(topo, &request, routes)?;
+
+        // 2. Decompose the deadline: a uniform per-node delay, with the
+        //    remainder spread along the deepest path.
+        let depth = tree.max_depth();
+        let base = request.deadline / depth;
+        let remainder = request.deadline % depth;
+        if base < packets {
+            return Err(AdmissionError::BadDelayBound {
+                reason: "deadline too tight for the route length",
+            }
+            .into());
+        }
+        let mut delays: BTreeMap<NodeId, u32> = BTreeMap::new();
+        for &node in tree.order() {
+            delays.insert(node, base.min(request.spec.i_min).min(self.half_range - 1));
+        }
+        for node in tree.deepest_path().into_iter().take(remainder as usize) {
+            let d = delays.get_mut(&node).expect("deepest path node in tree");
+            *d = (*d + 1).min(request.spec.i_min).min(self.half_range - 1);
+        }
+
+        // 3. Admission: links (including reception ports) and buffers.
+        let mut planned: Vec<Hop> = Vec::new();
+        for &node in tree.order() {
+            let d_here = delays[&node];
+            let reservation = LinkReservation {
+                packets,
+                period: request.spec.i_min,
+                delay: d_here,
+            };
+            let mut mask = 0u8;
+            for dir in tree.children(node) {
+                mask |= Port::Dir(dir).mask();
+            }
+            if tree.delivers(node) {
+                mask |= Port::Local.mask();
+            }
+            for port in rtr_types::ids::ports_in_mask(mask) {
+                self.links
+                    .entry((node, port.index()))
+                    .or_default()
+                    .admissible_with(reservation, self.eta, self.policy)?;
+            }
+            let (h_prev, d_prev, is_source) = match tree.parent(node) {
+                Some(parent) => (self.assumed_horizon, delays[&parent], false),
+                None => (0, 0, true),
+            };
+            let buffers = buffers_needed(
+                &request.spec,
+                packets,
+                h_prev,
+                d_prev,
+                d_here,
+                is_source,
+            );
+            let book = self
+                .buffers
+                .entry(node)
+                .or_insert_with(|| BufferBook::new(self.buffer_capacity));
+            let tightest = rtr_types::ids::ports_in_mask(mask)
+                .map(|p| book.available_for(p.index()))
+                .min()
+                .unwrap_or_else(|| book.available());
+            if buffers > tightest {
+                return Err(AdmissionError::BufferExceeded {
+                    node,
+                    requested: buffers,
+                    available: tightest,
+                }
+                .into());
+            }
+            planned.push(Hop {
+                node,
+                conn: ConnectionId(0),    // assigned below
+                out_conn: ConnectionId(0), // assigned below
+                delay: d_here,
+                out_mask: mask,
+                buffers,
+            });
+        }
+
+        // 4. Connection identifiers: the source picks any free id; each
+        //    parent's outgoing id must be free at *all* children.
+        let mut assigned: HashMap<NodeId, ConnectionId> = HashMap::new();
+        let mut newly_used: Vec<(NodeId, u16)> = Vec::new();
+        {
+            let source_id = self
+                .pick_free_id(&[request.source])
+                .ok_or(AdmissionError::NoFreeConnectionId { node: request.source })?;
+            assigned.insert(request.source, source_id);
+            newly_used.push((request.source, source_id.0));
+            self.used_ids
+                .entry(request.source)
+                .or_default()
+                .insert(source_id.0);
+        }
+        for &node in tree.order() {
+            let child_nodes: Vec<NodeId> = tree
+                .children(node)
+                .map(|dir| topo.link_end(node, dir).expect("tree uses wired links").node)
+                .collect();
+            if child_nodes.is_empty() {
+                continue;
+            }
+            let Some(id) = self.pick_free_id(&child_nodes) else {
+                // Roll back id marks before failing.
+                for (n, v) in newly_used {
+                    self.used_ids.get_mut(&n).map(|s| s.remove(&v));
+                }
+                return Err(AdmissionError::NoFreeConnectionId { node: child_nodes[0] }.into());
+            };
+            for &child in &child_nodes {
+                assigned.insert(child, id);
+                newly_used.push((child, id.0));
+                self.used_ids.entry(child).or_default().insert(id.0);
+            }
+        }
+        for hop in &mut planned {
+            hop.conn = assigned[&hop.node];
+            let first_child = tree
+                .children(hop.node)
+                .next()
+                .map(|dir| topo.link_end(hop.node, dir).expect("wired").node);
+            hop.out_conn = match first_child {
+                Some(child) => assigned[&child],
+                None => hop.conn,
+            };
+        }
+
+        // 5. Commit reservations and program the routers.
+        for hop in &planned {
+            let reservation = LinkReservation {
+                packets,
+                period: request.spec.i_min,
+                delay: hop.delay,
+            };
+            for port in rtr_types::ids::ports_in_mask(hop.out_mask) {
+                self.links
+                    .entry((hop.node, port.index()))
+                    .or_default()
+                    .reserve(reservation);
+            }
+            self.buffers
+                .get_mut(&hop.node)
+                .expect("buffer book created during admission")
+                .reserve(hop.node, hop.buffers, hop.out_mask)
+                .expect("buffer availability checked during admission");
+            plane.apply(
+                hop.node,
+                ControlCommand::SetConnection {
+                    incoming: hop.conn,
+                    outgoing: hop.out_conn,
+                    delay: hop.delay,
+                    out_mask: hop.out_mask,
+                },
+            )?;
+        }
+
+        let id = self.next_id;
+        self.next_id += 1;
+        // Analytic bound: the largest per-path sum of the committed delay
+        // bounds (≤ the requested deadline by construction).
+        let guaranteed = request
+            .destinations
+            .iter()
+            .map(|&dst| {
+                let mut sum = delays[&dst];
+                let mut here = dst;
+                while let Some(p) = tree.parent(here) {
+                    sum += delays[&p];
+                    here = p;
+                }
+                sum
+            })
+            .max()
+            .unwrap_or(0);
+        debug_assert!(guaranteed <= request.deadline);
+
+        let channel = EstablishedChannel {
+            id,
+            ingress: assigned[&request.source],
+            depth,
+            guaranteed,
+            hops: planned,
+            request,
+        };
+        self.channels.insert(id, channel.clone());
+        Ok(channel)
+    }
+
+    /// Re-establishes a channel around failed links: tears the channel
+    /// down, computes shortest detours avoiding `dead` links, and
+    /// establishes over them (unicast per destination; multicast requests
+    /// are rerouted destination-by-destination and must still merge into a
+    /// tree).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::NoRoute`] if the channel is unknown or the
+    /// failures disconnect a destination — the original channel is then
+    /// left untouched. If detour *admission* fails, the original has
+    /// already been torn down (its resources were released to make room
+    /// for the detour); callers should re-establish it.
+    pub fn reroute(
+        &mut self,
+        channel_id: u64,
+        topo: &Topology,
+        dead: &[(NodeId, Direction)],
+        plane: &mut impl ControlPlane,
+    ) -> Result<EstablishedChannel, EstablishError> {
+        let Some(channel) = self.channels.get(&channel_id).cloned() else {
+            return Err(AdmissionError::NoRoute.into());
+        };
+        let request = channel.request.clone();
+        let mut routes = Vec::with_capacity(request.destinations.len());
+        for &dst in &request.destinations {
+            let route = topo
+                .route_avoiding(request.source, dst, dead)
+                .ok_or(EstablishError::Admission(AdmissionError::NoRoute))?;
+            routes.push(route);
+        }
+        self.teardown(channel_id, plane)?;
+        self.establish_routed(topo, request, &routes, plane)
+    }
+
+    /// Tears down an established channel: clears table entries, releases
+    /// reservations and identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates router programming errors; reservation state is released
+    /// regardless.
+    pub fn teardown(
+        &mut self,
+        channel_id: u64,
+        plane: &mut impl ControlPlane,
+    ) -> Result<(), EstablishError> {
+        let Some(channel) = self.channels.remove(&channel_id) else {
+            return Ok(());
+        };
+        let packets = channel.request.spec.packets_per_message(self.data_bytes);
+        let mut first_error: Option<ControlError> = None;
+        for hop in &channel.hops {
+            let reservation = LinkReservation {
+                packets,
+                period: channel.request.spec.i_min,
+                delay: hop.delay,
+            };
+            for port in rtr_types::ids::ports_in_mask(hop.out_mask) {
+                self.links
+                    .get_mut(&(hop.node, port.index()))
+                    .map(|b| b.release(reservation));
+            }
+            if let Some(book) = self.buffers.get_mut(&hop.node) {
+                book.release(hop.buffers, hop.out_mask);
+            }
+            if let Some(ids) = self.used_ids.get_mut(&hop.node) {
+                ids.remove(&hop.conn.0);
+            }
+            if let Err(e) =
+                plane.apply(hop.node, ControlCommand::ClearConnection { incoming: hop.conn })
+            {
+                first_error.get_or_insert(e);
+            }
+        }
+        match first_error {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+
+    /// Smallest identifier free at every listed node.
+    fn pick_free_id(&self, nodes: &[NodeId]) -> Option<ConnectionId> {
+        (0..self.conn_capacity as u16).find_map(|id| {
+            let free_everywhere = nodes.iter().all(|n| {
+                self.used_ids
+                    .get(n)
+                    .is_none_or(|used| !used.contains(&id))
+            });
+            free_everywhere.then_some(ConnectionId(id))
+        })
+    }
+}
+
+/// The routing tree of one channel: DOR paths from the source to every
+/// destination, merged.
+#[derive(Debug)]
+struct RouteTree {
+    /// Nodes in BFS order from the source.
+    order: Vec<NodeId>,
+    children: HashMap<NodeId, Vec<Direction>>,
+    parent: HashMap<NodeId, NodeId>,
+    delivers: HashSet<NodeId>,
+    /// Scheduled-hop depth (nodes on path, including the destination's
+    /// reception) per destination.
+    depths: HashMap<NodeId, u32>,
+}
+
+impl RouteTree {
+    fn build_from_routes(
+        topo: &Topology,
+        request: &ChannelRequest,
+        routes: &[Vec<Direction>],
+    ) -> Result<RouteTree, AdmissionError> {
+        if routes.len() != request.destinations.len() {
+            return Err(AdmissionError::InvalidRoute {
+                reason: "one route per destination required",
+            });
+        }
+        let mut children: HashMap<NodeId, Vec<Direction>> = HashMap::new();
+        let mut parent = HashMap::new();
+        let mut delivers = HashSet::new();
+        let mut depths = HashMap::new();
+        let mut seen = vec![request.source];
+        for (&dst, route) in request.destinations.iter().zip(routes) {
+            let nodes = topo.walk(request.source, route);
+            if *nodes.last().expect("walk includes the source") != dst {
+                return Err(AdmissionError::InvalidRoute {
+                    reason: "route does not end at its destination",
+                });
+            }
+            depths.insert(dst, route.len() as u32 + 1);
+            delivers.insert(dst);
+            for (i, dir) in route.iter().enumerate() {
+                let here = nodes[i];
+                let next = nodes[i + 1];
+                match parent.get(&next) {
+                    Some(&p) if p != here => {
+                        // Two routes reach `next` from different parents:
+                        // the single outgoing-identifier-per-node scheme of
+                        // §3.3 cannot express that.
+                        return Err(AdmissionError::InvalidRoute {
+                            reason: "routes must merge into a tree",
+                        });
+                    }
+                    _ => {}
+                }
+                if next == request.source {
+                    return Err(AdmissionError::InvalidRoute {
+                        reason: "route loops back through the source",
+                    });
+                }
+                let kids = children.entry(here).or_default();
+                if !kids.contains(dir) {
+                    kids.push(*dir);
+                    parent.insert(next, here);
+                    seen.push(next);
+                }
+            }
+        }
+        // BFS order: `seen` is path-ordered; dedup preserving first
+        // occurrence gives parents before children.
+        let mut order = Vec::new();
+        let mut visited = HashSet::new();
+        for n in seen {
+            if visited.insert(n) {
+                order.push(n);
+            }
+        }
+        Ok(RouteTree { order, children, parent, delivers, depths })
+    }
+
+    fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    fn children(&self, node: NodeId) -> impl Iterator<Item = Direction> + '_ {
+        self.children.get(&node).into_iter().flatten().copied()
+    }
+
+    fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent.get(&node).copied()
+    }
+
+    fn delivers(&self, node: NodeId) -> bool {
+        self.delivers.contains(&node)
+    }
+
+    fn max_depth(&self) -> u32 {
+        self.depths.values().copied().max().unwrap_or(1)
+    }
+
+    /// Nodes on the path to the deepest destination, source first.
+    fn deepest_path(&self) -> Vec<NodeId> {
+        let Some((&dst, _)) = self.depths.iter().max_by_key(|(_, d)| **d) else {
+            return Vec::new();
+        };
+        let mut path = vec![dst];
+        let mut here = dst;
+        while let Some(p) = self.parent(here) {
+            path.push(p);
+            here = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TrafficSpec;
+
+    /// A control plane that records commands without real routers.
+    #[derive(Default)]
+    struct MockPlane {
+        commands: Vec<(NodeId, ControlCommand)>,
+    }
+
+    impl ControlPlane for MockPlane {
+        fn apply(&mut self, node: NodeId, cmd: ControlCommand) -> Result<(), ControlError> {
+            self.commands.push((node, cmd));
+            Ok(())
+        }
+    }
+
+    fn manager() -> ChannelManager {
+        ChannelManager::new(&RouterConfig::default())
+    }
+
+    #[test]
+    fn unicast_establishment_programs_every_hop() {
+        let topo = Topology::mesh(4, 4);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let request = ChannelRequest::unicast(
+            topo.node_at(0, 0),
+            topo.node_at(2, 1),
+            TrafficSpec::periodic(16, 18),
+            40,
+        );
+        let ch = mgr.establish(&topo, request, &mut plane).unwrap();
+        // Route: +x +x +y = 3 links + reception = depth 4.
+        assert_eq!(ch.depth, 4);
+        assert_eq!(ch.hops.len(), 4);
+        assert_eq!(plane.commands.len(), 4);
+        // Per-node delays sum to the deadline along the path.
+        let total: u32 = ch.hops.iter().map(|h| h.delay).sum();
+        assert_eq!(total, 40);
+        assert_eq!(ch.guaranteed_bound(), 40, "analytic bound = the path sum");
+        // Destination hop delivers locally.
+        let dst_hop = ch.hop_at(topo.node_at(2, 1)).unwrap();
+        assert_eq!(dst_hop.out_mask, Port::Local.mask());
+        // Intermediate hops forward on exactly one port.
+        let mid = ch.hop_at(topo.node_at(1, 0)).unwrap();
+        assert_eq!(mid.out_mask.count_ones(), 1);
+    }
+
+    #[test]
+    fn connection_ids_chain_between_hops() {
+        let topo = Topology::mesh(3, 1);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let ch = mgr
+            .establish(
+                &topo,
+                ChannelRequest::unicast(
+                    topo.node_at(0, 0),
+                    topo.node_at(2, 0),
+                    TrafficSpec::periodic(8, 18),
+                    24,
+                ),
+                &mut plane,
+            )
+            .unwrap();
+        for w in ch.hops.windows(2) {
+            assert_eq!(w[0].out_conn, w[1].conn, "outgoing id must match downstream table");
+        }
+        assert_eq!(ch.ingress, ch.hops[0].conn);
+    }
+
+    #[test]
+    fn multicast_tree_shares_prefix_and_fans_out() {
+        let topo = Topology::mesh(4, 4);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let request = ChannelRequest {
+            source: topo.node_at(0, 0),
+            destinations: vec![topo.node_at(2, 0), topo.node_at(1, 2)],
+            spec: TrafficSpec::periodic(16, 18),
+            deadline: 60,
+        };
+        let ch = mgr.establish(&topo, request, &mut plane).unwrap();
+        // Node (1,0) forwards to both +x (towards (2,0)) and +y (towards
+        // (1,2)).
+        let fork = ch.hop_at(topo.node_at(1, 0)).unwrap();
+        assert_eq!(fork.out_mask.count_ones(), 2);
+        // Both children see the same incoming id.
+        let c1 = ch.hop_at(topo.node_at(2, 0)).unwrap();
+        let c2 = ch.hop_at(topo.node_at(1, 1)).unwrap();
+        assert_eq!(c1.conn, c2.conn);
+        assert_eq!(fork.out_conn, c1.conn);
+        // The analytic bound covers the deepest branch and never exceeds
+        // the request.
+        assert!(ch.guaranteed_bound() <= ch.request.deadline);
+        let deep: u32 = [topo.node_at(0, 0), topo.node_at(1, 0), topo.node_at(1, 1), topo.node_at(1, 2)]
+            .iter()
+            .map(|n| ch.hop_at(*n).unwrap().delay)
+            .sum();
+        assert_eq!(ch.guaranteed_bound(), deep);
+    }
+
+    #[test]
+    fn deadline_too_tight_is_rejected() {
+        let topo = Topology::mesh(4, 1);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let err = mgr
+            .establish(
+                &topo,
+                ChannelRequest::unicast(
+                    topo.node_at(0, 0),
+                    topo.node_at(3, 0),
+                    TrafficSpec::periodic(8, 18),
+                    3, // 4 scheduled hops cannot fit in 3 slots
+                ),
+                &mut plane,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EstablishError::Admission(AdmissionError::BadDelayBound { .. })
+        ));
+        assert!(plane.commands.is_empty(), "failed admission must not program routers");
+    }
+
+    #[test]
+    fn link_saturation_rejects_later_channels() {
+        let topo = Topology::mesh(2, 1);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let spec = TrafficSpec::periodic(4, 18); // 1/4 of the link each
+        let request = || {
+            ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 8)
+        };
+        mgr.establish(&topo, request(), &mut plane).unwrap();
+        mgr.establish(&topo, request(), &mut plane).unwrap();
+        // A third channel overloads the 4-slot deadline window (2 packets +
+        // η = 2 fit, 3 do not).
+        let err = mgr.establish(&topo, request(), &mut plane).unwrap_err();
+        assert!(matches!(err, EstablishError::Admission(_)));
+    }
+
+    #[test]
+    fn teardown_releases_capacity() {
+        let topo = Topology::mesh(2, 1);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let spec = TrafficSpec::periodic(4, 18);
+        let request =
+            || ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 8);
+        let a = mgr.establish(&topo, request(), &mut plane).unwrap();
+        let _b = mgr.establish(&topo, request(), &mut plane).unwrap();
+        assert!(mgr.establish(&topo, request(), &mut plane).is_err());
+        mgr.teardown(a.id, &mut plane).unwrap();
+        assert!(mgr.establish(&topo, request(), &mut plane).is_ok());
+        // Teardown issued ClearConnection commands.
+        assert!(plane
+            .commands
+            .iter()
+            .any(|(_, c)| matches!(c, ControlCommand::ClearConnection { .. })));
+    }
+
+    #[test]
+    fn utilization_report_ranks_reserved_links() {
+        let topo = Topology::mesh(3, 1);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        // Two channels share the first link; one continues further.
+        mgr.establish(
+            &topo,
+            ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), TrafficSpec::periodic(8, 18), 16),
+            &mut plane,
+        )
+        .unwrap();
+        mgr.establish(
+            &topo,
+            ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(2, 0), TrafficSpec::periodic(16, 18), 30),
+            &mut plane,
+        )
+        .unwrap();
+        let report = mgr.utilization_report();
+        assert!(!report.is_empty());
+        // Densest link first: node 0's +x carries 1/8 + 1/16.
+        let hottest = report[0];
+        assert_eq!(hottest.node, topo.node_at(0, 0));
+        assert_eq!(hottest.connections, 2);
+        assert!((hottest.utilization - 0.1875).abs() < 1e-9);
+        assert!(hottest.headroom_slots > 0);
+        // Utilisations are non-increasing down the report.
+        for w in report.windows(2) {
+            assert!(w[0].utilization >= w[1].utilization);
+        }
+    }
+
+    #[test]
+    fn source_equals_destination_schedules_reception_only() {
+        let topo = Topology::mesh(2, 2);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let n = topo.node_at(1, 1);
+        let ch = mgr
+            .establish(
+                &topo,
+                ChannelRequest::unicast(n, n, TrafficSpec::periodic(8, 18), 8),
+                &mut plane,
+            )
+            .unwrap();
+        assert_eq!(ch.depth, 1);
+        assert_eq!(ch.hops.len(), 1);
+        assert_eq!(ch.hops[0].out_mask, Port::Local.mask());
+    }
+
+    #[test]
+    fn explicit_routes_steer_around_a_dead_link() {
+        let topo = Topology::mesh(3, 3);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let src = topo.node_at(0, 0);
+        let dst = topo.node_at(2, 0);
+        // Pretend the first +x link failed: route through row 1 instead.
+        let detour = topo
+            .route_avoiding(src, dst, &[(src, Direction::XPlus)])
+            .unwrap();
+        let request =
+            ChannelRequest::unicast(src, dst, TrafficSpec::periodic(16, 18), 50);
+        let ch = mgr
+            .establish_routed(&topo, request, std::slice::from_ref(&detour), &mut plane)
+            .unwrap();
+        assert_eq!(ch.depth, detour.len() as u32 + 1);
+        // The source hop leaves on the detour's first direction, not +x.
+        let first = ch.hop_at(src).unwrap();
+        assert_eq!(first.out_mask, Port::Dir(detour[0]).mask());
+        assert_ne!(detour[0], Direction::XPlus);
+    }
+
+    #[test]
+    fn reroute_replaces_the_path_in_one_call() {
+        let topo = Topology::mesh(3, 3);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let src = topo.node_at(0, 0);
+        let dst = topo.node_at(2, 0);
+        let ch = mgr
+            .establish(
+                &topo,
+                ChannelRequest::unicast(src, dst, TrafficSpec::periodic(16, 18), 60),
+                &mut plane,
+            )
+            .unwrap();
+        let old_id = ch.id;
+        let rerouted = mgr
+            .reroute(old_id, &topo, &[(src, Direction::XPlus)], &mut plane)
+            .unwrap();
+        assert_ne!(rerouted.id, old_id);
+        assert!(rerouted.depth > ch.depth, "the detour is longer");
+        assert_ne!(
+            rerouted.hop_at(src).unwrap().out_mask,
+            Port::Dir(Direction::XPlus).mask()
+        );
+        assert!(!mgr.channels().contains_key(&old_id));
+        // Rerouting an unknown channel is an error.
+        assert!(matches!(
+            mgr.reroute(999, &topo, &[], &mut plane),
+            Err(EstablishError::Admission(AdmissionError::NoRoute))
+        ));
+        // Disconnection keeps the teardown (documented) and reports.
+        let topo2 = Topology::mesh(2, 1);
+        let mut mgr2 = manager();
+        let ch2 = mgr2
+            .establish(
+                &topo2,
+                ChannelRequest::unicast(
+                    topo2.node_at(0, 0),
+                    topo2.node_at(1, 0),
+                    TrafficSpec::periodic(16, 18),
+                    16,
+                ),
+                &mut plane,
+            )
+            .unwrap();
+        assert!(mgr2
+            .reroute(ch2.id, &topo2, &[(topo2.node_at(0, 0), Direction::XPlus)], &mut plane)
+            .is_err());
+        // Disconnection is detected before teardown: the original stays.
+        assert!(mgr2.channels().contains_key(&ch2.id));
+    }
+
+    #[test]
+    fn non_tree_routes_are_rejected() {
+        let topo = Topology::mesh(3, 3);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let src = topo.node_at(0, 0);
+        // Two destinations whose explicit routes diverge and re-merge at
+        // (1,1): not expressible with one outgoing id per node.
+        let request = ChannelRequest {
+            source: src,
+            destinations: vec![topo.node_at(2, 1), topo.node_at(1, 2)],
+            spec: TrafficSpec::periodic(16, 18),
+            deadline: 60,
+        };
+        let routes = vec![
+            vec![Direction::XPlus, Direction::YPlus, Direction::XPlus], // via (1,1)
+            vec![Direction::YPlus, Direction::XPlus, Direction::YPlus], // via (1,1) again
+        ];
+        let err = mgr.establish_routed(&topo, request, &routes, &mut plane).unwrap_err();
+        assert!(matches!(
+            err,
+            EstablishError::Admission(AdmissionError::InvalidRoute { reason })
+                if reason.contains("tree")
+        ));
+        assert!(plane.commands.is_empty());
+    }
+
+    #[test]
+    fn wrong_destination_route_rejected() {
+        let topo = Topology::mesh(2, 2);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let request = ChannelRequest::unicast(
+            topo.node_at(0, 0),
+            topo.node_at(1, 1),
+            TrafficSpec::periodic(16, 18),
+            30,
+        );
+        let err = mgr
+            .establish_routed(&topo, request, &[vec![Direction::XPlus]], &mut plane)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EstablishError::Admission(AdmissionError::InvalidRoute { reason })
+                if reason.contains("destination")
+        ));
+    }
+
+    #[test]
+    fn utilization_only_policy_admits_what_the_demand_test_rejects() {
+        let topo = Topology::mesh(2, 1);
+        let spec = TrafficSpec::periodic(100, 18);
+        // Deadline 6 over 2 hops → d = 3: with η = 2, only one such
+        // connection fits the 3-slot window under the demand criterion.
+        let request =
+            || ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 6);
+        let mut strict = manager();
+        let mut plane = MockPlane::default();
+        strict.establish(&topo, request(), &mut plane).unwrap();
+        assert!(strict.establish(&topo, request(), &mut plane).is_err());
+
+        let mut lax = manager();
+        lax.set_policy(AdmissionPolicy::UtilizationOnly);
+        let mut plane = MockPlane::default();
+        lax.establish(&topo, request(), &mut plane).unwrap();
+        lax.establish(&topo, request(), &mut plane).unwrap();
+        lax.establish(&topo, request(), &mut plane).unwrap();
+    }
+
+    #[test]
+    fn buffer_partitions_gate_establishment_per_link() {
+        let topo = Topology::mesh(3, 1);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let mid = topo.node_at(1, 0);
+        // Partition the middle node's +x link down to 1 buffer slot.
+        mgr.set_buffer_partition(mid, Port::Dir(Direction::XPlus), Some(1));
+        let request = |i_min| {
+            ChannelRequest::unicast(
+                topo.node_at(0, 0),
+                topo.node_at(2, 0),
+                TrafficSpec::periodic(i_min, 18),
+                24,
+            )
+        };
+        // A fast connection needs 2 buffers at the middle node (window
+        // d_prev + d = 16 slots over I_min 8), exceeding the 1-slot
+        // partition.
+        let err = mgr.establish(&topo, request(8), &mut plane).unwrap_err();
+        assert!(matches!(
+            err,
+            EstablishError::Admission(AdmissionError::BufferExceeded { node, .. }) if node == mid
+        ));
+        // A slower connection (1 buffer) still fits the partition.
+        mgr.establish(&topo, request(32), &mut plane).unwrap();
+    }
+
+    #[test]
+    fn buffer_exhaustion_rejected() {
+        let topo = Topology::mesh(2, 1);
+        let mut mgr = ChannelManager::new(&RouterConfig {
+            packet_slots: 2,
+            ..RouterConfig::default()
+        });
+        let mut plane = MockPlane::default();
+        // Large burst allowance wants B_max extra buffers at the source.
+        let spec = TrafficSpec { i_min: 16, s_max_bytes: 18, b_max: 8 };
+        let err = mgr
+            .establish(
+                &topo,
+                ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 32),
+                &mut plane,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EstablishError::Admission(AdmissionError::BufferExceeded { .. })
+        ));
+    }
+}

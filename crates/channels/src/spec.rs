@@ -1,0 +1,117 @@
+//! Traffic contracts (paper §2).
+//!
+//! A real-time channel is characterised by a **linear bounded arrival
+//! process**: minimum message spacing `I_min`, maximum message size `S_max`,
+//! and a burst allowance of up to `B_max` messages beyond the periodic
+//! restriction; plus an end-to-end delay bound `D` on each message's logical
+//! arrival time.
+
+use rtr_types::ids::NodeId;
+
+/// The `(I_min, S_max, B_max)` traffic contract of one connection.
+///
+/// # Example
+///
+/// ```
+/// use rtr_channels::spec::TrafficSpec;
+///
+/// // One 18-byte message every 8 slots: 1/8 of a link.
+/// let spec = TrafficSpec::periodic(8, 18);
+/// assert_eq!(spec.packets_per_message(18), 1);
+/// assert!((spec.utilization(18) - 0.125).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrafficSpec {
+    /// Minimum logical spacing between messages, in slots.
+    pub i_min: u32,
+    /// Maximum message size in payload bytes.
+    pub s_max_bytes: u32,
+    /// Messages that may arrive in excess of the periodic restriction.
+    pub b_max: u32,
+}
+
+impl TrafficSpec {
+    /// A periodic connection (no burst allowance).
+    #[must_use]
+    pub fn periodic(i_min: u32, s_max_bytes: u32) -> Self {
+        TrafficSpec { i_min, s_max_bytes, b_max: 0 }
+    }
+
+    /// Packets per message given the per-packet payload capacity
+    /// (18 bytes with the default configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bytes` is zero.
+    #[must_use]
+    pub fn packets_per_message(&self, data_bytes: usize) -> u32 {
+        assert!(data_bytes > 0, "payload capacity must be positive");
+        (self.s_max_bytes as usize).div_ceil(data_bytes).max(1) as u32
+    }
+
+    /// Long-run link utilisation of this connection in packet slots per
+    /// slot: `packets_per_message / I_min`.
+    #[must_use]
+    pub fn utilization(&self, data_bytes: usize) -> f64 {
+        f64::from(self.packets_per_message(data_bytes)) / f64::from(self.i_min.max(1))
+    }
+}
+
+/// A request to establish a real-time channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelRequest {
+    /// Source node.
+    pub source: NodeId,
+    /// Destination nodes (one for unicast; several for the table-driven
+    /// multicast of §3.3).
+    pub destinations: Vec<NodeId>,
+    /// Traffic contract.
+    pub spec: TrafficSpec,
+    /// End-to-end delay bound `D` in slots, relative to each message's
+    /// logical arrival time.
+    pub deadline: u32,
+}
+
+impl ChannelRequest {
+    /// A unicast request.
+    #[must_use]
+    pub fn unicast(source: NodeId, destination: NodeId, spec: TrafficSpec, deadline: u32) -> Self {
+        ChannelRequest { source, destinations: vec![destination], spec, deadline }
+    }
+
+    /// A multicast request (§3.3's table-driven multicast): one logical
+    /// connection, every destination bound by the same `deadline`.
+    #[must_use]
+    pub fn multicast(
+        source: NodeId,
+        destinations: Vec<NodeId>,
+        spec: TrafficSpec,
+        deadline: u32,
+    ) -> Self {
+        ChannelRequest { source, destinations, spec, deadline }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packets_per_message_rounds_up() {
+        let s = TrafficSpec::periodic(8, 18);
+        assert_eq!(s.packets_per_message(18), 1);
+        let s = TrafficSpec::periodic(8, 19);
+        assert_eq!(s.packets_per_message(18), 2);
+        let s = TrafficSpec::periodic(8, 0);
+        assert_eq!(s.packets_per_message(18), 1, "empty messages still cost a packet");
+    }
+
+    #[test]
+    fn utilization_matches_figure7_connections() {
+        // Figure 7's connections: (d, I_min) = (4,8), (8,16), (16,32), one
+        // packet per message.
+        assert!((TrafficSpec::periodic(8, 18).utilization(18) - 0.125).abs() < 1e-12);
+        assert!((TrafficSpec::periodic(16, 18).utilization(18) - 0.0625).abs() < 1e-12);
+        assert!((TrafficSpec::periodic(32, 18).utilization(18) - 0.03125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,238 @@
+//! The per-router connection table (paper §3.3, §4.1).
+//!
+//! Establishing a real-time channel writes, at every node of the route, an
+//! entry indexed by the *incoming* connection identifier. The entry holds the
+//! channel's local delay bound `d`, the bit mask of output ports the packet
+//! fans out to (multicast uses several bits, and the same `d` for all of
+//! them), and the connection identifier the packet will carry to the next
+//! hop.
+
+use rtr_types::ids::ConnectionId;
+use rtr_types::SlotClock;
+
+/// One connection-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnEntry {
+    /// Connection identifier written into the packet header for the next
+    /// hop (§4.1: "assigns a new connection identifier for use at the next
+    /// node in the packet's route").
+    pub outgoing: ConnectionId,
+    /// Local delay bound `d` in slots; the packet's local deadline is
+    /// `ℓ(m) + d`.
+    pub delay: u32,
+    /// Bit mask of output ports to forward to (multicast sets several bits).
+    pub out_mask: u8,
+}
+
+/// The table of per-connection routing and scheduling state.
+#[derive(Debug, Clone)]
+pub struct ConnectionTable {
+    entries: Vec<Option<ConnEntry>>,
+}
+
+/// Why a table update was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// The incoming connection identifier exceeds the table size.
+    BadIndex {
+        /// The offending identifier.
+        conn: ConnectionId,
+        /// Table capacity.
+        capacity: usize,
+    },
+    /// The delay bound is not below half the clock range (§4.3's rollover
+    /// constraint).
+    DelayTooLarge {
+        /// The offending delay.
+        delay: u32,
+        /// The maximum admissible value (half range − 1).
+        max: u32,
+    },
+    /// The port mask has bits beyond the five ports.
+    BadMask {
+        /// The offending mask.
+        mask: u8,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::BadIndex { conn, capacity } => {
+                write!(f, "connection {conn} exceeds table capacity {capacity}")
+            }
+            TableError::DelayTooLarge { delay, max } => {
+                write!(f, "delay bound {delay} exceeds the rollover limit {max}")
+            }
+            TableError::BadMask { mask } => write!(f, "port mask {mask:#07b} has invalid bits"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl ConnectionTable {
+    /// Creates an empty table with `capacity` entries (256 on the paper's
+    /// chip).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ConnectionTable { entries: vec![None; capacity] }
+    }
+
+    /// Table capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether no connections are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(Option::is_none)
+    }
+
+    /// Looks up the entry for an arriving packet's connection identifier.
+    #[must_use]
+    pub fn lookup(&self, conn: ConnectionId) -> Option<ConnEntry> {
+        self.entries.get(conn.index()).copied().flatten()
+    }
+
+    /// Installs (or overwrites) the entry for `incoming`, validating the
+    /// §4.3 constraints against the router's clock.
+    ///
+    /// # Errors
+    ///
+    /// See [`TableError`].
+    pub fn install(
+        &mut self,
+        incoming: ConnectionId,
+        entry: ConnEntry,
+        clock: &SlotClock,
+    ) -> Result<(), TableError> {
+        if incoming.index() >= self.entries.len() {
+            return Err(TableError::BadIndex { conn: incoming, capacity: self.entries.len() });
+        }
+        if entry.delay >= clock.half_range() {
+            return Err(TableError::DelayTooLarge {
+                delay: entry.delay,
+                max: clock.half_range() - 1,
+            });
+        }
+        if entry.out_mask & !0b1_1111 != 0 {
+            return Err(TableError::BadMask { mask: entry.out_mask });
+        }
+        self.entries[incoming.index()] = Some(entry);
+        Ok(())
+    }
+
+    /// Removes the entry for `incoming` (connection teardown). Returns the
+    /// removed entry, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::BadIndex`] if the identifier exceeds the table.
+    pub fn remove(&mut self, incoming: ConnectionId) -> Result<Option<ConnEntry>, TableError> {
+        if incoming.index() >= self.entries.len() {
+            return Err(TableError::BadIndex { conn: incoming, capacity: self.entries.len() });
+        }
+        Ok(self.entries[incoming.index()].take())
+    }
+
+    /// Finds a free incoming identifier, if any (a convenience for protocol
+    /// software; the chip itself never allocates identifiers).
+    #[must_use]
+    pub fn free_id(&self) -> Option<ConnectionId> {
+        self.entries
+            .iter()
+            .position(Option::is_none)
+            .map(|i| ConnectionId(i as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_types::ids::{Direction, Port};
+
+    fn clock() -> SlotClock {
+        SlotClock::new(8)
+    }
+
+    fn entry(delay: u32, mask: u8) -> ConnEntry {
+        ConnEntry { outgoing: ConnectionId(9), delay, out_mask: mask }
+    }
+
+    #[test]
+    fn install_lookup_remove_round_trip() {
+        let mut t = ConnectionTable::new(256);
+        assert!(t.is_empty());
+        let e = entry(16, Port::Dir(Direction::XPlus).mask());
+        t.install(ConnectionId(3), e, &clock()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(ConnectionId(3)), Some(e));
+        assert_eq!(t.lookup(ConnectionId(4)), None);
+        assert_eq!(t.remove(ConnectionId(3)).unwrap(), Some(e));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rollover_constraint_enforced() {
+        let mut t = ConnectionTable::new(256);
+        // d = 127 is the largest admissible under an 8-bit clock.
+        assert!(t.install(ConnectionId(0), entry(127, 1), &clock()).is_ok());
+        assert_eq!(
+            t.install(ConnectionId(0), entry(128, 1), &clock()),
+            Err(TableError::DelayTooLarge { delay: 128, max: 127 })
+        );
+    }
+
+    #[test]
+    fn bad_index_and_mask_rejected() {
+        let mut t = ConnectionTable::new(4);
+        assert!(matches!(
+            t.install(ConnectionId(4), entry(1, 1), &clock()),
+            Err(TableError::BadIndex { .. })
+        ));
+        assert!(matches!(
+            t.install(ConnectionId(0), entry(1, 0b10_0000), &clock()),
+            Err(TableError::BadMask { mask: 0b10_0000 })
+        ));
+        assert!(matches!(t.remove(ConnectionId(9)), Err(TableError::BadIndex { .. })));
+    }
+
+    #[test]
+    fn multicast_masks_accepted() {
+        let mut t = ConnectionTable::new(8);
+        let mask = Port::Dir(Direction::XPlus).mask()
+            | Port::Dir(Direction::YMinus).mask()
+            | Port::Local.mask();
+        t.install(ConnectionId(1), entry(5, mask), &clock()).unwrap();
+        assert_eq!(t.lookup(ConnectionId(1)).unwrap().out_mask, mask);
+    }
+
+    #[test]
+    fn free_id_scans_in_order() {
+        let mut t = ConnectionTable::new(3);
+        assert_eq!(t.free_id(), Some(ConnectionId(0)));
+        t.install(ConnectionId(0), entry(1, 1), &clock()).unwrap();
+        t.install(ConnectionId(2), entry(1, 1), &clock()).unwrap();
+        assert_eq!(t.free_id(), Some(ConnectionId(1)));
+        t.install(ConnectionId(1), entry(1, 1), &clock()).unwrap();
+        assert_eq!(t.free_id(), None);
+    }
+
+    #[test]
+    fn overwrite_replaces_entry() {
+        let mut t = ConnectionTable::new(8);
+        t.install(ConnectionId(5), entry(1, 1), &clock()).unwrap();
+        t.install(ConnectionId(5), entry(2, 2), &clock()).unwrap();
+        assert_eq!(t.lookup(ConnectionId(5)).unwrap().delay, 2);
+        assert_eq!(t.len(), 1);
+    }
+}

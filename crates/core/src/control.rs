@@ -1,0 +1,374 @@
+//! The control interface between protocol software and the chip
+//! (paper §4.1, Table 3).
+//!
+//! To minimise pins, the controlling processor programs the router through
+//! narrow register writes. A connection update is a sequence of four writes —
+//! outgoing connection id, local delay bound `d`, output-port bit mask, and
+//! finally the incoming connection id, which commits the entry. A horizon
+//! update is two writes — output-port bit mask, then the horizon value, which
+//! commits.
+//!
+//! [`ControlPort`] models the word-level pin protocol;
+//! [`ControlCommand`] is the typed convenience layer protocol software
+//! actually uses (and what `rtr_channels` drives).
+
+use crate::conn_table::{ConnEntry, ConnectionTable, TableError};
+use rtr_types::ids::ConnectionId;
+use rtr_types::SlotClock;
+
+/// A typed control-interface command (the rows of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlCommand {
+    /// Install a connection-table entry (the four-write sequence).
+    SetConnection {
+        /// Incoming connection identifier (table index).
+        incoming: ConnectionId,
+        /// Identifier to write into forwarded packet headers.
+        outgoing: ConnectionId,
+        /// Local delay bound `d`, in slots.
+        delay: u32,
+        /// Output-port bit mask (multicast sets several bits).
+        out_mask: u8,
+    },
+    /// Remove a connection-table entry (teardown; modelled as installing an
+    /// empty mask would leak the identifier, so removal is explicit).
+    ClearConnection {
+        /// Incoming connection identifier to clear.
+        incoming: ConnectionId,
+    },
+    /// Set the horizon parameter `h` for the ports in the mask (the
+    /// two-write sequence).
+    SetHorizon {
+        /// Output-port bit mask selecting which horizon registers to write.
+        port_mask: u8,
+        /// Horizon value in slots.
+        horizon: u32,
+    },
+}
+
+/// Control-register addresses for the word-level protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlReg {
+    /// Outgoing connection identifier (write 1 of 4).
+    OutConn,
+    /// Local delay bound `d` (write 2 of 4).
+    Delay,
+    /// Output-port bit mask (write 3 of 4).
+    PortMask,
+    /// Incoming connection identifier; commits the connection entry
+    /// (write 4 of 4).
+    InConnCommit,
+    /// Horizon port mask (write 1 of 2).
+    HorizonMask,
+    /// Horizon value; commits the horizon update (write 2 of 2).
+    HorizonCommit,
+}
+
+/// Errors surfaced by the control interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlError {
+    /// The committed connection entry was rejected by the table.
+    Table(TableError),
+    /// A commit register was written before its staging registers.
+    IncompleteSequence {
+        /// The commit register that was written.
+        reg: ControlReg,
+    },
+    /// The horizon violates the clock-rollover constraint when combined with
+    /// the largest admissible delay (§4.3 requires `h + d` below half the
+    /// clock range; the chip conservatively bounds `h` itself).
+    HorizonTooLarge {
+        /// The offending horizon.
+        horizon: u32,
+        /// Maximum admissible value.
+        max: u32,
+    },
+}
+
+impl From<TableError> for ControlError {
+    fn from(e: TableError) -> Self {
+        ControlError::Table(e)
+    }
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::Table(e) => write!(f, "table update rejected: {e}"),
+            ControlError::IncompleteSequence { reg } => {
+                write!(f, "commit register {reg:?} written before its staging registers")
+            }
+            ControlError::HorizonTooLarge { horizon, max } => {
+                write!(f, "horizon {horizon} exceeds the rollover limit {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+/// Staged (not yet committed) control writes.
+#[derive(Debug, Clone, Copy, Default)]
+struct Staging {
+    out_conn: Option<u16>,
+    delay: Option<u16>,
+    port_mask: Option<u16>,
+    horizon_mask: Option<u16>,
+}
+
+/// The chip's control port: applies typed commands or word-level register
+/// writes to the connection table and horizon registers.
+#[derive(Debug)]
+pub struct ControlPort {
+    staging: Staging,
+    clock: SlotClock,
+}
+
+impl ControlPort {
+    /// Creates a control port for a router with the given scheduler clock.
+    #[must_use]
+    pub fn new(clock: SlotClock) -> Self {
+        ControlPort { staging: Staging::default(), clock }
+    }
+
+    /// Applies a typed command to the table and horizon registers.
+    ///
+    /// `horizons` is the per-output-port horizon register file.
+    ///
+    /// # Errors
+    ///
+    /// See [`ControlError`].
+    pub fn apply(
+        &mut self,
+        cmd: ControlCommand,
+        table: &mut ConnectionTable,
+        horizons: &mut [u32],
+    ) -> Result<(), ControlError> {
+        match cmd {
+            ControlCommand::SetConnection { incoming, outgoing, delay, out_mask } => {
+                table.install(incoming, ConnEntry { outgoing, delay, out_mask }, &self.clock)?;
+                Ok(())
+            }
+            ControlCommand::ClearConnection { incoming } => {
+                table.remove(incoming)?;
+                Ok(())
+            }
+            ControlCommand::SetHorizon { port_mask, horizon } => {
+                if horizon >= self.clock.half_range() {
+                    return Err(ControlError::HorizonTooLarge {
+                        horizon,
+                        max: self.clock.half_range() - 1,
+                    });
+                }
+                for (i, h) in horizons.iter_mut().enumerate() {
+                    if port_mask & (1 << i) != 0 {
+                        *h = horizon;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Performs one word-level register write (the pin protocol of Table 3).
+    ///
+    /// Writes to staging registers return `Ok(None)`; writes to a commit
+    /// register assemble and apply the staged command, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::IncompleteSequence`] if a commit register is
+    /// written before all of its staging registers, or the underlying
+    /// command's error.
+    pub fn write(
+        &mut self,
+        reg: ControlReg,
+        value: u16,
+        table: &mut ConnectionTable,
+        horizons: &mut [u32],
+    ) -> Result<Option<ControlCommand>, ControlError> {
+        match reg {
+            ControlReg::OutConn => {
+                self.staging.out_conn = Some(value);
+                Ok(None)
+            }
+            ControlReg::Delay => {
+                self.staging.delay = Some(value);
+                Ok(None)
+            }
+            ControlReg::PortMask => {
+                self.staging.port_mask = Some(value);
+                Ok(None)
+            }
+            ControlReg::InConnCommit => {
+                let (Some(out_conn), Some(delay), Some(mask)) =
+                    (self.staging.out_conn, self.staging.delay, self.staging.port_mask)
+                else {
+                    return Err(ControlError::IncompleteSequence { reg });
+                };
+                self.staging.out_conn = None;
+                self.staging.delay = None;
+                self.staging.port_mask = None;
+                let cmd = ControlCommand::SetConnection {
+                    incoming: ConnectionId(value),
+                    outgoing: ConnectionId(out_conn),
+                    delay: u32::from(delay),
+                    out_mask: mask as u8,
+                };
+                self.apply(cmd, table, horizons)?;
+                Ok(Some(cmd))
+            }
+            ControlReg::HorizonMask => {
+                self.staging.horizon_mask = Some(value);
+                Ok(None)
+            }
+            ControlReg::HorizonCommit => {
+                let Some(mask) = self.staging.horizon_mask else {
+                    return Err(ControlError::IncompleteSequence { reg });
+                };
+                self.staging.horizon_mask = None;
+                let cmd = ControlCommand::SetHorizon {
+                    port_mask: mask as u8,
+                    horizon: u32::from(value),
+                };
+                self.apply(cmd, table, horizons)?;
+                Ok(Some(cmd))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_types::ids::PORT_COUNT;
+
+    fn setup() -> (ControlPort, ConnectionTable, [u32; PORT_COUNT]) {
+        (ControlPort::new(SlotClock::new(8)), ConnectionTable::new(16), [0; PORT_COUNT])
+    }
+
+    #[test]
+    fn four_write_sequence_installs_connection() {
+        let (mut port, mut table, mut horizons) = setup();
+        assert_eq!(port.write(ControlReg::OutConn, 9, &mut table, &mut horizons).unwrap(), None);
+        assert_eq!(port.write(ControlReg::Delay, 16, &mut table, &mut horizons).unwrap(), None);
+        assert_eq!(port.write(ControlReg::PortMask, 0b10, &mut table, &mut horizons).unwrap(), None);
+        let committed = port
+            .write(ControlReg::InConnCommit, 3, &mut table, &mut horizons)
+            .unwrap();
+        assert!(matches!(committed, Some(ControlCommand::SetConnection { .. })));
+        let e = table.lookup(ConnectionId(3)).unwrap();
+        assert_eq!(e.outgoing, ConnectionId(9));
+        assert_eq!(e.delay, 16);
+        assert_eq!(e.out_mask, 0b10);
+    }
+
+    #[test]
+    fn two_write_sequence_sets_horizon_registers() {
+        let (mut port, mut table, mut horizons) = setup();
+        port.write(ControlReg::HorizonMask, 0b0_0110, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::HorizonCommit, 4, &mut table, &mut horizons).unwrap();
+        assert_eq!(horizons, [0, 4, 4, 0, 0]);
+    }
+
+    #[test]
+    fn premature_commit_is_rejected() {
+        let (mut port, mut table, mut horizons) = setup();
+        assert!(matches!(
+            port.write(ControlReg::InConnCommit, 0, &mut table, &mut horizons),
+            Err(ControlError::IncompleteSequence { reg: ControlReg::InConnCommit })
+        ));
+        assert!(matches!(
+            port.write(ControlReg::HorizonCommit, 0, &mut table, &mut horizons),
+            Err(ControlError::IncompleteSequence { reg: ControlReg::HorizonCommit })
+        ));
+    }
+
+    #[test]
+    fn staging_is_consumed_by_commit() {
+        let (mut port, mut table, mut horizons) = setup();
+        port.write(ControlReg::OutConn, 1, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::Delay, 2, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::PortMask, 1, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::InConnCommit, 0, &mut table, &mut horizons).unwrap();
+        // A second commit without restaging must fail.
+        assert!(port.write(ControlReg::InConnCommit, 1, &mut table, &mut horizons).is_err());
+    }
+
+    #[test]
+    fn connection_and_horizon_sequences_interleave_safely() {
+        // The two write sequences use disjoint staging registers, so the
+        // controlling processor may interleave them (e.g. under interrupt).
+        let (mut port, mut table, mut horizons) = setup();
+        port.write(ControlReg::OutConn, 4, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::HorizonMask, 0b1, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::Delay, 7, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::HorizonCommit, 9, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::PortMask, 0b100, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::InConnCommit, 2, &mut table, &mut horizons).unwrap();
+        assert_eq!(horizons[0], 9);
+        let e = table.lookup(ConnectionId(2)).unwrap();
+        assert_eq!((e.outgoing, e.delay, e.out_mask), (ConnectionId(4), 7, 0b100));
+    }
+
+    #[test]
+    fn restaging_overwrites_previous_values() {
+        let (mut port, mut table, mut horizons) = setup();
+        port.write(ControlReg::OutConn, 1, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::OutConn, 9, &mut table, &mut horizons).unwrap(); // overwrite
+        port.write(ControlReg::Delay, 3, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::PortMask, 0b10, &mut table, &mut horizons).unwrap();
+        port.write(ControlReg::InConnCommit, 0, &mut table, &mut horizons).unwrap();
+        assert_eq!(table.lookup(ConnectionId(0)).unwrap().outgoing, ConnectionId(9));
+    }
+
+    #[test]
+    fn typed_horizon_respects_rollover_limit() {
+        let (mut port, mut table, mut horizons) = setup();
+        let err = port
+            .apply(
+                ControlCommand::SetHorizon { port_mask: 1, horizon: 128 },
+                &mut table,
+                &mut horizons,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ControlError::HorizonTooLarge { horizon: 128, max: 127 }));
+    }
+
+    #[test]
+    fn clear_connection_removes_entry() {
+        let (mut port, mut table, mut horizons) = setup();
+        port.apply(
+            ControlCommand::SetConnection {
+                incoming: ConnectionId(2),
+                outgoing: ConnectionId(5),
+                delay: 1,
+                out_mask: 1,
+            },
+            &mut table,
+            &mut horizons,
+        )
+        .unwrap();
+        port.apply(ControlCommand::ClearConnection { incoming: ConnectionId(2) }, &mut table, &mut horizons)
+            .unwrap();
+        assert!(table.lookup(ConnectionId(2)).is_none());
+    }
+
+    #[test]
+    fn table_errors_propagate_through_control() {
+        let (mut port, mut table, mut horizons) = setup();
+        let err = port
+            .apply(
+                ControlCommand::SetConnection {
+                    incoming: ConnectionId(2),
+                    outgoing: ConnectionId(5),
+                    delay: 500,
+                    out_mask: 1,
+                },
+                &mut table,
+                &mut horizons,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ControlError::Table(TableError::DelayTooLarge { .. })));
+    }
+}

@@ -1,0 +1,204 @@
+//! The shared time-constrained packet memory (paper §3.4).
+//!
+//! A single packet memory, shared by the reception port and the four output
+//! links, stores every buffered time-constrained packet. An **idle-address
+//! FIFO** hands unused slot addresses to arriving packets; departing packets
+//! return their address to the pool. The paper's chip stores packets in a
+//! 10-byte-wide single-ported SRAM; here the slot granularity is one whole
+//! packet, and the chunked bus timing is modelled by the router's arrival
+//! pipeline.
+
+use std::collections::VecDeque;
+
+use rtr_types::packet::TcPacket;
+
+/// Address of a packet slot in the shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotAddr(pub u16);
+
+impl SlotAddr {
+    /// Flat slot index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl std::fmt::Display for SlotAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+/// The shared packet memory plus its idle-address FIFO.
+#[derive(Debug)]
+pub struct PacketMemory {
+    slots: Vec<Option<TcPacket>>,
+    idle: VecDeque<SlotAddr>,
+    high_water: usize,
+}
+
+impl PacketMemory {
+    /// Creates a memory with `capacity` packet slots (256 on the paper's
+    /// chip), all idle.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        PacketMemory {
+            slots: (0..capacity).map(|_| None).collect(),
+            idle: (0..capacity).map(|i| SlotAddr(i as u16)).collect(),
+            high_water: 0,
+        }
+    }
+
+    /// Total number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    #[must_use]
+    pub fn occupied(&self) -> usize {
+        self.slots.len() - self.idle.len()
+    }
+
+    /// Highest occupancy ever observed (for the buffer-reservation
+    /// experiments).
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Stores an arriving packet, drawing an address from the idle FIFO.
+    ///
+    /// Returns `None` — and gives the packet back — if the memory is full
+    /// (admission control reserves slots precisely so this cannot happen for
+    /// admitted traffic).
+    pub fn store(&mut self, packet: TcPacket) -> Result<SlotAddr, TcPacket> {
+        let Some(addr) = self.idle.pop_front() else {
+            return Err(packet);
+        };
+        debug_assert!(self.slots[addr.index()].is_none(), "idle FIFO handed a live slot");
+        self.slots[addr.index()] = Some(packet);
+        self.high_water = self.high_water.max(self.occupied());
+        Ok(addr)
+    }
+
+    /// Reads the packet at `addr` without freeing it (multicast transmits
+    /// the same slot several times).
+    #[must_use]
+    pub fn peek(&self, addr: SlotAddr) -> Option<&TcPacket> {
+        self.slots.get(addr.index()).and_then(Option::as_ref)
+    }
+
+    /// Frees the slot, returning its packet and pushing the address back
+    /// onto the idle FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already free — that would mean the scheduler
+    /// double-freed an address, corrupting the idle pool.
+    pub fn free(&mut self, addr: SlotAddr) -> TcPacket {
+        let packet = self.slots[addr.index()]
+            .take()
+            .expect("freeing an already-idle packet slot");
+        self.idle.push_back(addr);
+        packet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rtr_types::ids::ConnectionId;
+    use rtr_types::packet::PacketTrace;
+    use rtr_types::SlotClock;
+
+    fn packet(tag: u8) -> TcPacket {
+        TcPacket {
+            conn: ConnectionId(u16::from(tag)),
+            arrival: SlotClock::new(8).wrap(0),
+            payload: vec![tag; 18],
+            trace: PacketTrace::default(),
+        }
+    }
+
+    #[test]
+    fn store_peek_free_round_trip() {
+        let mut m = PacketMemory::new(4);
+        let a = m.store(packet(1)).unwrap();
+        assert_eq!(m.occupied(), 1);
+        assert_eq!(m.peek(a).unwrap().payload[0], 1);
+        let p = m.free(a);
+        assert_eq!(p.payload[0], 1);
+        assert_eq!(m.occupied(), 0);
+        assert!(m.peek(a).is_none());
+    }
+
+    #[test]
+    fn full_memory_rejects_and_returns_packet() {
+        let mut m = PacketMemory::new(2);
+        m.store(packet(1)).unwrap();
+        m.store(packet(2)).unwrap();
+        let rejected = m.store(packet(3)).unwrap_err();
+        assert_eq!(rejected.payload[0], 3);
+        assert_eq!(m.occupied(), 2);
+    }
+
+    #[test]
+    fn freed_addresses_are_reissued_fifo() {
+        let mut m = PacketMemory::new(2);
+        let a = m.store(packet(1)).unwrap();
+        let b = m.store(packet(2)).unwrap();
+        m.free(a);
+        m.free(b);
+        // FIFO discipline: a then b come back in order.
+        assert_eq!(m.store(packet(3)).unwrap(), a);
+        assert_eq!(m.store(packet(4)).unwrap(), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-idle")]
+    fn double_free_panics() {
+        let mut m = PacketMemory::new(1);
+        let a = m.store(packet(1)).unwrap();
+        m.free(a);
+        m.free(a);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut m = PacketMemory::new(8);
+        let a = m.store(packet(1)).unwrap();
+        let _b = m.store(packet(2)).unwrap();
+        m.free(a);
+        assert_eq!(m.occupied(), 1);
+        assert_eq!(m.high_water(), 2);
+    }
+
+    proptest! {
+        /// Under any interleaving of stores and frees the idle pool and the
+        /// live slots exactly partition the memory, and no address is ever
+        /// issued twice concurrently.
+        #[test]
+        fn conservation_under_random_ops(ops in proptest::collection::vec(any::<bool>(), 1..400)) {
+            let mut m = PacketMemory::new(16);
+            let mut live: Vec<SlotAddr> = Vec::new();
+            for (i, store) in ops.into_iter().enumerate() {
+                if store {
+                    match m.store(packet(i as u8)) {
+                        Ok(addr) => {
+                            prop_assert!(!live.contains(&addr), "address issued twice");
+                            live.push(addr);
+                        }
+                        Err(_) => prop_assert_eq!(live.len(), 16),
+                    }
+                } else if let Some(addr) = live.pop() {
+                    m.free(addr);
+                }
+                prop_assert_eq!(m.occupied(), live.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Input-port state machines (paper §3.1–§3.4).
+//!
+//! Each input port handles both virtual channels of its link:
+//!
+//! * **Time-constrained** symbols are reassembled into whole packets
+//!   (store-and-forward); a completed packet enters the *arrival pipeline*
+//!   and becomes schedulable after the header-lookup and memory-store
+//!   latency.
+//! * **Best-effort** bytes land in the small flit buffer. The port inspects
+//!   the first two header bytes to make the dimension-ordered routing
+//!   decision, rewrites the offset bytes, and marks each byte forwardable
+//!   after the per-hop pipeline latency (synchronisation, header processing,
+//!   five-byte chunk accumulation, bus grant — the `30 + b` overheads of
+//!   §5.2). Flow control guarantees the flit buffer never overflows: the
+//!   upstream transmitter spends a credit per byte and this port returns the
+//!   credit when the byte leaves.
+
+use std::collections::VecDeque;
+
+use rtr_types::flit::BeByte;
+use rtr_types::ids::Port;
+use rtr_types::packet::{BeHeader, PacketTrace, TcPacket};
+use rtr_types::time::Cycle;
+
+/// A best-effort byte that has been routed and is waiting in the flit
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutedByte {
+    /// Earliest cycle the byte may leave on an output link.
+    pub ready_at: Cycle,
+    /// The (possibly header-rewritten) byte.
+    pub byte: BeByte,
+    /// Output port the byte is routed to.
+    pub out: Port,
+}
+
+/// Routing progress of the best-effort stream currently crossing this port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BeRoute {
+    /// Waiting for a head byte.
+    Idle,
+    /// Got the x-offset byte; waiting for the y-offset to decide the route.
+    GotX {
+        x: u8,
+        trace: Option<PacketTrace>,
+        arrived: Cycle,
+    },
+    /// Routing decision made; body bytes stream through.
+    Streaming { out: Port },
+}
+
+/// One of the router's five input ports.
+#[derive(Debug)]
+pub struct InputPort {
+    /// Per-hop best-effort pipeline latency in cycles (sync + header + chunk
+    /// + bus grant).
+    pipeline_latency: Cycle,
+    /// Latency from a time-constrained packet's last byte to it becoming
+    /// schedulable (sync + header lookup + memory-store chunks).
+    tc_store_latency: Cycle,
+    /// Flit-buffer capacity in bytes.
+    flit_capacity: usize,
+    /// Time-constrained packet currently arriving: packet and symbols still
+    /// to come. `None` in the packet slot means the packet is cutting
+    /// through (§7 virtual cut-through): the symbols are consumed for
+    /// timing but the output port already owns the packet.
+    tc_rx: Option<(Option<TcPacket>, usize)>,
+    /// Fully received packets waiting out the arrival pipeline.
+    tc_pending: VecDeque<(Cycle, TcPacket)>,
+    /// Routed best-effort bytes in the flit buffer.
+    be_fifo: VecDeque<RoutedByte>,
+    be_route: BeRoute,
+}
+
+impl InputPort {
+    /// Creates an input port.
+    #[must_use]
+    pub fn new(pipeline_latency: Cycle, tc_store_latency: Cycle, flit_capacity: usize) -> Self {
+        InputPort {
+            pipeline_latency,
+            tc_store_latency,
+            flit_capacity,
+            tc_rx: None,
+            tc_pending: VecDeque::new(),
+            be_fifo: VecDeque::new(),
+            be_route: BeRoute::Idle,
+        }
+    }
+
+    /// Bytes currently held on the best-effort channel (routed bytes plus a
+    /// held header byte); bounded by the flit capacity via flow control.
+    #[must_use]
+    pub fn be_occupancy(&self) -> usize {
+        self.be_fifo.len() + usize::from(matches!(self.be_route, BeRoute::GotX { .. }))
+    }
+
+    /// Free best-effort buffer space in bytes.
+    #[must_use]
+    pub fn be_free_space(&self) -> usize {
+        self.flit_capacity - self.be_occupancy()
+    }
+
+    /// Accepts the first symbol of a time-constrained packet that will be
+    /// buffered (store-and-forward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a packet is already mid-arrival (the link protocol never
+    /// interleaves two time-constrained packets on one channel).
+    pub fn push_tc_start(&mut self, now: Cycle, packet: TcPacket) {
+        assert!(self.tc_rx.is_none(), "TC start while a packet is mid-arrival");
+        let remaining = packet.wire_len() - 1;
+        if remaining == 0 {
+            self.tc_pending.push_back((now + self.tc_store_latency, packet));
+        } else {
+            self.tc_rx = Some((Some(packet), remaining));
+        }
+    }
+
+    /// Accepts the first symbol of a packet that is *cutting through*: the
+    /// remaining symbols are consumed for timing only and the packet never
+    /// enters the arrival pipeline (the output port streams it directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a packet is already mid-arrival.
+    pub fn push_tc_start_cut(&mut self, wire_len: usize) {
+        assert!(self.tc_rx.is_none(), "TC start while a packet is mid-arrival");
+        if wire_len > 1 {
+            self.tc_rx = Some((None, wire_len - 1));
+        }
+    }
+
+    /// Accepts a continuation symbol of the in-flight time-constrained
+    /// packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no packet is mid-arrival.
+    pub fn push_tc_cont(&mut self, now: Cycle) {
+        let (packet, remaining) = self.tc_rx.take().expect("TC continuation without a start");
+        if remaining == 1 {
+            if let Some(packet) = packet {
+                self.tc_pending.push_back((now + self.tc_store_latency, packet));
+            }
+        } else {
+            self.tc_rx = Some((packet, remaining - 1));
+        }
+    }
+
+    /// Pops the next packet whose arrival pipeline has completed, if any.
+    pub fn take_ready_tc(&mut self, now: Cycle) -> Option<TcPacket> {
+        match self.tc_pending.front() {
+            Some((ready_at, _)) if *ready_at <= now => self.tc_pending.pop_front().map(|(_, p)| p),
+            _ => None,
+        }
+    }
+
+    /// Number of packets sitting in the arrival pipeline.
+    #[must_use]
+    pub fn tc_pending_len(&self) -> usize {
+        self.tc_pending.len()
+    }
+
+    /// Accepts one best-effort byte from the link (or the local injector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flit buffer would overflow — upstream flow control must
+    /// prevent that — or if packet framing is violated (a head byte while
+    /// streaming, or a body byte while idle).
+    pub fn push_be(&mut self, now: Cycle, byte: BeByte) {
+        assert!(self.be_occupancy() < self.flit_capacity, "flit buffer overflow");
+        match self.be_route {
+            BeRoute::Idle => {
+                assert!(byte.head, "body byte with no packet in progress");
+                assert!(!byte.tail, "best-effort packets are at least 4 header bytes");
+                self.be_route = BeRoute::GotX { x: byte.byte, trace: byte.trace, arrived: now };
+            }
+            BeRoute::GotX { x, trace, arrived } => {
+                assert!(!byte.head && !byte.tail, "malformed header framing");
+                let header = BeHeader { x_off: x as i8, y_off: byte.byte as i8, length: 0 };
+                let (out, rewritten) = header.dimension_ordered_step();
+                self.be_fifo.push_back(RoutedByte {
+                    ready_at: arrived + self.pipeline_latency,
+                    byte: BeByte { byte: rewritten.x_off as u8, head: true, tail: false, trace },
+                    out,
+                });
+                self.be_fifo.push_back(RoutedByte {
+                    ready_at: now + self.pipeline_latency,
+                    byte: BeByte::body(rewritten.y_off as u8),
+                    out,
+                });
+                self.be_route = BeRoute::Streaming { out };
+            }
+            BeRoute::Streaming { out } => {
+                assert!(!byte.head, "head byte while a packet is streaming");
+                self.be_fifo.push_back(RoutedByte {
+                    ready_at: now + self.pipeline_latency,
+                    byte,
+                    out,
+                });
+                if byte.tail {
+                    self.be_route = BeRoute::Idle;
+                }
+            }
+        }
+    }
+
+    /// Whether the byte at the head of the flit buffer is routed to `out`
+    /// and ready to leave at `now`.
+    #[must_use]
+    pub fn be_front_for(&self, out: Port, now: Cycle) -> Option<&RoutedByte> {
+        self.be_fifo
+            .front()
+            .filter(|b| b.out == out && b.ready_at <= now)
+    }
+
+    /// Removes and returns the head byte (after [`Self::be_front_for`]
+    /// confirmed it). The caller must return one credit upstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn pop_be(&mut self) -> RoutedByte {
+        self.be_fifo.pop_front().expect("popping an empty flit buffer")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_types::clock::SlotClock;
+    use rtr_types::ids::{ConnectionId, Direction};
+
+    fn tc_packet(payload_len: usize) -> TcPacket {
+        TcPacket {
+            conn: ConnectionId(1),
+            arrival: SlotClock::new(8).wrap(0),
+            payload: vec![0xAA; payload_len],
+            trace: PacketTrace::default(),
+        }
+    }
+
+    fn port() -> InputPort {
+        InputPort::new(10, 6, 10)
+    }
+
+    #[test]
+    fn tc_packet_ready_after_all_symbols_plus_store_latency() {
+        let mut p = port();
+        p.push_tc_start(100, tc_packet(18)); // 20 symbols: cycles 100..=119
+        for i in 1..20 {
+            assert!(p.take_ready_tc(100 + i).is_none());
+            p.push_tc_cont(100 + i);
+        }
+        // Last symbol at cycle 119; ready at 119 + 6 = 125.
+        assert!(p.take_ready_tc(124).is_none());
+        assert!(p.take_ready_tc(125).is_some());
+        assert!(p.take_ready_tc(126).is_none(), "only one packet");
+    }
+
+    #[test]
+    fn be_header_rewrite_and_routing() {
+        let mut p = port();
+        // Packet with x_off = +2, y_off = -1, length 1: bytes
+        // [2, 0xFF, 1, 0, payload].
+        p.push_be(0, BeByte { byte: 2, head: true, tail: false, trace: None });
+        p.push_be(1, BeByte::body(0xFF));
+        p.push_be(2, BeByte::body(1));
+        p.push_be(3, BeByte::body(0));
+        p.push_be(4, BeByte { byte: 0x55, head: false, tail: true, trace: None });
+        assert_eq!(p.be_occupancy(), 5);
+
+        // Routed towards +x with x offset decremented to 1.
+        let front = p.be_front_for(Port::Dir(Direction::XPlus), 100).unwrap();
+        assert!(front.byte.head);
+        assert_eq!(front.byte.byte, 1);
+        assert_eq!(front.ready_at, 10);
+
+        let bytes: Vec<u8> = (0..5).map(|_| p.pop_be().byte.byte).collect();
+        assert_eq!(bytes, vec![1, 0xFF, 1, 0, 0x55]);
+        assert_eq!(p.be_occupancy(), 0);
+    }
+
+    #[test]
+    fn be_zero_offsets_route_to_local() {
+        let mut p = port();
+        p.push_be(0, BeByte { byte: 0, head: true, tail: false, trace: None });
+        p.push_be(1, BeByte::body(0));
+        assert!(p.be_front_for(Port::Local, 11).is_some());
+    }
+
+    #[test]
+    fn be_y_routing_after_x_exhausted() {
+        let mut p = port();
+        p.push_be(0, BeByte { byte: 0, head: true, tail: false, trace: None });
+        p.push_be(1, BeByte::body(0xFE)); // y_off = -2
+        let front = p.be_front_for(Port::Dir(Direction::YMinus), 11).unwrap();
+        assert_eq!(front.byte.byte, 0, "x offset unchanged at 0");
+        p.pop_be();
+        assert_eq!(p.pop_be().byte.byte, 0xFF, "y offset stepped from -2 to -1");
+    }
+
+    #[test]
+    fn bytes_not_ready_before_pipeline_latency() {
+        let mut p = port();
+        p.push_be(50, BeByte { byte: 1, head: true, tail: false, trace: None });
+        p.push_be(51, BeByte::body(0));
+        assert!(p.be_front_for(Port::Dir(Direction::XPlus), 59).is_none());
+        assert!(p.be_front_for(Port::Dir(Direction::XPlus), 60).is_some());
+    }
+
+    #[test]
+    fn occupancy_counts_held_header_byte() {
+        let mut p = port();
+        assert_eq!(p.be_free_space(), 10);
+        p.push_be(0, BeByte { byte: 1, head: true, tail: false, trace: None });
+        assert_eq!(p.be_occupancy(), 1, "held x byte counts");
+        assert_eq!(p.be_free_space(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "flit buffer overflow")]
+    fn overflow_panics() {
+        let mut p = InputPort::new(10, 6, 2);
+        p.push_be(0, BeByte { byte: 1, head: true, tail: false, trace: None });
+        p.push_be(1, BeByte::body(0));
+        p.push_be(2, BeByte::body(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "TC start while a packet is mid-arrival")]
+    fn interleaved_tc_packets_panic() {
+        let mut p = port();
+        p.push_tc_start(0, tc_packet(18));
+        p.push_tc_start(1, tc_packet(18));
+    }
+
+    #[test]
+    fn cut_through_packets_are_consumed_but_not_enqueued() {
+        let mut p = port();
+        p.push_tc_start_cut(20);
+        for i in 1..20 {
+            p.push_tc_cont(i);
+        }
+        assert!(p.take_ready_tc(10_000).is_none(), "cut packets bypass the pipeline");
+        // The channel is free again for a buffered packet.
+        p.push_tc_start(100, tc_packet(18));
+        for i in 1..20 {
+            p.push_tc_cont(100 + i);
+        }
+        assert!(p.take_ready_tc(100 + 19 + 6).is_some());
+    }
+
+    proptest::proptest! {
+        /// Arbitrary sequences of best-effort packets (random payload
+        /// sizes and offsets) stream through the flit buffer with framing,
+        /// routing, and byte order intact.
+        #[test]
+        fn be_framing_fuzz(
+            packets in proptest::collection::vec(
+                (proptest::collection::vec(proptest::prelude::any::<u8>(), 0..12), -3i8..=3, -3i8..=3),
+                1..4,
+            )
+        ) {
+            use rtr_types::packet::BePacket;
+            // Capacity 64 ≥ 3 packets × (4 header + 12 payload) bytes, so
+            // the whole sequence fits without draining.
+            let mut port = InputPort::new(10, 6, 64);
+            let mut now: Cycle = 0;
+            let mut expected: Vec<(Port, Vec<u8>)> = Vec::new();
+            for (payload, x, y) in &packets {
+                let packet = BePacket::new(*x, *y, payload.clone(), PacketTrace::default());
+                let (out, stepped) = packet.header.dimension_ordered_step();
+                expected.push((
+                    out,
+                    BePacket {
+                        header: BeHeader { length: packet.header.length, ..stepped },
+                        ..packet.clone()
+                    }
+                    .to_wire(),
+                ));
+                let wire = packet.to_wire();
+                for (i, b) in wire.iter().enumerate() {
+                    port.push_be(now, BeByte {
+                        byte: *b,
+                        head: i == 0,
+                        tail: i == wire.len() - 1,
+                        trace: None,
+                    });
+                    now += 1;
+                }
+            }
+            // Drain everything and reassemble per packet.
+            let mut streams: Vec<(Port, Vec<u8>)> = Vec::new();
+            while port.be_occupancy() > 0 {
+                let routed = port.pop_be();
+                if routed.byte.head {
+                    streams.push((routed.out, vec![routed.byte.byte]));
+                } else {
+                    let last = streams.last_mut().expect("head byte first");
+                    proptest::prop_assert_eq!(last.0, routed.out, "route sticky per packet");
+                    last.1.push(routed.byte.byte);
+                }
+            }
+            proptest::prop_assert_eq!(&streams, &expected);
+        }
+    }
+
+    #[test]
+    fn back_to_back_be_packets_queue_in_order() {
+        let mut p = port();
+        // First packet to +x (1 payload byte), second to local.
+        for (i, b) in [
+            BeByte { byte: 1, head: true, tail: false, trace: None },
+            BeByte::body(0),
+            BeByte::body(1),
+            BeByte::body(0),
+            BeByte { byte: 0xA1, head: false, tail: true, trace: None },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            p.push_be(i as Cycle, b);
+        }
+        for (i, b) in [
+            BeByte { byte: 0, head: true, tail: false, trace: None },
+            BeByte::body(0),
+            BeByte::body(0),
+            BeByte { byte: 0, head: false, tail: true, trace: None },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            p.push_be(5 + i as Cycle, b);
+        }
+        // Head-of-line: the local-bound packet waits behind the +x packet.
+        assert!(p.be_front_for(Port::Local, 1000).is_none());
+        for _ in 0..5 {
+            assert_eq!(p.pop_be().out, Port::Dir(Direction::XPlus));
+        }
+        assert!(p.be_front_for(Port::Local, 1000).is_some());
+    }
+}

@@ -1,0 +1,7 @@
+//! Input- and output-port state machines (paper §3, Figure 2).
+
+pub mod input;
+pub mod output;
+
+pub use input::{InputPort, RoutedByte};
+pub use output::{OutputPort, TcTransmit};

@@ -1,0 +1,240 @@
+//! Output-port state (paper §3.2, §4.2).
+//!
+//! Each output port multiplexes its link between the two virtual channels
+//! with the fine-grain priority of §3.2: an on-time time-constrained packet
+//! preempts best-effort traffic at a byte boundary; best-effort flits consume
+//! any excess bandwidth; early time-constrained packets within the horizon
+//! fill otherwise-idle cycles.
+//!
+//! The port also models the shared comparator tree's pipeline: a selection
+//! becomes usable `sched_latency` cycles after packets first become
+//! available; during a backlog the pipeline stays full and transmissions are
+//! back-to-back (the overlap of scheduling and transmission of §4.2).
+
+use crate::sched::tree::Selection;
+use rtr_types::packet::TcPacket;
+use rtr_types::time::Cycle;
+
+/// A virtual cut-through transmission waiting out the header-processing
+/// latency before streaming (§7 extension).
+#[derive(Debug)]
+pub struct PendingCut {
+    /// The packet (header already rewritten for the next hop).
+    pub packet: TcPacket,
+    /// First cycle the output may emit the start symbol.
+    pub start_at: Cycle,
+}
+
+/// A time-constrained packet currently being clocked out on a link.
+#[derive(Debug)]
+pub struct TcTransmit {
+    /// The packet (header already rewritten for the next hop).
+    pub packet: TcPacket,
+    /// Leaf index it was selected from (for diagnostics).
+    pub leaf: usize,
+    /// Whether the packet was transmitted early (within the horizon).
+    pub early: bool,
+    /// Symbols already emitted.
+    pub sent: usize,
+    /// Total symbols (the packet's wire length).
+    pub total: usize,
+}
+
+/// Cached comparator-tree selection (valid for one tree version and one
+/// scheduler slot).
+#[derive(Debug, Clone, Copy)]
+struct CachedSelection {
+    version: u64,
+    slot_raw: u32,
+    selection: Option<Selection>,
+}
+
+/// State of one output port.
+#[derive(Debug)]
+pub struct OutputPort {
+    /// In-flight time-constrained transmission.
+    pub tc_tx: Option<TcTransmit>,
+    /// A virtual cut-through transmission awaiting its start cycle.
+    pub pending_cut: Option<PendingCut>,
+    /// Input port currently bound for a wormhole packet (round-robin winner,
+    /// held until the packet's tail byte).
+    pub be_bound: Option<usize>,
+    /// Next input port index to consider in round-robin order.
+    pub rr_next: usize,
+    /// Best-effort credits: free flit-buffer bytes downstream.
+    pub credits: u32,
+    /// Reception port: local delivery needs no credits.
+    pub infinite_credit: bool,
+    /// Horizon register `h` for this port, in slots (Table 3).
+    pub horizon: u32,
+    cached: Option<CachedSelection>,
+    grant_ready_at: Cycle,
+    had_candidate: bool,
+}
+
+impl OutputPort {
+    /// Creates an output port with the given initial credit pool.
+    #[must_use]
+    pub fn new(credits: u32, infinite_credit: bool) -> Self {
+        OutputPort {
+            tc_tx: None,
+            pending_cut: None,
+            be_bound: None,
+            rr_next: 0,
+            credits,
+            infinite_credit,
+            horizon: 0,
+            cached: None,
+            grant_ready_at: 0,
+            had_candidate: false,
+        }
+    }
+
+    /// Whether the link is free for a new packet this cycle.
+    #[must_use]
+    pub fn link_free(&self) -> bool {
+        self.tc_tx.is_none()
+    }
+
+    /// Whether a best-effort byte may be sent (credit available).
+    #[must_use]
+    pub fn has_credit(&self) -> bool {
+        self.infinite_credit || self.credits > 0
+    }
+
+    /// Spends one best-effort credit.
+    pub fn spend_credit(&mut self) {
+        if !self.infinite_credit {
+            debug_assert!(self.credits > 0, "spending a credit the port does not have");
+            self.credits -= 1;
+        }
+    }
+
+    /// Returns credits freed by the downstream flit buffer.
+    pub fn add_credits(&mut self, bytes: u32) {
+        if !self.infinite_credit {
+            self.credits += bytes;
+        }
+    }
+
+    /// Looks up (or refreshes) the cached selection for this port, modelling
+    /// the pipelined tree: `recompute` is called only when the tree version
+    /// or the scheduler slot changed. Returns the selection and whether the
+    /// pipeline grant is usable at `now`.
+    pub fn selection_with_grant(
+        &mut self,
+        now: Cycle,
+        version: u64,
+        slot_raw: u32,
+        sched_latency: Cycle,
+        recompute: impl FnOnce() -> Option<Selection>,
+    ) -> (Option<Selection>, bool) {
+        let stale = match self.cached {
+            Some(c) => c.version != version || c.slot_raw != slot_raw,
+            None => true,
+        };
+        if stale {
+            let selection = recompute();
+            if selection.is_some() && !self.had_candidate {
+                // Pipeline refill: the tree was empty for this port and now
+                // has a candidate; the first grant appears after the
+                // pipeline latency.
+                self.grant_ready_at = now + sched_latency;
+            }
+            self.had_candidate = selection.is_some();
+            self.cached = Some(CachedSelection { version, slot_raw, selection });
+        }
+        let selection = self.cached.and_then(|c| c.selection);
+        (selection, now >= self.grant_ready_at)
+    }
+
+    /// Invalidate the cached selection (used after this port commits a
+    /// transmission, which mutates the tree).
+    pub fn invalidate_selection(&mut self) {
+        self.cached = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::SlotAddr;
+    use rtr_types::clock::SlotClock;
+    use rtr_types::key::{LatePolicy, SortKey};
+
+    fn sel(addr: u16) -> Selection {
+        let clock = SlotClock::new(8);
+        Selection {
+            leaf: usize::from(addr),
+            addr: SlotAddr(addr),
+            key: SortKey::compute(&clock, clock.wrap(0), 5, clock.wrap(0), LatePolicy::Saturate),
+        }
+    }
+
+    #[test]
+    fn credits_gate_best_effort() {
+        let mut p = OutputPort::new(2, false);
+        assert!(p.has_credit());
+        p.spend_credit();
+        p.spend_credit();
+        assert!(!p.has_credit());
+        p.add_credits(1);
+        assert!(p.has_credit());
+    }
+
+    #[test]
+    fn reception_port_never_runs_out_of_credit() {
+        let mut p = OutputPort::new(0, true);
+        assert!(p.has_credit());
+        p.spend_credit();
+        assert!(p.has_credit());
+    }
+
+    #[test]
+    fn first_grant_waits_for_pipeline_latency() {
+        let mut p = OutputPort::new(0, false);
+        // Tree becomes non-empty at cycle 100.
+        let (s, usable) = p.selection_with_grant(100, 1, 0, 4, || Some(sel(0)));
+        assert!(s.is_some());
+        assert!(!usable, "grant not ready before the pipeline latency");
+        let (_, usable) = p.selection_with_grant(103, 1, 0, 4, || unreachable!("cached"));
+        assert!(!usable);
+        let (_, usable) = p.selection_with_grant(104, 1, 0, 4, || unreachable!("cached"));
+        assert!(usable);
+    }
+
+    #[test]
+    fn backlog_keeps_pipeline_full() {
+        let mut p = OutputPort::new(0, false);
+        let (_, _) = p.selection_with_grant(100, 1, 0, 4, || Some(sel(0)));
+        // Tree mutates (another packet arrives) while a candidate existed:
+        // no new latency is charged.
+        let (s, usable) = p.selection_with_grant(104, 2, 0, 4, || Some(sel(1)));
+        assert!(s.is_some());
+        assert!(usable);
+    }
+
+    #[test]
+    fn cache_invalidates_on_slot_tick() {
+        let mut p = OutputPort::new(0, false);
+        let (_, _) = p.selection_with_grant(0, 1, 0, 0, || Some(sel(0)));
+        let mut called = false;
+        let (_, _) = p.selection_with_grant(20, 1, 1, 0, || {
+            called = true;
+            Some(sel(0))
+        });
+        assert!(called, "slot tick must force re-selection");
+    }
+
+    #[test]
+    fn empty_tree_resets_pipeline() {
+        let mut p = OutputPort::new(0, false);
+        let (_, _) = p.selection_with_grant(0, 1, 0, 4, || Some(sel(0)));
+        let (_, _) = p.selection_with_grant(10, 2, 0, 4, || None);
+        // Next candidate charges the latency again.
+        let (_, usable) = p.selection_with_grant(50, 3, 0, 4, || Some(sel(1)));
+        assert!(!usable);
+        let (_, usable) = p.selection_with_grant(54, 3, 0, 4, || unreachable!());
+        assert!(usable);
+    }
+}

@@ -1,0 +1,137 @@
+//! Scheduler dispatch: the router is built with either the exact
+//! comparator tree (the fabricated chip) or the §7 banded approximation,
+//! behind one interface.
+
+use crate::memory::SlotAddr;
+use crate::sched::banded::BandedScheduler;
+use crate::sched::leaf::Leaf;
+use crate::sched::tree::{ComparatorTree, Selection};
+use rtr_types::clock::{LogicalTime, SlotClock};
+use rtr_types::config::SchedulerKind;
+use rtr_types::ids::Port;
+use rtr_types::key::LatePolicy;
+
+/// The link scheduler variant instantiated by the router.
+#[derive(Debug)]
+pub enum Scheduler {
+    /// The exact comparator tree (Figure 5).
+    Tree(ComparatorTree),
+    /// The §7 banded approximation.
+    Banded(BandedScheduler),
+}
+
+impl Scheduler {
+    /// Builds the scheduler selected by the configuration.
+    #[must_use]
+    pub fn new(
+        kind: SchedulerKind,
+        capacity: usize,
+        clock: SlotClock,
+        late_policy: LatePolicy,
+    ) -> Self {
+        match kind {
+            SchedulerKind::ComparatorTree => {
+                Scheduler::Tree(ComparatorTree::new(capacity, clock, late_policy))
+            }
+            SchedulerKind::Banded { band_shift } => {
+                Scheduler::Banded(BandedScheduler::new(capacity, clock, late_policy, band_shift))
+            }
+        }
+    }
+
+    /// Number of buffered packets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Scheduler::Tree(t) => t.len(),
+            Scheduler::Banded(b) => b.len(),
+        }
+    }
+
+    /// Whether no packets are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mutation counter (for selection caching).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        match self {
+            Scheduler::Tree(t) => t.version(),
+            Scheduler::Banded(b) => b.version(),
+        }
+    }
+
+    /// Inserts a leaf.
+    ///
+    /// # Errors
+    ///
+    /// Gives the leaf back if every slot is occupied.
+    pub fn insert(&mut self, leaf: Leaf) -> Result<usize, Leaf> {
+        match self {
+            Scheduler::Tree(t) => t.insert(leaf),
+            Scheduler::Banded(b) => b.insert(leaf),
+        }
+    }
+
+    /// Selects the winning packet for a port.
+    #[must_use]
+    pub fn select(&self, port: Port, t: LogicalTime) -> Option<Selection> {
+        match self {
+            Scheduler::Tree(tr) => tr.select(port, t),
+            Scheduler::Banded(b) => b.select(port, t),
+        }
+    }
+
+    /// Records a transmission; returns the freed memory address when the
+    /// leaf empties.
+    pub fn commit(&mut self, idx: usize, port: Port) -> Option<SlotAddr> {
+        match self {
+            Scheduler::Tree(t) => t.commit(idx, port),
+            Scheduler::Banded(b) => b.commit(idx, port),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_types::ids::Direction;
+
+    #[test]
+    fn dispatch_constructs_the_requested_variant() {
+        let clock = SlotClock::new(8);
+        let tree = Scheduler::new(SchedulerKind::ComparatorTree, 8, clock, LatePolicy::Saturate);
+        assert!(matches!(tree, Scheduler::Tree(_)));
+        let banded = Scheduler::new(
+            SchedulerKind::Banded { band_shift: 3 },
+            8,
+            clock,
+            LatePolicy::Saturate,
+        );
+        assert!(matches!(banded, Scheduler::Banded(_)));
+    }
+
+    #[test]
+    fn both_variants_round_trip_a_leaf() {
+        let clock = SlotClock::new(8);
+        for kind in [SchedulerKind::ComparatorTree, SchedulerKind::Banded { band_shift: 2 }] {
+            let mut s = Scheduler::new(kind, 4, clock, LatePolicy::Saturate);
+            assert!(s.is_empty());
+            let idx = s
+                .insert(Leaf {
+                    l: clock.wrap(0),
+                    delay: 5,
+                    port_mask: Port::Dir(Direction::XPlus).mask(),
+                    addr: SlotAddr(2),
+                })
+                .unwrap();
+            assert_eq!(s.len(), 1);
+            let sel = s.select(Port::Dir(Direction::XPlus), clock.wrap(1)).unwrap();
+            assert_eq!(sel.addr, SlotAddr(2));
+            assert_eq!(s.commit(idx, Port::Dir(Direction::XPlus)), Some(SlotAddr(2)));
+            assert!(s.is_empty());
+        }
+    }
+}

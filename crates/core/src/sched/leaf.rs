@@ -1,0 +1,81 @@
+//! Per-packet scheduler state: one leaf of the comparator tree (Figure 5).
+//!
+//! Each leaf stores the packet's logical arrival time `ℓ(m)`, its local delay
+//! bound `d` (so the deadline `ℓ(m) + d` is known), the bit mask of output
+//! ports still waiting to transmit it, and the address of the packet's data
+//! in the shared memory. A mask of zero means the leaf — and the memory
+//! slot — are free.
+
+use crate::memory::SlotAddr;
+use rtr_types::clock::{LogicalTime, SlotClock};
+use rtr_types::ids::Port;
+
+/// Scheduler state for one buffered time-constrained packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Leaf {
+    /// Logical arrival time `ℓ(m)` at this node.
+    pub l: LogicalTime,
+    /// Local delay bound `d` in slots; the local deadline is `ℓ(m) + d`.
+    pub delay: u32,
+    /// Output ports that still have to transmit this packet (multicast sets
+    /// several bits at arrival; each port clears its own bit).
+    pub port_mask: u8,
+    /// Address of the packet in the shared memory.
+    pub addr: SlotAddr,
+}
+
+impl Leaf {
+    /// The packet's local deadline `ℓ(m) + d`.
+    #[must_use]
+    pub fn deadline(&self, clock: &SlotClock) -> LogicalTime {
+        clock.add(self.l, self.delay)
+    }
+
+    /// Whether `port` still has to transmit this packet.
+    #[must_use]
+    pub fn eligible_for(&self, port: Port) -> bool {
+        self.port_mask & port.mask() != 0
+    }
+
+    /// Clears `port`'s bit; returns `true` if the leaf is now empty (all
+    /// ports served) and the memory slot can be freed.
+    pub fn clear_port(&mut self, port: Port) -> bool {
+        self.port_mask &= !port.mask();
+        self.port_mask == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_types::ids::Direction;
+
+    #[test]
+    fn deadline_wraps_with_clock() {
+        let clock = SlotClock::new(8);
+        let leaf = Leaf {
+            l: clock.wrap(250),
+            delay: 10,
+            port_mask: 0b10,
+            addr: SlotAddr(0),
+        };
+        assert_eq!(leaf.deadline(&clock).raw(), 4);
+    }
+
+    #[test]
+    fn multicast_mask_clears_per_port() {
+        let clock = SlotClock::new(8);
+        let mut leaf = Leaf {
+            l: clock.wrap(0),
+            delay: 1,
+            port_mask: Port::Dir(Direction::XPlus).mask() | Port::Local.mask(),
+            addr: SlotAddr(3),
+        };
+        assert!(leaf.eligible_for(Port::Local));
+        assert!(leaf.eligible_for(Port::Dir(Direction::XPlus)));
+        assert!(!leaf.eligible_for(Port::Dir(Direction::YPlus)));
+        assert!(!leaf.clear_port(Port::Local), "one port still pending");
+        assert!(!leaf.eligible_for(Port::Local));
+        assert!(leaf.clear_port(Port::Dir(Direction::XPlus)), "last port frees the leaf");
+    }
+}

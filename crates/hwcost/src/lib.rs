@@ -1,0 +1,27 @@
+//! Analytical hardware-complexity model (paper §5.1, Table 4).
+//!
+//! The paper's chip evidence — 905,104 transistors in 0.5 µm CMOS,
+//! 8.1 mm × 8.7 mm, 2.3 W at 50 MHz, 123 signal pins, with "the
+//! link-scheduling logic accounting for the majority of the chip area,
+//! with the packet memory consuming much of the remaining space" — is used
+//! argumentatively: the design fits one chip, and the comparator tree
+//! dominates. This crate reproduces those conclusions from first principles
+//! so the same argument can be re-run for any configuration (the §5.1
+//! scalability discussion and the leaf-sharing ablation).
+//!
+//! The model counts transistors per block from simple structural formulas
+//! (6T SRAM cells, ripple comparators, subtractors, registers, muxes) and
+//! converts to area/power with per-transistor constants calibrated to the
+//! paper's process. Absolute numbers are estimates; *relative* conclusions
+//! (which block dominates, how cost scales with leaves) are the point.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod scaling;
+pub mod timing;
+
+pub use model::{BlockCost, CostReport, HardwareModel, ProcessParams};
+pub use scaling::{scaling_table, ScalingRow};
+pub use timing::TreeTiming;

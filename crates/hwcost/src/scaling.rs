@@ -1,0 +1,88 @@
+//! Scaling study (paper §5.1): how chip cost and scheduler throughput move
+//! with the architectural parameters — the quantitative form of "the link
+//! scheduler could effectively support a larger number of packets or
+//! additional output ports".
+
+use rtr_types::config::RouterConfig;
+
+use crate::model::{HardwareModel, ProcessParams};
+use crate::timing::TreeTiming;
+
+/// One row of the scaling table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Packet buffers / comparator-tree leaves.
+    pub packet_slots: usize,
+    /// Pipeline stages.
+    pub stages: usize,
+    /// Total transistors.
+    pub transistors: u64,
+    /// Estimated area, mm².
+    pub area_mm2: f64,
+    /// Output ports the tree can serve at this size.
+    pub ports_supported: u32,
+    /// Whether the paper's five ports are still satisfied.
+    pub feasible_for_five_ports: bool,
+}
+
+/// Builds the scaling table over packet-buffer counts and pipeline depths.
+#[must_use]
+pub fn scaling_table(slot_counts: &[usize], stage_counts: &[usize]) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for &packet_slots in slot_counts {
+        for &stages in stage_counts {
+            let config = RouterConfig {
+                packet_slots,
+                sched_pipeline_stages: stages,
+                ..RouterConfig::default()
+            };
+            let report = HardwareModel::new(config.clone()).report();
+            let timing = TreeTiming::analyze(&config, &ProcessParams::default(), 1);
+            rows.push(ScalingRow {
+                packet_slots,
+                stages,
+                transistors: report.total_transistors,
+                area_mm2: report.area_mm2,
+                ports_supported: timing.ports_supported,
+                feasible_for_five_ports: timing.sufficient_for(5),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_point_is_feasible_with_headroom() {
+        let rows = scaling_table(&[256], &[2]);
+        assert!(rows[0].feasible_for_five_ports);
+        assert!(rows[0].ports_supported > 5);
+    }
+
+    #[test]
+    fn deeper_pipelines_rescue_larger_trees() {
+        let rows = scaling_table(&[4096], &[2, 5]);
+        let two = &rows[0];
+        let five = &rows[1];
+        assert!(
+            five.ports_supported > two.ports_supported,
+            "more stages must raise throughput: {} vs {}",
+            five.ports_supported,
+            two.ports_supported
+        );
+        // §5.1: "the tree could incorporate up to five pipeline stages".
+        assert!(five.feasible_for_five_ports, "a 4096-leaf tree works at 5 stages");
+    }
+
+    #[test]
+    fn cost_grows_roughly_linearly_with_leaves() {
+        let rows = scaling_table(&[128, 256, 512], &[2]);
+        let ratio1 = rows[1].transistors as f64 / rows[0].transistors as f64;
+        let ratio2 = rows[2].transistors as f64 / rows[1].transistors as f64;
+        assert!((1.5..2.5).contains(&ratio1), "ratio {ratio1}");
+        assert!((1.5..2.5).contains(&ratio2), "ratio {ratio2}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Comparator-tree timing and throughput analysis (paper §5.1).
+//!
+//! The paper pipelines the 256-leaf tree in two ~50 ns stages so a
+//! selection completes every 100 ns; with 20-byte packets at one byte per
+//! 20 ns, each of the five ports needs one selection per 400 ns, so two
+//! stages provide "sufficient throughput to satisfy the output ports" with
+//! headroom for more packets or more ports. This module re-derives that
+//! argument for any configuration.
+
+use rtr_types::config::RouterConfig;
+
+use crate::model::ProcessParams;
+
+/// Timing analysis of the shared, pipelined comparator tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeTiming {
+    /// Comparator levels in the tree (⌈log₂ leaves⌉).
+    pub levels: u32,
+    /// Pipeline stages.
+    pub stages: u32,
+    /// Comparator levels per stage (the critical path of a stage).
+    pub levels_per_stage: u32,
+    /// Delay of one pipeline stage, ns.
+    pub stage_ns: f64,
+    /// Latency of one full selection, ns.
+    pub selection_ns: f64,
+    /// Selections the pipeline completes per packet slot.
+    pub selections_per_slot: f64,
+    /// Output ports the tree can serve (one selection each per slot).
+    pub ports_supported: u32,
+}
+
+impl TreeTiming {
+    /// Analyzes the tree for a configuration.
+    #[must_use]
+    pub fn analyze(config: &RouterConfig, process: &ProcessParams, leaf_sharing: usize) -> Self {
+        let effective_leaves = config.packet_slots.div_ceil(leaf_sharing).max(2);
+        let levels = (effective_leaves as u64).next_power_of_two().ilog2();
+        let stages = config.sched_pipeline_stages as u32;
+        let levels_per_stage = levels.div_ceil(stages).max(1);
+        // Key computation at the base adds roughly two comparator levels
+        // of delay; leaf sharing serialises k keys through the base.
+        let base_levels = 2 * leaf_sharing as u32;
+        let stage_ns =
+            f64::from(levels_per_stage + base_levels.div_ceil(stages)) * process.comparator_level_ns;
+        let selection_ns = stage_ns * f64::from(stages);
+        let slot_ns = config.slot_bytes as f64 * process.cycle_ns;
+        let selections_per_slot = slot_ns / stage_ns;
+        TreeTiming {
+            levels,
+            stages,
+            levels_per_stage,
+            stage_ns,
+            selection_ns,
+            selections_per_slot,
+            ports_supported: selections_per_slot.floor() as u32,
+        }
+    }
+
+    /// Whether the pipeline meets the demand of `ports` output ports.
+    #[must_use]
+    pub fn sufficient_for(&self, ports: u32) -> bool {
+        self.ports_supported >= ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_types::ids::PORT_COUNT;
+
+    fn timing(config: &RouterConfig) -> TreeTiming {
+        TreeTiming::analyze(config, &ProcessParams::default(), 1)
+    }
+
+    #[test]
+    fn paper_configuration_supports_five_ports_with_two_stages() {
+        let t = timing(&RouterConfig::default());
+        assert_eq!(t.levels, 8, "256 leaves → 8 comparator levels");
+        assert_eq!(t.stages, 2);
+        // §5.1: each stage ≈ 50 ns; a selection per port per 400 ns slot.
+        assert!(t.stage_ns <= 50.0 * 1.3, "stage {} ns", t.stage_ns);
+        assert!(t.sufficient_for(PORT_COUNT as u32));
+        // With headroom: "could effectively support a larger number of
+        // packets or additional output ports".
+        assert!(t.ports_supported > PORT_COUNT as u32);
+    }
+
+    #[test]
+    fn deeper_pipelines_raise_throughput() {
+        let two = timing(&RouterConfig::default());
+        let five = timing(&RouterConfig {
+            sched_pipeline_stages: 5,
+            ..RouterConfig::default()
+        });
+        assert!(five.stage_ns < two.stage_ns);
+        assert!(five.selections_per_slot > two.selections_per_slot);
+    }
+
+    #[test]
+    fn more_leaves_need_more_levels() {
+        let big = timing(&RouterConfig {
+            packet_slots: 1024,
+            ..RouterConfig::default()
+        });
+        assert_eq!(big.levels, 10);
+        assert!(big.sufficient_for(PORT_COUNT as u32), "1024 leaves still feasible");
+    }
+
+    #[test]
+    fn leaf_sharing_trades_throughput_for_cost() {
+        let base = TreeTiming::analyze(&RouterConfig::default(), &ProcessParams::default(), 1);
+        let shared = TreeTiming::analyze(&RouterConfig::default(), &ProcessParams::default(), 8);
+        assert!(shared.levels < base.levels, "fewer comparator levels");
+        assert!(
+            shared.selections_per_slot < base.selections_per_slot,
+            "serialised keys slow the base"
+        );
+    }
+}

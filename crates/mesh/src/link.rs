@@ -1,0 +1,119 @@
+//! Physical links: unidirectional symbol pipes with a reverse credit wire.
+//!
+//! A link carries at most one [`LinkSymbol`] per cycle in the data direction
+//! (both virtual channels share the physical wires; the chip's output
+//! arbitration enforces the one-byte-per-cycle budget) and best-effort
+//! credits in the reverse direction (the acknowledgement bit of §3.2).
+
+use std::collections::VecDeque;
+
+use rtr_types::flit::LinkSymbol;
+use rtr_types::time::Cycle;
+
+/// One unidirectional link (plus its reverse credit wire).
+#[derive(Debug, Default)]
+pub struct Link {
+    /// Wire latency in cycles added on top of the one-cycle transfer.
+    latency: Cycle,
+    data: VecDeque<(Cycle, LinkSymbol)>,
+    credits: VecDeque<(Cycle, u16)>,
+}
+
+impl Link {
+    /// Creates a link with the given extra wire latency.
+    #[must_use]
+    pub fn new(latency: Cycle) -> Self {
+        Link { latency, data: VecDeque::new(), credits: VecDeque::new() }
+    }
+
+    /// Puts a symbol on the wire at `now`; it arrives at `now + 1 +
+    /// latency`.
+    pub fn send(&mut self, now: Cycle, symbol: LinkSymbol) {
+        let arrive = now + 1 + self.latency;
+        debug_assert!(
+            self.data.back().is_none_or(|(t, _)| *t < arrive),
+            "link carries at most one symbol per cycle"
+        );
+        self.data.push_back((arrive, symbol));
+    }
+
+    /// Takes the symbol arriving exactly at `now`, if any.
+    pub fn recv(&mut self, now: Cycle) -> Option<LinkSymbol> {
+        match self.data.front() {
+            Some((t, _)) if *t <= now => {
+                debug_assert_eq!(self.data.front().unwrap().0, now, "missed a link arrival");
+                self.data.pop_front().map(|(_, s)| s)
+            }
+            _ => None,
+        }
+    }
+
+    /// Puts credits on the reverse wire at `now`.
+    pub fn send_credit(&mut self, now: Cycle, bytes: u16) {
+        self.credits.push_back((now + 1 + self.latency, bytes));
+    }
+
+    /// Takes the credits arriving at `now` (summed), if any.
+    pub fn recv_credit(&mut self, now: Cycle) -> u16 {
+        let mut total = 0;
+        while let Some((t, _)) = self.credits.front() {
+            if *t <= now {
+                total += self.credits.pop_front().unwrap().1;
+            } else {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Symbols currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_types::flit::BeByte;
+
+    fn be(byte: u8) -> LinkSymbol {
+        LinkSymbol::Be(BeByte::body(byte))
+    }
+
+    #[test]
+    fn symbol_arrives_after_latency() {
+        let mut l = Link::new(2);
+        l.send(10, be(7));
+        assert!(l.recv(12).is_none());
+        assert_eq!(l.recv(13), Some(be(7)));
+        assert!(l.recv(14).is_none());
+    }
+
+    #[test]
+    fn zero_latency_link_delivers_next_cycle() {
+        let mut l = Link::new(0);
+        l.send(0, be(1));
+        assert_eq!(l.recv(1), Some(be(1)));
+    }
+
+    #[test]
+    fn credits_accumulate() {
+        let mut l = Link::new(0);
+        l.send_credit(5, 1);
+        l.send_credit(5, 2);
+        assert_eq!(l.recv_credit(5), 0);
+        assert_eq!(l.recv_credit(6), 3);
+        assert_eq!(l.recv_credit(7), 0);
+    }
+
+    #[test]
+    fn back_to_back_symbols_keep_order() {
+        let mut l = Link::new(1);
+        l.send(0, be(1));
+        l.send(1, be(2));
+        assert_eq!(l.recv(2), Some(be(1)));
+        assert_eq!(l.recv(3), Some(be(2)));
+    }
+}

@@ -1,0 +1,246 @@
+//! Network-level instrumentation: latency histograms and whole-network
+//! reports (the measurement surface the paper's §7 multicomputer-simulator
+//! plans call for).
+
+use rtr_types::chip::Chip;
+use rtr_types::ids::{Direction, NodeId};
+use rtr_types::time::Cycle;
+
+use crate::sim::{LinkUsage, Simulator};
+
+/// A fixed-width latency histogram with overflow bucket.
+///
+/// # Example
+///
+/// ```
+/// use rtr_mesh::netstats::Histogram;
+///
+/// let mut h = Histogram::new(20, 64); // one packet slot per bucket
+/// h.record_all(&[35, 41, 90]);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.max(), 90);
+/// assert_eq!(h.percentile(100.0), 100); // upper bucket edge
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `buckets` buckets of `bucket_width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0 && buckets > 0, "histogram dimensions must be positive");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        match self.buckets.get_mut(idx) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records every sample of a slice.
+    pub fn record_all(&mut self, values: &[u64]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples that exceeded the bucketed range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Nearest-rank percentile (upper bucket edge; exact for the overflow
+    /// bucket only via [`Histogram::max`]). `p` in `(0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * p / 100.0).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return (i as u64 + 1) * self.bucket_width;
+            }
+        }
+        self.max
+    }
+
+    /// Iterates `(bucket upper edge, count)` for the non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| ((i as u64 + 1) * self.bucket_width, c))
+    }
+}
+
+/// A snapshot of the whole network's delivery behaviour.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Latency histogram of delivered time-constrained packets.
+    pub tc_latency: Histogram,
+    /// Latency histogram of delivered best-effort packets.
+    pub be_latency: Histogram,
+    /// Time-constrained deliveries.
+    pub tc_delivered: usize,
+    /// Best-effort deliveries.
+    pub be_delivered: usize,
+    /// End-to-end deadline misses.
+    pub deadline_misses: usize,
+    /// Per-link usage, densest first.
+    pub links: Vec<(NodeId, Direction, LinkUsage)>,
+}
+
+impl NetworkReport {
+    /// Builds a report from a simulator (bucket width 20 cycles — one
+    /// packet slot — over 256 buckets).
+    #[must_use]
+    pub fn capture<C: Chip>(sim: &Simulator<C>, slot_bytes: usize) -> NetworkReport {
+        let mut tc_latency = Histogram::new(slot_bytes as u64, 256);
+        let mut be_latency = Histogram::new(slot_bytes as u64, 256);
+        let mut tc_delivered = 0;
+        let mut be_delivered = 0;
+        let mut deadline_misses = 0;
+        for node in sim.topology().nodes() {
+            let log = sim.log(node);
+            tc_latency.record_all(&log.tc_latencies());
+            be_latency.record_all(&log.be_latencies());
+            tc_delivered += log.tc.len();
+            be_delivered += log.be.len();
+            deadline_misses += log.tc_deadline_misses(slot_bytes);
+        }
+        let mut links = Vec::new();
+        for node in sim.topology().nodes() {
+            for dir in Direction::ALL {
+                if sim.topology().link_end(node, dir).is_some() {
+                    links.push((node, dir, sim.link_usage(node, dir)));
+                }
+            }
+        }
+        links.sort_by_key(|(_, _, u)| std::cmp::Reverse(u.tc_symbols + u.be_symbols));
+        NetworkReport {
+            cycles: sim.now(),
+            tc_latency,
+            be_latency,
+            tc_delivered,
+            be_delivered,
+            deadline_misses,
+            links,
+        }
+    }
+
+    /// The busiest links, for quick printing.
+    #[must_use]
+    pub fn hottest_links(&self, n: usize) -> &[(NodeId, Direction, LinkUsage)] {
+        &self.links[..n.min(self.links.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn histogram_basic_statistics() {
+        let mut h = Histogram::new(10, 10);
+        h.record_all(&[5, 15, 15, 95, 1000]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.overflow(), 1);
+        assert!((h.mean() - 226.0).abs() < 1e-9);
+        // Buckets: edge 10 → 1 sample, edge 20 → 2, edge 100 → 1.
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        assert_eq!(buckets, vec![(10, 1), (20, 2), (100, 1)]);
+    }
+
+    #[test]
+    fn percentiles_use_bucket_edges() {
+        let mut h = Histogram::new(10, 100);
+        for v in 0..100 {
+            h.record(v * 5); // 0..495
+        }
+        assert_eq!(h.percentile(50.0), 250);
+        assert_eq!(h.percentile(100.0), 500);
+        assert_eq!(Histogram::new(1, 1).percentile(99.0), 0, "empty histogram");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_width_rejected() {
+        let _ = Histogram::new(0, 4);
+    }
+
+    proptest! {
+        /// The histogram never loses samples and its mean matches the
+        /// exact mean.
+        #[test]
+        fn histogram_conserves_samples(values in proptest::collection::vec(0u64..10_000, 1..200)) {
+            let mut h = Histogram::new(7, 64);
+            h.record_all(&values);
+            prop_assert_eq!(h.count(), values.len() as u64);
+            let bucketed: u64 = h.iter().map(|(_, c)| c).sum::<u64>() + h.overflow();
+            prop_assert_eq!(bucketed, values.len() as u64);
+            let exact = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+            prop_assert!((h.mean() - exact).abs() < 1e-6);
+            prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        }
+    }
+}

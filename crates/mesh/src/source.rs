@@ -1,0 +1,53 @@
+//! The traffic-source interface.
+//!
+//! A [`TrafficSource`] is attached to a node and runs once per cycle before
+//! the chip ticks; it injects packets by pushing onto the node's
+//! [`ChipIo`] queues. Implementations live in `rtr_workloads`; tests and
+//! examples can use closures via [`FnSource`].
+
+use rtr_types::chip::ChipIo;
+use rtr_types::ids::NodeId;
+use rtr_types::time::Cycle;
+
+/// A per-node traffic generator.
+pub trait TrafficSource {
+    /// Runs before the node's chip ticks at `now`; may inspect the queues
+    /// and push injections.
+    fn pre_cycle(&mut self, now: Cycle, node: NodeId, io: &mut ChipIo);
+}
+
+/// Wraps a closure as a traffic source.
+pub struct FnSource<F>(pub F);
+
+impl<F: FnMut(Cycle, NodeId, &mut ChipIo)> TrafficSource for FnSource<F> {
+    fn pre_cycle(&mut self, now: Cycle, node: NodeId, io: &mut ChipIo) {
+        (self.0)(now, node, io);
+    }
+}
+
+impl<F> std::fmt::Debug for FnSource<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnSource")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_types::packet::{BePacket, PacketTrace};
+
+    #[test]
+    fn fn_source_injects() {
+        let mut source = FnSource(|now: Cycle, _node: NodeId, io: &mut ChipIo| {
+            if now == 3 {
+                io.inject_be
+                    .push_back(BePacket::new(0, 0, vec![], PacketTrace::default()));
+            }
+        });
+        let mut io = ChipIo::new();
+        for now in 0..5 {
+            source.pre_cycle(now, NodeId(0), &mut io);
+        }
+        assert_eq!(io.inject_be.len(), 1);
+    }
+}

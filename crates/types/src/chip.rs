@@ -1,0 +1,103 @@
+//! The chip-to-network interface: what any router model exchanges with its
+//! node and links each cycle.
+//!
+//! Defining this interface here (rather than in the simulator crate) lets the
+//! real-time router, the baseline routers, and the mesh simulator all agree
+//! on one contract without dependency cycles. A [`Chip`] is ticked once per
+//! cycle with a fresh view of arriving symbols and credits and fills in what
+//! it drives onto the links; injection queues and delivery sinks persist
+//! across cycles.
+
+use std::collections::VecDeque;
+
+use crate::flit::LinkSymbol;
+use crate::ids::PORT_COUNT;
+use crate::packet::{BePacket, TcPacket};
+use crate::time::Cycle;
+
+/// Per-cycle I/O bundle between a router chip and its node/links.
+///
+/// Index convention follows [`crate::ids::Port::index`]: index 0 is the local
+/// port (whose network fields are unused — injection and delivery go through
+/// the dedicated queues), indices 1–4 are the four mesh directions.
+#[derive(Debug, Default)]
+pub struct ChipIo {
+    /// Data symbol arriving on each input port this cycle (cleared by the
+    /// simulator every cycle before delivery).
+    pub rx: [Option<LinkSymbol>; PORT_COUNT],
+    /// Best-effort credit bytes arriving for each *output* port this cycle
+    /// (flit-buffer space freed downstream).
+    pub credit_in: [u16; PORT_COUNT],
+    /// Data symbol the chip drives on each output port this cycle (filled by
+    /// the chip; the simulator moves it onto the link and clears it).
+    pub tx: [Option<LinkSymbol>; PORT_COUNT],
+    /// Best-effort credit bytes the chip returns upstream on each *input*
+    /// port this cycle.
+    pub credit_out: [u16; PORT_COUNT],
+    /// Time-constrained injection queue, written by the node's traffic
+    /// source; the chip drains it at injection-port bandwidth.
+    pub inject_tc: VecDeque<TcPacket>,
+    /// Best-effort injection queue, written by the node's traffic source.
+    pub inject_be: VecDeque<BePacket>,
+    /// Time-constrained packets delivered through the reception port, with
+    /// the delivery cycle (appended by the chip; drained by the node).
+    pub delivered_tc: Vec<(Cycle, TcPacket)>,
+    /// Best-effort packets delivered through the reception port (appended by
+    /// the chip; drained by the node).
+    pub delivered_be: Vec<(Cycle, BePacket)>,
+}
+
+impl ChipIo {
+    /// A fresh I/O bundle with empty queues.
+    #[must_use]
+    pub fn new() -> Self {
+        ChipIo::default()
+    }
+
+    /// Clears the per-cycle fields (`rx`, `credit_in`); called by the
+    /// simulator before delivering this cycle's link arrivals. `tx` and
+    /// `credit_out` are cleared when collected.
+    pub fn begin_cycle(&mut self) {
+        self.rx = Default::default();
+        self.credit_in = [0; PORT_COUNT];
+    }
+}
+
+/// A router chip model that can sit at a node of the mesh simulator.
+///
+/// The simulator calls [`Chip::tick`] exactly once per cycle, in increasing
+/// cycle order, after filling `io.rx`/`io.credit_in` with this cycle's link
+/// arrivals. The chip reads those, updates internal state, fills
+/// `io.tx`/`io.credit_out`, drains injection queues, and appends deliveries.
+pub trait Chip {
+    /// Advances the chip by one cycle.
+    fn tick(&mut self, now: Cycle, io: &mut ChipIo);
+
+    /// How many best-effort flit-buffer bytes each of this chip's *input*
+    /// ports provides. The simulator uses this to initialise the upstream
+    /// neighbour's credit counters.
+    fn flit_buffer_bytes(&self) -> usize;
+
+    /// Sets the initial best-effort credit pool of an output port to the
+    /// downstream neighbour's flit-buffer size. Called once by the simulator
+    /// while wiring the network, before any traffic flows.
+    fn set_output_credits(&mut self, port: crate::ids::Port, bytes: u32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::BeByte;
+
+    #[test]
+    fn begin_cycle_clears_transient_fields_only() {
+        let mut io = ChipIo::new();
+        io.rx[1] = Some(LinkSymbol::Be(BeByte::body(1)));
+        io.credit_in[2] = 3;
+        io.inject_be.push_back(BePacket::new(0, 0, vec![], Default::default()));
+        io.begin_cycle();
+        assert!(io.rx.iter().all(Option::is_none));
+        assert_eq!(io.credit_in, [0; PORT_COUNT]);
+        assert_eq!(io.inject_be.len(), 1, "injection queues persist");
+    }
+}

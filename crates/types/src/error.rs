@@ -1,0 +1,101 @@
+//! Error types shared across the workspace.
+
+/// Failure to encode or decode a packet wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketDecodeError {
+    /// Fewer bytes than the format requires.
+    Truncated {
+        /// Bytes the format needs.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The length field disagrees with the actual byte count.
+    LengthMismatch {
+        /// Declared payload length.
+        declared: u16,
+        /// Bytes actually present after the header.
+        got: usize,
+    },
+    /// A field value does not fit its wire encoding.
+    FieldOverflow {
+        /// Which field overflowed.
+        field: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+}
+
+impl std::fmt::Display for PacketDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketDecodeError::Truncated { needed, got } => {
+                write!(f, "truncated packet: needed {needed} bytes, got {got}")
+            }
+            PacketDecodeError::LengthMismatch { declared, got } => {
+                write!(f, "length field says {declared} payload bytes, got {got}")
+            }
+            PacketDecodeError::FieldOverflow { field, value } => {
+                write!(f, "{field} value {value} does not fit its wire field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PacketDecodeError {}
+
+/// An invalid router or experiment configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A parameter is outside its supported range.
+    OutOfRange {
+        /// Which parameter.
+        parameter: &'static str,
+        /// Human-readable constraint.
+        constraint: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// Two parameters are mutually inconsistent.
+    Inconsistent {
+        /// Human-readable description of the conflict.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::OutOfRange { parameter, constraint, value } => {
+                write!(f, "{parameter} = {value} violates: {constraint}")
+            }
+            ConfigError::Inconsistent { reason } => write!(f, "inconsistent configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = PacketDecodeError::Truncated { needed: 4, got: 1 };
+        assert_eq!(e.to_string(), "truncated packet: needed 4 bytes, got 1");
+        let e = ConfigError::OutOfRange {
+            parameter: "clock_bits",
+            constraint: "2..=30",
+            value: 99,
+        };
+        assert!(e.to_string().contains("clock_bits"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PacketDecodeError>();
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,77 @@
+//! Raw simulation time: cycles and slots.
+//!
+//! The simulator advances in *cycles*; one cycle is the time a link needs to
+//! transfer one byte (20 ns at the paper's 50 MHz links). Time-constrained
+//! packets are a fixed 20 bytes, so the scheduler's *slot* — the unit the
+//! on-chip clock ticks in — is 20 cycles (§5.1 of the paper: "the clock ticks
+//! once per packet transmission time").
+
+/// A simulation cycle count (one byte time per link, 20 ns in the paper).
+pub type Cycle = u64;
+
+/// An absolute (non-wrapping) scheduler slot count.
+///
+/// One slot is one time-constrained packet transmission time
+/// ([`crate::config::RouterConfig::slot_bytes`] cycles). The on-chip clock of
+/// [`crate::clock::SlotClock`] is this value reduced modulo the clock range.
+pub type Slot = u64;
+
+/// Converts an absolute cycle count to the slot containing it.
+///
+/// # Example
+///
+/// ```
+/// use rtr_types::time::cycle_to_slot;
+/// assert_eq!(cycle_to_slot(0, 20), 0);
+/// assert_eq!(cycle_to_slot(19, 20), 0);
+/// assert_eq!(cycle_to_slot(20, 20), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `slot_bytes` is zero.
+#[must_use]
+pub fn cycle_to_slot(cycle: Cycle, slot_bytes: usize) -> Slot {
+    assert!(slot_bytes > 0, "slot length must be positive");
+    cycle / slot_bytes as u64
+}
+
+/// Converts an absolute slot count to the first cycle of that slot.
+///
+/// # Example
+///
+/// ```
+/// use rtr_types::time::slot_to_cycle;
+/// assert_eq!(slot_to_cycle(3, 20), 60);
+/// ```
+#[must_use]
+pub fn slot_to_cycle(slot: Slot, slot_bytes: usize) -> Cycle {
+    slot * slot_bytes as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_boundaries_round_trip() {
+        for slot in 0..100 {
+            let cycle = slot_to_cycle(slot, 20);
+            assert_eq!(cycle_to_slot(cycle, 20), slot);
+            assert_eq!(cycle_to_slot(cycle + 19, 20), slot);
+            assert_eq!(cycle_to_slot(cycle + 20, 20), slot + 1);
+        }
+    }
+
+    #[test]
+    fn non_default_slot_length() {
+        assert_eq!(cycle_to_slot(31, 16), 1);
+        assert_eq!(slot_to_cycle(2, 16), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot length must be positive")]
+    fn zero_slot_length_panics() {
+        let _ = cycle_to_slot(1, 0);
+    }
+}

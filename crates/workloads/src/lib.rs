@@ -1,0 +1,24 @@
+//! Traffic generators for the router experiments.
+//!
+//! * [`patterns`] — spatial destination patterns (uniform, transpose,
+//!   hotspot, nearest-neighbour),
+//! * [`tc`] — time-constrained sources: the continually-backlogged
+//!   connections of Figure 7 and periodic senders,
+//! * [`be`] — best-effort sources: backlogged streams and seeded random
+//!   (Bernoulli) load.
+//!
+//! All randomised sources own a seeded generator, keeping every experiment
+//! reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod be;
+pub mod patterns;
+pub mod replay;
+pub mod tc;
+
+pub use be::{BackloggedBeSource, RandomBeSource};
+pub use patterns::TrafficPattern;
+pub use replay::{InjectionTrace, ReplaySource};
+pub use tc::{BackloggedTcSource, BurstyTcSource, PeriodicTcSource};

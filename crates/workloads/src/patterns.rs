@@ -1,0 +1,157 @@
+//! Spatial traffic patterns for destination selection.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rtr_mesh::topology::Topology;
+use rtr_types::ids::NodeId;
+
+/// How a source picks destinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Uniformly random among all other nodes.
+    Uniform,
+    /// The transpose permutation: `(x, y) → (y, x)` (self-addressed nodes
+    /// fall back to uniform).
+    Transpose,
+    /// Everyone sends to one hot node (the hot node falls back to uniform).
+    Hotspot(NodeId),
+    /// The +x neighbour (wrapping to column 0 at the edge, same row).
+    NearestNeighbor,
+    /// The bit-complement permutation: `(x, y) → (W−1−x, H−1−y)` — every
+    /// packet crosses the mesh centre, the classic bisection stressor
+    /// (self-addressed nodes fall back to uniform).
+    BitComplement,
+}
+
+impl TrafficPattern {
+    /// Picks a destination for `src` (never `src` itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-node topology, where no other node exists.
+    pub fn pick(&self, rng: &mut StdRng, topo: &Topology, src: NodeId) -> NodeId {
+        assert!(topo.len() > 1, "patterns need at least two nodes");
+        match self {
+            TrafficPattern::Uniform => uniform(rng, topo, src),
+            TrafficPattern::Transpose => {
+                let (x, y) = topo.coords(src);
+                if x < topo.height() && y < topo.width() {
+                    let dst = topo.node_at(y.min(topo.width() - 1), x.min(topo.height() - 1));
+                    if dst != src {
+                        return dst;
+                    }
+                }
+                uniform(rng, topo, src)
+            }
+            TrafficPattern::Hotspot(hot) => {
+                if *hot != src {
+                    *hot
+                } else {
+                    uniform(rng, topo, src)
+                }
+            }
+            TrafficPattern::NearestNeighbor => {
+                let (x, y) = topo.coords(src);
+                let nx = (x + 1) % topo.width();
+                let dst = topo.node_at(nx, y);
+                if dst != src {
+                    dst
+                } else {
+                    uniform(rng, topo, src)
+                }
+            }
+            TrafficPattern::BitComplement => {
+                let (x, y) = topo.coords(src);
+                let dst = topo.node_at(topo.width() - 1 - x, topo.height() - 1 - y);
+                if dst != src {
+                    dst
+                } else {
+                    uniform(rng, topo, src)
+                }
+            }
+        }
+    }
+}
+
+fn uniform(rng: &mut StdRng, topo: &Topology, src: NodeId) -> NodeId {
+    loop {
+        let dst = NodeId(rng.gen_range(0..topo.len() as u16));
+        if dst != src {
+            return dst;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_never_picks_self() {
+        let topo = Topology::mesh(3, 3);
+        let mut r = rng();
+        for _ in 0..200 {
+            assert_ne!(TrafficPattern::Uniform.pick(&mut r, &topo, NodeId(4)), NodeId(4));
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let topo = Topology::mesh(4, 4);
+        let mut r = rng();
+        let src = topo.node_at(1, 3);
+        assert_eq!(
+            TrafficPattern::Transpose.pick(&mut r, &topo, src),
+            topo.node_at(3, 1)
+        );
+        // Diagonal nodes fall back to some other node.
+        let diag = topo.node_at(2, 2);
+        assert_ne!(TrafficPattern::Transpose.pick(&mut r, &topo, diag), diag);
+    }
+
+    #[test]
+    fn hotspot_targets_hot_node() {
+        let topo = Topology::mesh(3, 3);
+        let mut r = rng();
+        let hot = topo.node_at(1, 1);
+        assert_eq!(TrafficPattern::Hotspot(hot).pick(&mut r, &topo, NodeId(0)), hot);
+        assert_ne!(TrafficPattern::Hotspot(hot).pick(&mut r, &topo, hot), hot);
+    }
+
+    #[test]
+    fn bit_complement_mirrors_through_the_centre() {
+        let topo = Topology::mesh(4, 4);
+        let mut r = rng();
+        assert_eq!(
+            TrafficPattern::BitComplement.pick(&mut r, &topo, topo.node_at(0, 0)),
+            topo.node_at(3, 3)
+        );
+        assert_eq!(
+            TrafficPattern::BitComplement.pick(&mut r, &topo, topo.node_at(1, 2)),
+            topo.node_at(2, 1)
+        );
+        // The odd-mesh centre falls back to some other node.
+        let topo = Topology::mesh(3, 3);
+        let centre = topo.node_at(1, 1);
+        assert_ne!(TrafficPattern::BitComplement.pick(&mut r, &topo, centre), centre);
+    }
+
+    #[test]
+    fn nearest_neighbor_wraps_row() {
+        let topo = Topology::mesh(3, 2);
+        let mut r = rng();
+        assert_eq!(
+            TrafficPattern::NearestNeighbor.pick(&mut r, &topo, topo.node_at(0, 1)),
+            topo.node_at(1, 1)
+        );
+        assert_eq!(
+            TrafficPattern::NearestNeighbor.pick(&mut r, &topo, topo.node_at(2, 0)),
+            topo.node_at(0, 0)
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Trace capture and replay: record an injection schedule once, replay it
+//! byte-for-byte against any router design — how the baseline comparisons
+//! keep their offered load identical across designs.
+
+use rtr_mesh::source::TrafficSource;
+use rtr_types::chip::ChipIo;
+use rtr_types::ids::NodeId;
+use rtr_types::packet::{BePacket, TcPacket};
+use rtr_types::time::Cycle;
+
+/// One recorded injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A time-constrained packet queued at the given cycle.
+    Tc(Cycle, TcPacket),
+    /// A best-effort packet queued at the given cycle.
+    Be(Cycle, BePacket),
+}
+
+impl TraceEvent {
+    /// The injection cycle.
+    #[must_use]
+    pub fn cycle(&self) -> Cycle {
+        match self {
+            TraceEvent::Tc(c, _) | TraceEvent::Be(c, _) => *c,
+        }
+    }
+}
+
+/// A recorded injection schedule for one node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InjectionTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl InjectionTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        InjectionTrace::default()
+    }
+
+    /// Records a time-constrained injection.
+    pub fn record_tc(&mut self, cycle: Cycle, packet: TcPacket) {
+        self.push(TraceEvent::Tc(cycle, packet));
+    }
+
+    /// Records a best-effort injection.
+    pub fn record_be(&mut self, cycle: Cycle, packet: BePacket) {
+        self.push(TraceEvent::Be(cycle, packet));
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|e| e.cycle() <= event.cycle()),
+            "trace events must be recorded in cycle order"
+        );
+        self.events.push(event);
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events, in cycle order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Wraps the trace in a replaying [`TrafficSource`].
+    #[must_use]
+    pub fn into_source(self) -> ReplaySource {
+        ReplaySource { trace: self, next: 0 }
+    }
+}
+
+/// Replays a recorded injection schedule exactly.
+#[derive(Debug)]
+pub struct ReplaySource {
+    trace: InjectionTrace,
+    next: usize,
+}
+
+impl ReplaySource {
+    /// Events not yet replayed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.next
+    }
+}
+
+impl TrafficSource for ReplaySource {
+    fn pre_cycle(&mut self, now: Cycle, _node: NodeId, io: &mut ChipIo) {
+        while let Some(event) = self.trace.events.get(self.next) {
+            if event.cycle() > now {
+                break;
+            }
+            match event {
+                TraceEvent::Tc(_, p) => io.inject_tc.push_back(p.clone()),
+                TraceEvent::Be(_, p) => io.inject_be.push_back(p.clone()),
+            }
+            self.next += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_types::packet::PacketTrace;
+
+    fn be(seq: u64) -> BePacket {
+        BePacket::new(1, 0, vec![seq as u8], PacketTrace { sequence: seq, ..Default::default() })
+    }
+
+    #[test]
+    fn replay_fires_at_recorded_cycles() {
+        let mut trace = InjectionTrace::new();
+        trace.record_be(5, be(0));
+        trace.record_be(5, be(1));
+        trace.record_be(40, be(2));
+        let mut source = trace.into_source();
+        let mut io = ChipIo::new();
+        for now in 0..4 {
+            source.pre_cycle(now, NodeId(0), &mut io);
+        }
+        assert!(io.inject_be.is_empty());
+        source.pre_cycle(5, NodeId(0), &mut io);
+        assert_eq!(io.inject_be.len(), 2, "both cycle-5 events fire together");
+        source.pre_cycle(100, NodeId(0), &mut io);
+        assert_eq!(io.inject_be.len(), 3, "late replay catches up");
+        assert_eq!(source.remaining(), 0);
+    }
+
+    #[test]
+    fn replaying_twice_gives_identical_queues() {
+        let mut trace = InjectionTrace::new();
+        for k in 0..10 {
+            trace.record_be(k * 3, be(k));
+        }
+        let replay = |trace: InjectionTrace| {
+            let mut source = trace.into_source();
+            let mut io = ChipIo::new();
+            for now in 0..100 {
+                source.pre_cycle(now, NodeId(0), &mut io);
+            }
+            io.inject_be.into_iter().map(|p| p.trace.sequence).collect::<Vec<_>>()
+        };
+        assert_eq!(replay(trace.clone()), replay(trace));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cycle order")]
+    fn out_of_order_recording_is_rejected() {
+        let mut trace = InjectionTrace::new();
+        trace.record_be(10, be(0));
+        trace.record_be(3, be(1));
+    }
+}

@@ -1,0 +1,60 @@
+//! Integration: the paper experiments keep their published shapes
+//! (abbreviated versions of the `rtr-bench` harnesses; see EXPERIMENTS.md
+//! for the full regeneration).
+
+use rtr_bench::baseline_compare::{run_one, Design};
+use rtr_bench::{exp1, fig7, horizon, mesh_guarantees};
+
+#[test]
+fn e1_wormhole_latency_is_constant_plus_b() {
+    let rows = exp1::run(&[16, 64, 160]);
+    let c0 = rows[0].wormhole_latency - rows[0].bytes as u64;
+    for r in &rows {
+        assert_eq!(
+            r.wormhole_latency,
+            c0 + r.bytes as u64,
+            "slope must be exactly one cycle per byte"
+        );
+        assert!(
+            (30..=31).contains(&(r.wormhole_latency - r.bytes as u64)),
+            "constant within one cycle of the paper's 30"
+        );
+        assert!(r.store_forward_latency > r.wormhole_latency);
+    }
+}
+
+#[test]
+fn f7_shares_and_deadlines() {
+    let r = fig7::run(0, 92, 30_000, 3_000);
+    assert!((r.tc_shares[0] - 0.125).abs() < 0.012);
+    assert!((r.tc_shares[1] - 0.0625).abs() < 0.008);
+    assert!((r.tc_shares[2] - 0.03125).abs() < 0.006);
+    assert!(r.be_share > 0.5);
+    assert_eq!(r.deadline_misses, 0);
+}
+
+#[test]
+fn x1_horizon_trade_off_shape() {
+    let rows = horizon::run(&[0, 32], 40_000);
+    assert!(rows[1].mean_latency < rows[0].mean_latency);
+    assert!(rows[1].dst_held_packets >= rows[0].dst_held_packets);
+    assert!(rows[1].required_reservation > rows[0].required_reservation);
+}
+
+#[test]
+fn x2_design_hierarchy() {
+    let rt = run_one(Design::RealTime, 0.2, 40_000);
+    let pv = run_one(Design::PriorityVc, 0.2, 40_000);
+    let wh = run_one(Design::Wormhole, 0.2, 40_000);
+    assert_eq!(rt.misses, 0, "the real-time router never misses");
+    assert!(pv.misses > 0, "FIFO priority misses under bursty peers");
+    assert!(wh.misses > pv.misses, "wormhole fares worst under load");
+}
+
+#[test]
+fn x3_mesh_guarantees_hold() {
+    let r = mesh_guarantees::run(4, 10, 0.1, 99, 50_000);
+    assert!(r.admitted > 0);
+    assert_eq!(r.misses, 0);
+    assert_eq!(r.aliased_keys, 0);
+}

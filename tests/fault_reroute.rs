@@ -1,0 +1,94 @@
+//! Integration: steering a real-time channel around a failed link with
+//! explicit routes (paper §1: disjoint routes improve "resilience to link
+//! and node failures"; §3.3: table-driven routing follows whatever path
+//! establishment reserves).
+
+use realtime_router::channels::{ChannelManager, ChannelRequest, ChannelSender, TrafficSpec};
+use realtime_router::core::RealTimeRouter;
+use realtime_router::mesh::{Simulator, Topology};
+use realtime_router::prelude::*;
+use realtime_router::workloads::tc::PeriodicTcSource;
+
+#[test]
+fn channel_routed_around_a_dead_link_still_guarantees() {
+    let config = RouterConfig::default();
+    let topo = Topology::mesh(3, 3);
+    let mut sim =
+        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let src = topo.node_at(0, 0);
+    let dst = topo.node_at(2, 0);
+
+    // The direct row-0 links are "failed": pick a detour and reserve it.
+    let dead = [
+        (src, Direction::XPlus),
+        (topo.node_at(1, 0), Direction::XPlus),
+    ];
+    let detour = topo.route_avoiding(src, dst, &dead).unwrap();
+    for hop in &dead {
+        assert!(!detour_uses(&topo, src, &detour, *hop), "detour avoids dead links");
+    }
+
+    let mut manager = ChannelManager::new(&config);
+    let channel = manager
+        .establish_routed(
+            &topo,
+            ChannelRequest::unicast(src, dst, TrafficSpec::periodic(16, 18), 60),
+            std::slice::from_ref(&detour),
+            &mut sim,
+        )
+        .unwrap();
+
+    let sender = ChannelSender::new(
+        &channel,
+        sim.chip(src).clock(),
+        config.slot_bytes,
+        config.tc_data_bytes(),
+    );
+    sim.add_source(
+        src,
+        Box::new(PeriodicTcSource::new(
+            sender,
+            16,
+            0,
+            config.slot_bytes,
+            vec![0x44; config.tc_data_bytes()],
+        )),
+    );
+    sim.run(50_000);
+
+    let log = sim.log(dst);
+    assert!(log.tc.len() > 120, "delivered {}", log.tc.len());
+    assert_eq!(log.tc_deadline_misses(config.slot_bytes), 0);
+    // The dead links carried no time-constrained traffic.
+    for (node, dir) in dead {
+        assert_eq!(
+            sim.link_usage(node, dir).tc_symbols,
+            0,
+            "dead link {node}/{dir} must stay silent"
+        );
+    }
+    // The detour's first link carried all of it.
+    assert!(sim.link_usage(src, detour[0]).tc_symbols > 0);
+}
+
+fn detour_uses(
+    topo: &Topology,
+    src: NodeId,
+    route: &[Direction],
+    link: (NodeId, Direction),
+) -> bool {
+    let nodes = topo.walk(src, route);
+    nodes
+        .iter()
+        .zip(route)
+        .any(|(&n, &d)| (n, d) == link)
+}
+
+#[test]
+fn disconnected_failures_are_reported_not_mis_routed() {
+    let topo = Topology::mesh(2, 1);
+    let dead = [(topo.node_at(0, 0), Direction::XPlus)];
+    assert!(topo
+        .route_avoiding(topo.node_at(0, 0), topo.node_at(1, 0), &dead)
+        .is_none());
+}

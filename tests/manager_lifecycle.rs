@@ -1,0 +1,69 @@
+//! Property: arbitrary establish/teardown interleavings leave the channel
+//! manager's books consistent — tearing down everything restores a clean
+//! slate, and mid-sequence accounting never goes negative (reservation
+//! release would panic).
+
+use proptest::prelude::*;
+use realtime_router::channels::{
+    ChannelManager, ChannelRequest, ControlPlane, TrafficSpec,
+};
+use realtime_router::core::{ControlCommand, ControlError};
+use realtime_router::mesh::Topology;
+use realtime_router::prelude::*;
+use realtime_router::types::config::RouterConfig;
+
+struct NullPlane;
+
+impl ControlPlane for NullPlane {
+    fn apply(&mut self, _node: NodeId, _cmd: ControlCommand) -> Result<(), ControlError> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn establish_teardown_interleavings_conserve_books(
+        ops in proptest::collection::vec((any::<bool>(), 0u16..36, 0u16..36, 0usize..3), 1..40)
+    ) {
+        let config = RouterConfig::default();
+        let topo = Topology::mesh(4, 3);
+        let n = topo.len() as u16;
+        let mut manager = ChannelManager::new(&config);
+        let mut live: Vec<u64> = Vec::new();
+        for (establish, s, d, spec_idx) in ops {
+            if establish {
+                let src = NodeId(s % n);
+                let dst = NodeId(d % n);
+                if src == dst {
+                    continue;
+                }
+                let i_min = [8u32, 16, 32][spec_idx];
+                let depth = topo.dor_route(src, dst).len() as u32 + 1;
+                let request = ChannelRequest::unicast(
+                    src,
+                    dst,
+                    TrafficSpec::periodic(i_min, 18),
+                    depth * 6,
+                );
+                if let Ok(ch) = manager.establish(&topo, request, &mut NullPlane) {
+                    live.push(ch.id);
+                }
+            } else if let Some(id) = live.pop() {
+                manager.teardown(id, &mut NullPlane).unwrap();
+            }
+            // Reserved links always show sane utilisation.
+            for row in manager.utilization_report() {
+                prop_assert!(row.utilization > 0.0 && row.utilization <= 1.0 + 1e-9);
+                prop_assert!(row.connections >= 1);
+            }
+        }
+        // Tear everything down: a clean slate again.
+        for id in live {
+            manager.teardown(id, &mut NullPlane).unwrap();
+        }
+        prop_assert!(manager.utilization_report().is_empty());
+        prop_assert!(manager.channels().is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Robustness: garbage traffic cannot crash routers or break other
+//! channels' guarantees.
+//!
+//! A rogue host blasts time-constrained packets with random connection
+//! identifiers, random (often aliasing) timestamps, and wrong payload
+//! sizes into the network while a legitimate admitted channel runs. The
+//! invariants: no panics, every rogue packet is accounted for in the drop
+//! counters or delivered harmlessly, and the legitimate channel never
+//! misses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use realtime_router::channels::{ChannelManager, ChannelRequest, ChannelSender, TrafficSpec};
+use realtime_router::core::RealTimeRouter;
+use realtime_router::mesh::source::FnSource;
+use realtime_router::mesh::{Simulator, Topology};
+use realtime_router::prelude::*;
+use realtime_router::workloads::tc::PeriodicTcSource;
+
+#[test]
+fn rogue_injections_are_contained() {
+    let config = RouterConfig::default();
+    let topo = Topology::mesh(3, 3);
+    let mut sim =
+        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut manager = ChannelManager::new(&config);
+
+    // The legitimate channel crosses the rogue's node.
+    let src = topo.node_at(0, 1);
+    let dst = topo.node_at(2, 1);
+    let channel = manager
+        .establish(
+            &topo,
+            ChannelRequest::unicast(src, dst, TrafficSpec::periodic(16, 18), 48),
+            &mut sim,
+        )
+        .unwrap();
+    let sender = ChannelSender::new(
+        &channel,
+        sim.chip(src).clock(),
+        config.slot_bytes,
+        config.tc_data_bytes(),
+    );
+    sim.add_source(
+        src,
+        Box::new(PeriodicTcSource::new(
+            sender,
+            16,
+            0,
+            config.slot_bytes,
+            vec![0x60; config.tc_data_bytes()],
+        )),
+    );
+
+    // The rogue sits mid-route and injects garbage every few cycles.
+    let rogue = topo.node_at(1, 1);
+    let clock = sim.chip(rogue).clock();
+    let _data_bytes = config.tc_data_bytes();
+    let mut rng = StdRng::seed_from_u64(0xBAD);
+    sim.add_source(
+        rogue,
+        Box::new(FnSource(move |now: u64, _node, io: &mut rtr_types::chip::ChipIo| {
+            if now.is_multiple_of(7) && io.inject_tc.len() < 8 {
+                let payload_len = *[0usize, 3, 18, 18, 18].get(rng.gen_range(0..5)).unwrap();
+                io.inject_tc.push_back(TcPacket {
+                    conn: ConnectionId(rng.gen_range(0..256)),
+                    arrival: clock.wrap(rng.gen_range(0..100_000)),
+                    payload: vec![0xEE; payload_len],
+                    trace: PacketTrace::default(),
+                });
+            }
+        })),
+    );
+
+    sim.run(100_000);
+
+    // The legitimate channel is untouched.
+    let log = sim.log(dst);
+    assert!(log.tc.len() > 280, "delivered {}", log.tc.len());
+    assert_eq!(log.tc_deadline_misses(config.slot_bytes), 0);
+
+    // Every rogue packet is accounted for: malformed or unknown-connection
+    // drops at the rogue's own router (garbage conn ids may rarely hit the
+    // legitimate entry installed there and be forwarded — those appear as
+    // deliveries or downstream drops, never as corruption).
+    let stats = sim.chip(rogue).stats();
+    assert!(stats.tc_malformed > 0, "wrong-size payloads rejected");
+    assert!(stats.tc_dropped_no_conn > 0, "unknown connections dropped");
+    let injected_attempts = stats.tc_injected + stats.tc_malformed;
+    // The injection port drains one packet per 20-cycle slot, so ~5 000
+    // attempts reach the router over 100 000 cycles.
+    assert!(injected_attempts > 3_000, "the rogue really was blasting: {injected_attempts}");
+    // Memory never leaks slots.
+    for node in topo.nodes() {
+        let chip = sim.chip(node);
+        assert!(chip.memory_occupied() <= chip.config().packet_slots);
+    }
+}
