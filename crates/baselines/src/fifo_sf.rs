@@ -114,8 +114,7 @@ impl FifoSfRouter {
         outgoing: ConnectionId,
         out_mask: u8,
     ) -> Result<(), TableError> {
-        self.table
-            .install(incoming, ConnEntry { outgoing, delay: 0, out_mask }, &self.clock)
+        self.table.install(incoming, ConnEntry { outgoing, delay: 0, out_mask }, &self.clock)
     }
 
     /// Statistics counters.
@@ -283,11 +282,7 @@ impl Chip for FifoSfRouter {
         }
         // Injection (one byte per cycle per class, like the other routers).
         if let Some(remaining) = self.tc_inject_remaining {
-            self.tc_inject_remaining = if remaining == 1 {
-                None
-            } else {
-                Some(remaining - 1)
-            };
+            self.tc_inject_remaining = if remaining == 1 { None } else { Some(remaining - 1) };
         } else if let Some(packet) = io.inject_tc.pop_front() {
             let remaining = packet.wire_len() - 1;
             // Model the serial transfer then hand the whole packet over.
@@ -298,8 +293,10 @@ impl Chip for FifoSfRouter {
         if self.be_inject.is_none() {
             if let Some(packet) = io.inject_be.pop_front() {
                 let wire_len = packet.wire_len();
-                self.pending
-                    .push_back((now + wire_len as Cycle - 1 + self.hop_latency, Queued::Be(packet)));
+                self.pending.push_back((
+                    now + wire_len as Cycle - 1 + self.hop_latency,
+                    Queued::Be(packet),
+                ));
                 self.be_inject = Some((vec![0; wire_len], 1, PacketTrace::default()));
             }
         }
@@ -364,16 +361,13 @@ mod tests {
     fn tc_packets_route_by_table() {
         let topo = Topology::mesh(2, 1);
         let mut sim =
-            Simulator::build(topo.clone(), |_| FifoSfRouter::new(RouterConfig::default()))
-                .unwrap();
+            Simulator::build(topo.clone(), |_| FifoSfRouter::new(RouterConfig::default())).unwrap();
         let src = topo.node_at(0, 0);
         let dst = topo.node_at(1, 0);
         sim.chip_mut(src)
             .install(ConnectionId(1), ConnectionId(2), Port::Dir(Direction::XPlus).mask())
             .unwrap();
-        sim.chip_mut(dst)
-            .install(ConnectionId(2), ConnectionId(2), Port::Local.mask())
-            .unwrap();
+        sim.chip_mut(dst).install(ConnectionId(2), ConnectionId(2), Port::Local.mask()).unwrap();
         sim.inject_tc(
             src,
             TcPacket {

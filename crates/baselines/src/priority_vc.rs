@@ -117,8 +117,7 @@ impl PriorityVcRouter {
         outgoing: ConnectionId,
         out_mask: u8,
     ) -> Result<(), TableError> {
-        self.table
-            .install(incoming, ConnEntry { outgoing, delay: 0, out_mask }, &self.clock)
+        self.table.install(incoming, ConnEntry { outgoing, delay: 0, out_mask }, &self.clock)
     }
 
     /// Statistics counters.
@@ -201,11 +200,8 @@ impl PriorityVcRouter {
         }
         // Start the FIFO head, preempting best-effort traffic.
         if let Some(addr) = self.queues[out_idx].pop_front() {
-            let packet = self
-                .memory
-                .peek(addr)
-                .expect("queued address points at an idle slot")
-                .clone();
+            let packet =
+                self.memory.peek(addr).expect("queued address points at an idle slot").clone();
             self.remaining[addr.index()] &= !Port::from_index(out_idx).mask();
             if self.remaining[addr.index()] == 0 {
                 self.memory.free(addr);
@@ -284,8 +280,7 @@ impl Chip for PriorityVcRouter {
             if self.inputs[0].be_free_space() > 0 {
                 let head = *pos == 0;
                 let tail = *pos == wire.len() - 1;
-                let byte =
-                    BeByte { byte: wire[*pos], head, tail, trace: head.then_some(*trace) };
+                let byte = BeByte { byte: wire[*pos], head, tail, trace: head.then_some(*trace) };
                 self.inputs[0].push_be(now, byte);
                 *pos += 1;
                 if *pos == wire.len() {
@@ -353,9 +348,7 @@ mod tests {
         sim.chip_mut(src)
             .install(ConnectionId(1), ConnectionId(1), Port::Dir(Direction::XPlus).mask())
             .unwrap();
-        sim.chip_mut(dst)
-            .install(ConnectionId(1), ConnectionId(1), Port::Local.mask())
-            .unwrap();
+        sim.chip_mut(dst).install(ConnectionId(1), ConnectionId(1), Port::Local.mask()).unwrap();
         // A long best-effort stream plus one high-class packet.
         sim.inject_be(src, BePacket::new(1, 0, vec![0; 400], PacketTrace::default()));
         sim.run(100);

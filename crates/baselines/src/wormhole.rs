@@ -147,8 +147,7 @@ impl Chip for WormholeRouter {
             if self.inputs[0].be_free_space() > 0 {
                 let head = *pos == 0;
                 let tail = *pos == wire.len() - 1;
-                let byte =
-                    BeByte { byte: wire[*pos], head, tail, trace: head.then_some(*trace) };
+                let byte = BeByte { byte: wire[*pos], head, tail, trace: head.then_some(*trace) };
                 self.inputs[0].push_be(now, byte);
                 *pos += 1;
                 if *pos == wire.len() {
@@ -212,12 +211,17 @@ mod tests {
         let (x, y) = topo.be_offsets(src, dst);
         sim.inject_be(
             src,
-            BePacket::new(x, y, vec![0x77; 40], PacketTrace {
-                source: src,
-                destination: dst,
-                injected_at: 0,
-                ..PacketTrace::default()
-            }),
+            BePacket::new(
+                x,
+                y,
+                vec![0x77; 40],
+                PacketTrace {
+                    source: src,
+                    destination: dst,
+                    injected_at: 0,
+                    ..PacketTrace::default()
+                },
+            ),
         );
         assert!(sim.run_until(5000, |s| !s.log(dst).be.is_empty()));
         assert_eq!(sim.log(dst).be[0].1.payload.len(), 40);

@@ -21,11 +21,7 @@ impl ControlPlane for NullPlane {
 fn bench_demand_test(c: &mut Criterion) {
     let mut book = LinkBook::new();
     for i in 0..24u32 {
-        book.reserve(LinkReservation {
-            packets: 1,
-            period: 32 + i,
-            delay: 8 + i % 16,
-        });
+        book.reserve(LinkReservation { packets: 1, period: 32 + i, delay: 8 + i % 16 });
     }
     let candidate = LinkReservation { packets: 1, period: 64, delay: 16 };
     c.bench_function("link_demand_test_24_connections", |b| {
@@ -45,9 +41,7 @@ fn bench_establish(c: &mut Criterion) {
             120,
         );
         b.iter(|| {
-            let ch = manager
-                .establish(&topo, request.clone(), &mut NullPlane)
-                .expect("admissible");
+            let ch = manager.establish(&topo, request.clone(), &mut NullPlane).expect("admissible");
             manager.teardown(ch.id, &mut NullPlane).unwrap();
         });
     });

@@ -11,8 +11,7 @@ use rtr_workloads::patterns::TrafficPattern;
 fn make_sim() -> Simulator<RealTimeRouter> {
     let topo = Topology::mesh(4, 4);
     let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(RouterConfig::default()))
-            .unwrap();
+        Simulator::build(topo.clone(), |_| RealTimeRouter::new(RouterConfig::default())).unwrap();
     for node in topo.nodes() {
         sim.add_source(
             node,

@@ -30,8 +30,7 @@ fn loaded_router() -> (RealTimeRouter, ChipIo) {
             payload: vec![0; router.config().tc_data_bytes()],
             trace: PacketTrace::default(),
         });
-        io.inject_be
-            .push_back(BePacket::new(1, 0, vec![0; 60], PacketTrace::default()));
+        io.inject_be.push_back(BePacket::new(1, 0, vec![0; 60], PacketTrace::default()));
     }
     (router, io)
 }

@@ -189,9 +189,7 @@ fn channels_for<P: ControlPlane>(
     let s = scenario();
     let config = RouterConfig::default();
     let mut manager = ChannelManager::new(&config);
-    let tight = manager
-        .establish(topo, s.tight, plane)
-        .expect("tight channel must be admissible");
+    let tight = manager.establish(topo, s.tight, plane).expect("tight channel must be admissible");
     let aggressors = s
         .aggressors
         .into_iter()
@@ -220,11 +218,8 @@ fn measure_tight(
             packets.iter().map(|(c, p)| c.saturating_sub(p.trace.injected_at)).collect();
         (packets.len(), misses, lat)
     } else {
-        let packets: Vec<_> = log
-            .tc
-            .iter()
-            .filter(|(_, p)| p.trace.source == tight_source)
-            .collect();
+        let packets: Vec<_> =
+            log.tc.iter().filter(|(_, p)| p.trace.source == tight_source).collect();
         let misses = packets
             .iter()
             .filter(|(c, p)| rtr_types::time::cycle_to_slot(*c, slot_bytes) > p.trace.deadline)
@@ -303,8 +298,7 @@ pub fn run_one(design: Design, be_rate: f64, total_cycles: Cycle) -> CompareRow 
         }
         Design::PriorityVc => {
             let mut sim =
-                Simulator::build(topo.clone(), |_| PriorityVcRouter::new(config.clone()))
-                    .unwrap();
+                Simulator::build(topo.clone(), |_| PriorityVcRouter::new(config.clone())).unwrap();
             let (tight, aggressors) = {
                 let mut plane = PvPlane(&mut sim);
                 channels_for(&topo, &mut plane)
@@ -369,8 +363,7 @@ pub fn run_one(design: Design, be_rate: f64, total_cycles: Cycle) -> CompareRow 
             }
             add_background(&mut sim, &topo, be_rate, 0xBEEF);
             sim.run(total_cycles);
-            let (delivered, misses, mean, max) =
-                measure_tight(sim.log(dst), tight_src, slot, true);
+            let (delivered, misses, mean, max) = measure_tight(sim.log(dst), tight_src, slot, true);
             CompareRow { design, be_rate, delivered, misses, mean_latency: mean, max_latency: max }
         }
     }
@@ -381,12 +374,8 @@ pub fn run_one(design: Design, be_rate: f64, total_cycles: Cycle) -> CompareRow 
 pub fn run(be_rates: &[f64], total_cycles: Cycle) -> Vec<CompareRow> {
     let mut rows = Vec::new();
     for &rate in be_rates {
-        for design in [
-            Design::RealTime,
-            Design::PriorityVc,
-            Design::StoreForward,
-            Design::Wormhole,
-        ] {
+        for design in [Design::RealTime, Design::PriorityVc, Design::StoreForward, Design::Wormhole]
+        {
             rows.push(run_one(design, rate, total_cycles));
         }
     }
@@ -408,10 +397,7 @@ mod tests {
     fn priority_fifo_misses_under_aggressive_peers() {
         let row = run_one(Design::PriorityVc, 0.0, 60_000);
         assert!(row.delivered > 100);
-        assert!(
-            row.misses > 0,
-            "unregulated FIFO must let aggressors delay the tight channel"
-        );
+        assert!(row.misses > 0, "unregulated FIFO must let aggressors delay the tight channel");
     }
 
     #[test]

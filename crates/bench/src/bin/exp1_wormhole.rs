@@ -23,9 +23,7 @@ fn main() {
     }
     println!();
     let d0 = rows[0].wormhole_latency as i64 - rows[0].bytes as i64;
-    let all_linear = rows
-        .iter()
-        .all(|r| r.wormhole_latency as i64 - r.bytes as i64 == d0);
+    let all_linear = rows.iter().all(|r| r.wormhole_latency as i64 - r.bytes as i64 == d0);
     println!(
         "latency = {} + b for every size (paper: 30 + b): linear fit {}",
         d0,

@@ -24,18 +24,10 @@ fn main() {
     }
     println!();
     println!("long-run bandwidth shares (bytes/cycle; link capacity 1.0):");
-    for (i, (share, reserved)) in result
-        .tc_shares
-        .iter()
-        .zip([1.0 / 8.0, 1.0 / 16.0, 1.0 / 32.0])
-        .enumerate()
+    for (i, (share, reserved)) in
+        result.tc_shares.iter().zip([1.0 / 8.0, 1.0 / 16.0, 1.0 / 32.0]).enumerate()
     {
-        println!(
-            "  connection {}: measured {:.5}  reserved {:.5}",
-            i + 1,
-            share,
-            reserved
-        );
+        println!("  connection {}: measured {:.5}  reserved {:.5}", i + 1, share, reserved);
     }
     println!("  best-effort:  measured {:.5}  (absorbs the excess)", result.be_share);
     println!();

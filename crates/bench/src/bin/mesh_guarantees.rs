@@ -8,7 +8,15 @@ fn main() {
     println!();
     println!(
         "{:>6} {:>8} {:>9} {:>10} {:>7} {:>10} {:>8} {:>9} {:>12}",
-        "seed", "offered", "admitted", "delivered", "misses", "min slack", "aliased", "peak mem", "BE delivered"
+        "seed",
+        "offered",
+        "admitted",
+        "delivered",
+        "misses",
+        "min slack",
+        "aliased",
+        "peak mem",
+        "BE delivered"
     );
     for seed in [1u64, 7, 42, 1234] {
         let r = run(4, 16, 0.15, seed, 100_000);

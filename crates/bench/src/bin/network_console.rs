@@ -1,12 +1,22 @@
 //! An ops-style console: build a mesh scenario from the command line, run
 //! it, and print the manager's reservation report plus the network report
-//! (deliveries, latency histograms, hottest links).
+//! (deliveries, latency histograms, deadline slack, occupancy, hottest
+//! links).
+//!
+//! Arguments are `key=value` pairs in any order; bare values are accepted
+//! positionally in the order below for backwards compatibility.
 //!
 //! ```text
 //! cargo run --release -p rtr-bench --bin network_console -- \
 //!     [side=4] [channels=12] [be_rate=0.1] [cycles=100000] \
-//!     [scheduler=tree|banded:<shift>] [vct=0|1] [seed=42]
+//!     [scheduler=tree|banded:<shift>] [vct=0|1] [seed=42] \
+//!     [sample=<N>] [trace=<path>]
 //! ```
+//!
+//! `sample=N` snapshots packet-memory/scheduler/queue gauges every N cycles
+//! and prints an occupancy summary. `trace=<path>` streams the cycle-level
+//! packet lifecycle as JSONL (requires building with `--features trace`;
+//! replay it with the `trace_dump` bin).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,31 +31,167 @@ use rtr_workloads::be::{RandomBeSource, SizeDist};
 use rtr_workloads::patterns::TrafficPattern;
 use rtr_workloads::tc::PeriodicTcSource;
 
+const USAGE: &str = "\
+usage: network_console [key=value ...]
+
+  side=N                 mesh side length            (default 4)
+  channels=N             offered channels            (default 12)
+  be_rate=F              best-effort injection rate  (default 0.1)
+  cycles=N               cycles to simulate          (default 100000)
+  scheduler=tree         comparator-tree EDF         (default)
+  scheduler=banded:S     banded scheduler, shift S
+  vct=0|1                TC virtual cut-through      (default 0)
+  seed=N                 RNG seed                    (default 42)
+  sample=N               gauge-sample every N cycles (default 0 = off)
+  trace=PATH             write JSONL packet trace (needs --features trace)
+
+Bare values are read positionally: side channels be_rate cycles scheduler
+vct seed.";
+
+#[derive(Debug)]
+struct Options {
+    side: u16,
+    channels: usize,
+    be_rate: f64,
+    cycles: u64,
+    scheduler: SchedulerKind,
+    vct: bool,
+    seed: u64,
+    sample: u64,
+    trace: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            side: 4,
+            channels: 12,
+            be_rate: 0.1,
+            cycles: 100_000,
+            scheduler: SchedulerKind::ComparatorTree,
+            vct: false,
+            seed: 42,
+            sample: 0,
+            trace: None,
+        }
+    }
+}
+
+fn parse_scheduler(value: &str) -> Result<SchedulerKind, String> {
+    if value == "tree" {
+        return Ok(SchedulerKind::ComparatorTree);
+    }
+    if let Some(shift) = value.strip_prefix("banded:") {
+        let band_shift =
+            shift.parse().map_err(|_| format!("bad band shift in scheduler={value}"))?;
+        return Ok(SchedulerKind::Banded { band_shift });
+    }
+    Err(format!("unknown scheduler `{value}` (want tree or banded:<shift>)"))
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "1" | "true" => Ok(true),
+        "0" | "false" => Ok(false),
+        _ => Err(format!("bad value for {key}={value} (want 0 or 1)")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value.parse().map_err(|_| format!("bad value for {key}={value}"))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    // Positional order mirrors the historical interface.
+    const POSITIONAL: [&str; 7] =
+        ["side", "channels", "be_rate", "cycles", "scheduler", "vct", "seed"];
+    let mut next_positional = 0;
+    for arg in args {
+        let (key, value) = match arg.split_once('=') {
+            Some((k, v)) => (k.to_string(), v),
+            None => {
+                let key = *POSITIONAL
+                    .get(next_positional)
+                    .ok_or_else(|| format!("too many positional arguments at `{arg}`"))?;
+                next_positional += 1;
+                (key.to_string(), arg.as_str())
+            }
+        };
+        match key.as_str() {
+            "side" => opts.side = parse_num(&key, value)?,
+            "channels" => opts.channels = parse_num(&key, value)?,
+            "be_rate" => opts.be_rate = parse_num(&key, value)?,
+            "cycles" => opts.cycles = parse_num(&key, value)?,
+            "scheduler" => opts.scheduler = parse_scheduler(value)?,
+            "vct" => opts.vct = parse_bool(&key, value)?,
+            "seed" => opts.seed = parse_num(&key, value)?,
+            "sample" => opts.sample = parse_num(&key, value)?,
+            "trace" => opts.trace = Some(value.to_string()),
+            _ => return Err(format!("unknown key `{key}`")),
+        }
+    }
+    if opts.side == 0 {
+        return Err("side must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+#[cfg(feature = "trace")]
+fn attach_trace(
+    sim: &mut Simulator<RealTimeRouter>,
+    topo: &Topology,
+    path: &str,
+) -> std::rc::Rc<std::cell::RefCell<rtr_types::trace::JsonlSink<std::fs::File>>> {
+    use rtr_types::trace::{shared, JsonlSink};
+    let sink = shared(JsonlSink::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create trace file {path}: {e}");
+        std::process::exit(2);
+    }));
+    for node in topo.nodes() {
+        sim.chip_mut(node).set_trace_sink(node, sink.clone());
+    }
+    sink
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let side: u16 = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
-    let offered: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
-    let be_rate: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let cycles: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100_000);
-    let scheduler = match args.get(4).map(String::as_str) {
-        Some(s) if s.starts_with("banded:") => SchedulerKind::Banded {
-            band_shift: s["banded:".len()..].parse().unwrap_or(1),
-        },
-        _ => SchedulerKind::ComparatorTree,
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("network_console: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
     };
-    let vct = args.get(5).map(String::as_str) == Some("1");
-    let seed: u64 = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(42);
+    #[cfg(not(feature = "trace"))]
+    if let Some(path) = &opts.trace {
+        eprintln!(
+            "network_console: trace={path} needs the `trace` feature; rebuild with\n  \
+             cargo run --release -p rtr-bench --features trace --bin network_console"
+        );
+        std::process::exit(2);
+    }
 
-    let config = RouterConfig { scheduler, tc_cut_through: vct, ..RouterConfig::default() };
+    let config = RouterConfig {
+        scheduler: opts.scheduler,
+        tc_cut_through: opts.vct,
+        ..RouterConfig::default()
+    };
+    let Options { side, channels: offered, be_rate, cycles, vct, seed, .. } = opts;
     println!(
         "scenario: {side}×{side} mesh, {offered} offered channels, BE rate {be_rate}, \
-         {cycles} cycles, scheduler {scheduler:?}, cut-through {vct}, seed {seed}"
+         {cycles} cycles, scheduler {:?}, cut-through {vct}, seed {seed}",
+        config.scheduler
     );
     println!();
 
     let topo = Topology::mesh(side, side);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    if opts.sample > 0 {
+        sim.enable_gauge_sampling(opts.sample);
+    }
+    #[cfg(feature = "trace")]
+    let trace_sink = opts.trace.as_deref().map(|p| attach_trace(&mut sim, &topo, p));
     let mut manager = ChannelManager::new(&config);
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -58,7 +204,7 @@ fn main() {
                 break d;
             }
         };
-        let i_min = *[8u32, 16, 32].get(rng.gen_range(0..3)).unwrap();
+        let i_min = [8u32, 16, 32][rng.gen_range(0..3usize)];
         let depth = topo.dor_route(src, dst).len() as u32 + 1;
         let d_per = rng.gen_range(4..=8.min(i_min));
         if let Ok(channel) = manager.establish(
@@ -142,6 +288,38 @@ fn main() {
         report.be_latency.percentile(99.0),
         report.be_latency.max()
     );
+    if !report.slack.is_empty() {
+        println!();
+        println!("per-connection deadline slack (slots, at the delivering router):");
+        for row in &report.slack {
+            println!(
+                "  conn {:>3}  delivered {:>6}  misses {:>4}  min {:>4}  mean {:>6.1}  \
+                 p50 {:>3}  p99 {:>3}",
+                row.conn.0,
+                row.delivered,
+                row.misses,
+                row.min_slack,
+                row.mean_slack,
+                row.slack.percentile(50.0),
+                row.slack.percentile(99.0),
+            );
+        }
+        if let Some(min) = report.min_slack() {
+            println!("  network-wide minimum slack: {min} slots");
+        }
+    }
+    if let Some(occ) = &report.occupancy {
+        println!();
+        println!("occupancy ({} samples every {} cycles):", occ.samples, opts.sample);
+        println!(
+            "  packet memory: mean {:.2} slots/node, peak {} (node {})",
+            occ.mean_memory_occupied, occ.peak_memory_occupied, occ.peak_memory_node
+        );
+        println!(
+            "  scheduler backlog: mean {:.2} packets/node;  peak link queue depth: {}",
+            occ.mean_sched_backlog, occ.peak_queue_depth
+        );
+    }
     println!();
     println!("hottest links (symbols carried):");
     for (node, dir, usage) in report.hottest_links(6) {
@@ -158,5 +336,16 @@ fn main() {
     if vct {
         println!();
         println!("virtual cut-through traversals: {cut}");
+    }
+    #[cfg(feature = "trace")]
+    if let Some(sink) = trace_sink {
+        use rtr_types::trace::TraceSink;
+        sink.borrow_mut().flush();
+        println!();
+        println!(
+            "trace: wrote {} records to {}",
+            sink.borrow().written(),
+            opts.trace.as_deref().unwrap_or("?")
+        );
     }
 }

@@ -25,11 +25,7 @@ fn main() {
     println!();
     println!("hardware cost of the scheduling logic (analytical model):");
     let tree = HardwareModel::new(RouterConfig::default()).report();
-    println!(
-        "{:>24} {:>12} transistors",
-        "comparator tree",
-        tree.block("link scheduler")
-    );
+    println!("{:>24} {:>12} transistors", "comparator tree", tree.block("link scheduler"));
     for shift in [1u32, 3, 5] {
         let banded = HardwareModel::new(RouterConfig {
             scheduler: SchedulerKind::Banded { band_shift: shift },

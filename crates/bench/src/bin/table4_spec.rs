@@ -11,18 +11,16 @@ fn main() {
     println!("Table 4(a) — architectural parameters");
     println!("  Connections:               {}", config.connections);
     println!("  Time-constrained packets:  {}", config.packet_slots);
-    println!(
-        "  Clock (sorting key):       {} ({}) bits",
-        config.clock_bits,
-        config.key_bits()
-    );
+    println!("  Clock (sorting key):       {} ({}) bits", config.clock_bits, config.key_bits());
     println!("  Comparator tree pipeline:  {} stages", config.sched_pipeline_stages);
     println!("  Flit input buffer:         {} bytes", config.flit_buffer_bytes);
     println!("  Packet size:               {} bytes", config.slot_bytes);
     println!();
 
     let report = HardwareModel::new(config.clone()).report();
-    println!("Table 4(b) — estimated chip complexity (paper: 905,104 T; 8.1 × 8.7 mm; 2.3 W; 123 pins)");
+    println!(
+        "Table 4(b) — estimated chip complexity (paper: 905,104 T; 8.1 × 8.7 mm; 2.3 W; 123 pins)"
+    );
     for block in &report.blocks {
         println!(
             "  {:<22} {:>9} transistors ({:>4.1}%)",

@@ -1,0 +1,221 @@
+//! Replays a JSONL trace (written by `network_console trace=<path>` or any
+//! [`rtr_types::trace::JsonlSink`]) into human-readable per-connection
+//! timelines plus a slack summary.
+//!
+//! The JSONL codec lives in `rtr-types` and needs no feature flags, so this
+//! tool always builds — only *recording* a trace needs `--features trace`.
+//!
+//! ```text
+//! cargo run --release -p rtr-bench --bin trace_dump -- <trace.jsonl> \
+//!     [conn=<id>] [packets=<K>]
+//! ```
+//!
+//! `conn=` restricts the report to one connection; `packets=` controls how
+//! many per-packet timelines are printed per connection (default 1).
+
+use std::collections::BTreeMap;
+
+use rtr_types::trace::{parse_jsonl, TraceEvent, TraceRecord};
+
+const USAGE: &str = "\
+usage: trace_dump <trace.jsonl> [conn=<id>] [packets=<K>]
+
+  conn=N      only report connection N
+  packets=K   per-packet timelines printed per connection (default 1)";
+
+/// Everything we learned about one packet from its event chain.
+struct PacketChain {
+    conn: Option<u16>,
+    records: Vec<TraceRecord>,
+    delivered_slack: Option<i64>,
+    dropped: bool,
+}
+
+fn describe(event: &TraceEvent) -> String {
+    match *event {
+        TraceEvent::TcInject { conn, .. } => format!("tc_inject     conn {}", conn.0),
+        TraceEvent::TcArrive { conn, port, .. } => {
+            format!("tc_arrive     conn {}  in-port {port}", conn.0)
+        }
+        TraceEvent::SlotAlloc { conn, slot, .. } => {
+            format!("slot_alloc    conn {}  slot {slot}", conn.0)
+        }
+        TraceEvent::SlotFree { slot } => format!("slot_free     slot {slot}"),
+        TraceEvent::SchedSelect { conn, port, class, .. } => {
+            format!("sched_select  conn {}  out-port {port}  {class:?}", conn.0)
+        }
+        TraceEvent::TcTransmit { conn, port, early, slack, .. } => format!(
+            "tc_transmit   conn {}  out-port {port}  slack {slack}{}",
+            conn.0,
+            if early { "  (early)" } else { "" }
+        ),
+        TraceEvent::TcCutThrough { conn, port, .. } => {
+            format!("tc_cut_through conn {}  out-port {port}", conn.0)
+        }
+        TraceEvent::TcDrop { conn, reason, .. } => {
+            format!("tc_drop       conn {}  {reason:?}", conn.0)
+        }
+        TraceEvent::TcDeliver { conn, slack, .. } => {
+            format!("tc_deliver    conn {}  slack {slack}", conn.0)
+        }
+        TraceEvent::BeSelect { port, input } => {
+            format!("be_select     out-port {port}  from in-port {input}")
+        }
+        TraceEvent::BeDeliver { .. } => "be_deliver".to_string(),
+    }
+}
+
+fn event_conn(event: &TraceEvent) -> Option<u16> {
+    match *event {
+        TraceEvent::TcInject { conn, .. }
+        | TraceEvent::TcArrive { conn, .. }
+        | TraceEvent::SlotAlloc { conn, .. }
+        | TraceEvent::SchedSelect { conn, .. }
+        | TraceEvent::TcTransmit { conn, .. }
+        | TraceEvent::TcCutThrough { conn, .. }
+        | TraceEvent::TcDrop { conn, .. }
+        | TraceEvent::TcDeliver { conn, .. } => Some(conn.0),
+        TraceEvent::SlotFree { .. }
+        | TraceEvent::BeSelect { .. }
+        | TraceEvent::BeDeliver { .. } => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut only_conn: Option<u16> = None;
+    let mut packets_per_conn = 1usize;
+    for arg in &args {
+        if let Some(v) = arg.strip_prefix("conn=") {
+            match v.parse() {
+                Ok(c) => only_conn = Some(c),
+                Err(_) => fail(&format!("bad value for conn={v}")),
+            }
+        } else if let Some(v) = arg.strip_prefix("packets=") {
+            match v.parse() {
+                Ok(k) => packets_per_conn = k,
+                Err(_) => fail(&format!("bad value for packets={v}")),
+            }
+        } else if arg.contains('=') || path.is_some() {
+            fail(&format!("unexpected argument `{arg}`"));
+        } else {
+            path = Some(arg.clone());
+        }
+    }
+    let Some(path) = path else {
+        fail("missing trace file path");
+    };
+
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let records = parse_jsonl(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+    if records.is_empty() {
+        println!("{path}: empty trace");
+        return;
+    }
+
+    let first = records.iter().map(|r| r.cycle).min().unwrap();
+    let last = records.iter().map(|r| r.cycle).max().unwrap();
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for rec in &records {
+        *by_kind.entry(rec.event.tag()).or_default() += 1;
+    }
+    println!("{path}: {} records, cycles {first}..{last}", records.len());
+    print!("events:");
+    for (tag, n) in &by_kind {
+        print!("  {tag} {n}");
+    }
+    println!();
+
+    // Stitch per-packet chains across nodes using the (src, seq) provenance.
+    // Best-effort events are left out: BE sources number their packets
+    // independently of the channel senders, so a BE (src, seq) pair can
+    // collide with a time-constrained one.
+    let mut chains: BTreeMap<(u16, u64), PacketChain> = BTreeMap::new();
+    for rec in &records {
+        if matches!(rec.event, TraceEvent::BeSelect { .. } | TraceEvent::BeDeliver { .. }) {
+            continue;
+        }
+        let Some((src, seq)) = rec.event.packet_id() else { continue };
+        let chain = chains.entry((src.0, seq)).or_insert(PacketChain {
+            conn: None,
+            records: Vec::new(),
+            delivered_slack: None,
+            dropped: false,
+        });
+        if chain.conn.is_none() {
+            chain.conn = event_conn(&rec.event);
+        }
+        match rec.event {
+            TraceEvent::TcDeliver { slack, .. } => chain.delivered_slack = Some(slack),
+            TraceEvent::TcDrop { .. } => chain.dropped = true,
+            _ => {}
+        }
+        chain.records.push(*rec);
+    }
+    for chain in chains.values_mut() {
+        chain.records.sort_by_key(|r| r.cycle);
+    }
+
+    // Group packets by connection for the per-connection report.
+    let mut by_conn: BTreeMap<u16, Vec<&PacketChain>> = BTreeMap::new();
+    for chain in chains.values() {
+        if let Some(conn) = chain.conn {
+            if only_conn.is_none() || only_conn == Some(conn) {
+                by_conn.entry(conn).or_default().push(chain);
+            }
+        }
+    }
+    if by_conn.is_empty() {
+        println!();
+        println!(
+            "no time-constrained packet chains{}",
+            match only_conn {
+                Some(c) => format!(" on connection {c}"),
+                None => String::new(),
+            }
+        );
+        return;
+    }
+
+    for (conn, packets) in &by_conn {
+        let delivered: Vec<i64> = packets.iter().filter_map(|p| p.delivered_slack).collect();
+        let dropped = packets.iter().filter(|p| p.dropped).count();
+        let in_flight = packets.len() - delivered.len() - dropped;
+        println!();
+        println!(
+            "connection {conn} (id at first traced hop): {} packets \
+             ({} delivered, {} dropped, {} in flight)",
+            packets.len(),
+            delivered.len(),
+            dropped,
+            in_flight
+        );
+        if !delivered.is_empty() {
+            let min = delivered.iter().copied().min().unwrap();
+            let mean = delivered.iter().sum::<i64>() as f64 / delivered.len() as f64;
+            println!("  delivery slack (slots): min {min}  mean {mean:.1}");
+        }
+        for packet in packets.iter().take(packets_per_conn) {
+            let (src, seq) = packet.records[0]
+                .event
+                .packet_id()
+                .expect("chains only hold provenance-bearing events");
+            println!("  packet src {} seq {seq}:", src.0);
+            for rec in &packet.records {
+                println!(
+                    "    cycle {:>8}  node {:>3}  {}",
+                    rec.cycle,
+                    rec.node.0,
+                    describe(&rec.event)
+                );
+            }
+        }
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("trace_dump: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}

@@ -65,10 +65,9 @@ fn loopback_packet(bytes: usize) -> BePacket {
 }
 
 fn measure_wormhole(bytes: usize) -> Cycle {
-    let mut sim = Simulator::build(Topology::loopback(), |_| {
-        RealTimeRouter::new(RouterConfig::default())
-    })
-    .expect("default config is valid");
+    let mut sim =
+        Simulator::build(Topology::loopback(), |_| RealTimeRouter::new(RouterConfig::default()))
+            .expect("default config is valid");
     sim.inject_be(NodeId(0), loopback_packet(bytes));
     assert!(
         sim.run_until(100_000, |s| !s.log(NodeId(0)).be.is_empty()),
@@ -78,10 +77,9 @@ fn measure_wormhole(bytes: usize) -> Cycle {
 }
 
 fn measure_store_forward(bytes: usize) -> Cycle {
-    let mut sim = Simulator::build(Topology::loopback(), |_| {
-        FifoSfRouter::new(RouterConfig::default())
-    })
-    .expect("default config is valid");
+    let mut sim =
+        Simulator::build(Topology::loopback(), |_| FifoSfRouter::new(RouterConfig::default()))
+            .expect("default config is valid");
     sim.inject_be(NodeId(0), loopback_packet(bytes));
     assert!(
         sim.run_until(200_000, |s| !s.log(NodeId(0)).be.is_empty()),
@@ -99,11 +97,7 @@ mod tests {
         let rows = run(&[8, 16, 32, 64, 128]);
         for w in rows.windows(2) {
             let db = (w[1].bytes - w[0].bytes) as Cycle;
-            assert_eq!(
-                w[1].wormhole_latency - w[0].wormhole_latency,
-                db,
-                "one cycle per byte"
-            );
+            assert_eq!(w[1].wormhole_latency - w[0].wormhole_latency, db, "one cycle per byte");
         }
     }
 
@@ -111,10 +105,7 @@ mod tests {
     fn constant_is_within_one_cycle_of_the_paper() {
         for row in run(&[16, 64]) {
             let constant = row.wormhole_latency - row.bytes as Cycle;
-            assert!(
-                (30..=31).contains(&constant),
-                "constant {constant} vs the paper's 30"
-            );
+            assert!((30..=31).contains(&constant), "constant {constant} vs the paper's 30");
         }
     }
 

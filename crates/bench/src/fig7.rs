@@ -67,8 +67,7 @@ pub fn run(
     let params = [(4u32, 8u32), (8, 16), (16, 32)];
     let config = RouterConfig::default();
     let topo = Topology::mesh(2, 1);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let src = NodeId(0);
     let dst = topo.node_at(1, 0);
     let out = Port::Dir(Direction::XPlus);
@@ -120,12 +119,7 @@ pub fn run(
                     buffers: 4,
                 },
             ],
-            request: ChannelRequest::unicast(
-                src,
-                dst,
-                TrafficSpec::periodic(*i_min, 18),
-                2 * d,
-            ),
+            request: ChannelRequest::unicast(src, dst, TrafficSpec::periodic(*i_min, 18), 2 * d),
         };
         let sender = ChannelSender::new(
             &channel,
@@ -144,10 +138,7 @@ pub fn run(
             )),
         );
     }
-    sim.add_source(
-        src,
-        Box::new(BackloggedBeSource::new(&topo, src, dst, be_payload, 2)),
-    );
+    sim.add_source(src, Box::new(BackloggedBeSource::new(&topo, src, dst, be_payload, 2)));
 
     let mut samples = Vec::new();
     while sim.now() < total_cycles {
@@ -189,10 +180,7 @@ mod tests {
         let r = run(0, 92, 40_000, 2_000);
         // Reserved shares: 1/8, 1/16, 1/32 of the link (bytes per cycle).
         for (share, expect) in r.tc_shares.iter().zip([0.125, 0.0625, 0.03125]) {
-            assert!(
-                (share - expect).abs() < 0.01,
-                "share {share} vs reserved {expect}"
-            );
+            assert!((share - expect).abs() < 0.01, "share {share} vs reserved {expect}");
         }
         assert!(r.be_share > 0.5, "best-effort consumes the excess, got {}", r.be_share);
         assert_eq!(r.deadline_misses, 0, "every packet by its deadline");

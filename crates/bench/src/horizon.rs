@@ -64,8 +64,7 @@ pub fn run(horizons: &[u32], total_cycles: Cycle) -> Vec<HorizonRow> {
 fn build(horizon: u32, mask: u8, total_cycles: Cycle) -> (Simulator<RealTimeRouter>, u32) {
     let config = RouterConfig::default();
     let topo = Topology::mesh(3, 1);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let src = topo.node_at(0, 0);
     let dst = topo.node_at(2, 0);
 
@@ -80,14 +79,7 @@ fn build(horizon: u32, mask: u8, total_cycles: Cycle) -> (Simulator<RealTimeRout
         .expect("single low-utilisation channel must be admitted");
     let d_prev = channel.hops[channel.hops.len() - 2].delay;
     let d_dst = channel.hops.last().unwrap().delay;
-    let required = buffers_needed(
-        &channel.request.spec,
-        1,
-        horizon,
-        d_prev,
-        d_dst,
-        false,
-    ) as u32;
+    let required = buffers_needed(&channel.request.spec, 1, horizon, d_prev, d_dst, false) as u32;
 
     for node in topo.nodes() {
         sim.chip_mut(node)

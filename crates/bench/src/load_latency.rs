@@ -50,8 +50,7 @@ pub struct LoadPoint {
 pub fn run_point(tc_period: Option<u32>, offered: f64, total_cycles: Cycle) -> LoadPoint {
     let config = RouterConfig::default();
     let topo = Topology::mesh(4, 4);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
 
     // Reservations: one backlogged channel per row, west to east, so every
     // row link carries a `20/period` reserved fraction.

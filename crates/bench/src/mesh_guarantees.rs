@@ -52,11 +52,16 @@ pub struct GuaranteeResult {
 ///
 /// Panics only on internal simulation errors.
 #[must_use]
-pub fn run(side: u16, offered: usize, be_rate: f64, seed: u64, total_cycles: Cycle) -> GuaranteeResult {
+pub fn run(
+    side: u16,
+    offered: usize,
+    be_rate: f64,
+    seed: u64,
+    total_cycles: Cycle,
+) -> GuaranteeResult {
     let config = RouterConfig::default();
     let topo = Topology::mesh(side, side);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let mut manager = ChannelManager::new(&config);
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -69,7 +74,7 @@ pub fn run(side: u16, offered: usize, be_rate: f64, seed: u64, total_cycles: Cyc
                 break d;
             }
         };
-        let i_min = *[8u32, 16, 32].get(rng.gen_range(0..3)).unwrap();
+        let i_min = *[8u32, 16, 32].get(rng.gen_range(0..3usize)).unwrap();
         let depth = topo.dor_route(src, dst).len() as u32 + 1;
         let d_per = rng.gen_range(4..=8.min(i_min));
         let request =
@@ -139,11 +144,7 @@ pub fn run(side: u16, offered: usize, be_rate: f64, seed: u64, total_cycles: Cyc
         misses,
         min_slack: if min_slack == i64::MAX { 0 } else { min_slack },
         aliased_keys: topo.nodes().map(|n| sim.chip(n).stats().aliased_keys).sum(),
-        peak_memory: topo
-            .nodes()
-            .map(|n| sim.chip(n).memory_high_water())
-            .max()
-            .unwrap_or(0),
+        peak_memory: topo.nodes().map(|n| sim.chip(n).memory_high_water()).max().unwrap_or(0),
         be_delivered,
     }
 }

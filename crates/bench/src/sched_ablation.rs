@@ -48,8 +48,7 @@ fn run_one(kind: SchedulerKind, total_cycles: Cycle) -> SchedRow {
     // packets converge on its reception port from four input ports at
     // once, so a real FIFO queue forms there each period.
     let topo = Topology::mesh(3, 3);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let west = topo.node_at(0, 1);
     let east = topo.node_at(2, 1);
     let north = topo.node_at(1, 2);
@@ -154,16 +153,10 @@ fn run_one(kind: SchedulerKind, total_cycles: Cycle) -> SchedRow {
     sim.run(total_cycles);
 
     let log = sim.log(dst);
-    let tight_packets: Vec<_> = log
-        .tc
-        .iter()
-        .filter(|(_, p)| p.payload[0] == 0xFF)
-        .collect();
+    let tight_packets: Vec<_> = log.tc.iter().filter(|(_, p)| p.payload[0] == 0xFF).collect();
     let misses = tight_packets
         .iter()
-        .filter(|(c, p)| {
-            rtr_types::time::cycle_to_slot(*c, config.slot_bytes) > p.trace.deadline
-        })
+        .filter(|(c, p)| rtr_types::time::cycle_to_slot(*c, config.slot_bytes) > p.trace.deadline)
         .count();
     let lat = LatencySummary::of(
         &tight_packets

@@ -89,8 +89,7 @@ mod tests {
     #[test]
     fn deadline_be_source_stamps_traces() {
         let topo = Topology::mesh(2, 1);
-        let mut src =
-            PeriodicDeadlineBeSource::new(&topo, NodeId(0), NodeId(1), 8, 20, 16, 20);
+        let mut src = PeriodicDeadlineBeSource::new(&topo, NodeId(0), NodeId(1), 8, 20, 16, 20);
         let mut io = ChipIo::new();
         for now in 0..(8 * 20 * 3) {
             src.pre_cycle(now, NodeId(0), &mut io);

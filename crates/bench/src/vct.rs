@@ -50,8 +50,7 @@ impl VctRow {
 fn run_chain(hops: u16, cut: bool, total_cycles: Cycle) -> (f64, f64, usize) {
     let config = RouterConfig { tc_cut_through: cut, ..RouterConfig::default() };
     let topo = Topology::mesh(hops + 1, 1);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let src = topo.node_at(0, 0);
     let dst = topo.node_at(hops, 0);
     let mut manager = ChannelManager::new(&config);
@@ -100,10 +99,8 @@ fn run_chain(hops: u16, cut: bool, total_cycles: Cycle) -> (f64, f64, usize) {
     let log = sim.log(dst);
     let mean = LatencySummary::of(&log.tc_latencies()).mean;
     let cut_events: u64 = topo.nodes().map(|n| sim.chip(n).stats().tc_cut_through).sum();
-    let traversals: u64 = topo
-        .nodes()
-        .map(|n| sim.chip(n).stats().tc_transmitted.iter().sum::<u64>())
-        .sum();
+    let traversals: u64 =
+        topo.nodes().map(|n| sim.chip(n).stats().tc_transmitted.iter().sum::<u64>()).sum();
     let fraction = if traversals == 0 { 0.0 } else { cut_events as f64 / traversals as f64 };
     (mean, fraction, log.tc_deadline_misses(config.slot_bytes))
 }

@@ -203,18 +203,12 @@ impl LinkBook {
                 reason: "d_j below the message transmission time",
             });
         }
-        let all: Vec<LinkReservation> = self
-            .reservations
-            .iter()
-            .copied()
-            .chain(std::iter::once(candidate))
-            .collect();
+        let all: Vec<LinkReservation> =
+            self.reservations.iter().copied().chain(std::iter::once(candidate)).collect();
 
         let u = self.utilization_with(Some(candidate));
         if u > 1.0 {
-            return Err(AdmissionError::UtilizationExceeded {
-                utilization_ppm: (u * 1e6) as u64,
-            });
+            return Err(AdmissionError::UtilizationExceeded { utilization_ppm: (u * 1e6) as u64 });
         }
 
         // Busy-period bound for the demand criterion: for U < 1,
@@ -426,7 +420,8 @@ pub fn buffers_needed(
     is_source: bool,
 ) -> usize {
     let window = h_prev + d_prev + d_here;
-    let messages = window.div_ceil(spec.i_min.max(1)).max(1) + if is_source { spec.b_max } else { 0 };
+    let messages =
+        window.div_ceil(spec.i_min.max(1)).max(1) + if is_source { spec.b_max } else { 0 };
     messages as usize * packets_per_message as usize
 }
 
@@ -457,10 +452,7 @@ mod tests {
         book.reserve(r);
         book.reserve(r);
         // A third 1/2-utilisation connection exceeds capacity.
-        assert!(matches!(
-            book.admissible(r, 0),
-            Err(AdmissionError::UtilizationExceeded { .. })
-        ));
+        assert!(matches!(book.admissible(r, 0), Err(AdmissionError::UtilizationExceeded { .. })));
     }
 
     #[test]
@@ -472,10 +464,7 @@ mod tests {
         let r = res(1, 100, 3);
         book.admissible(r, 2).unwrap();
         book.reserve(r);
-        assert!(matches!(
-            book.admissible(r, 2),
-            Err(AdmissionError::DeadlineInfeasible { .. })
-        ));
+        assert!(matches!(book.admissible(r, 2), Err(AdmissionError::DeadlineInfeasible { .. })));
     }
 
     #[test]

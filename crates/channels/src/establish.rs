@@ -306,11 +306,8 @@ impl ChannelManager {
     ) -> Result<EstablishedChannel, EstablishError> {
         // Default route selection: dimension-ordered paths (which always
         // merge into a tree from one source).
-        let routes: Vec<Vec<Direction>> = request
-            .destinations
-            .iter()
-            .map(|&dst| topo.dor_route(request.source, dst))
-            .collect();
+        let routes: Vec<Vec<Direction>> =
+            request.destinations.iter().map(|&dst| topo.dor_route(request.source, dst)).collect();
         self.establish_routed(topo, request, &routes, plane)
     }
 
@@ -366,11 +363,8 @@ impl ChannelManager {
         let mut planned: Vec<Hop> = Vec::new();
         for &node in tree.order() {
             let d_here = delays[&node];
-            let reservation = LinkReservation {
-                packets,
-                period: request.spec.i_min,
-                delay: d_here,
-            };
+            let reservation =
+                LinkReservation { packets, period: request.spec.i_min, delay: d_here };
             let mut mask = 0u8;
             for dir in tree.children(node) {
                 mask |= Port::Dir(dir).mask();
@@ -379,27 +373,19 @@ impl ChannelManager {
                 mask |= Port::Local.mask();
             }
             for port in rtr_types::ids::ports_in_mask(mask) {
-                self.links
-                    .entry((node, port.index()))
-                    .or_default()
-                    .admissible_with(reservation, self.eta, self.policy)?;
+                self.links.entry((node, port.index())).or_default().admissible_with(
+                    reservation,
+                    self.eta,
+                    self.policy,
+                )?;
             }
             let (h_prev, d_prev, is_source) = match tree.parent(node) {
                 Some(parent) => (self.assumed_horizon, delays[&parent], false),
                 None => (0, 0, true),
             };
-            let buffers = buffers_needed(
-                &request.spec,
-                packets,
-                h_prev,
-                d_prev,
-                d_here,
-                is_source,
-            );
-            let book = self
-                .buffers
-                .entry(node)
-                .or_insert_with(|| BufferBook::new(self.buffer_capacity));
+            let buffers = buffers_needed(&request.spec, packets, h_prev, d_prev, d_here, is_source);
+            let book =
+                self.buffers.entry(node).or_insert_with(|| BufferBook::new(self.buffer_capacity));
             let tightest = rtr_types::ids::ports_in_mask(mask)
                 .map(|p| book.available_for(p.index()))
                 .min()
@@ -414,7 +400,7 @@ impl ChannelManager {
             }
             planned.push(Hop {
                 node,
-                conn: ConnectionId(0),    // assigned below
+                conn: ConnectionId(0),     // assigned below
                 out_conn: ConnectionId(0), // assigned below
                 delay: d_here,
                 out_mask: mask,
@@ -432,10 +418,7 @@ impl ChannelManager {
                 .ok_or(AdmissionError::NoFreeConnectionId { node: request.source })?;
             assigned.insert(request.source, source_id);
             newly_used.push((request.source, source_id.0));
-            self.used_ids
-                .entry(request.source)
-                .or_default()
-                .insert(source_id.0);
+            self.used_ids.entry(request.source).or_default().insert(source_id.0);
         }
         for &node in tree.order() {
             let child_nodes: Vec<NodeId> = tree
@@ -472,16 +455,10 @@ impl ChannelManager {
 
         // 5. Commit reservations and program the routers.
         for hop in &planned {
-            let reservation = LinkReservation {
-                packets,
-                period: request.spec.i_min,
-                delay: hop.delay,
-            };
+            let reservation =
+                LinkReservation { packets, period: request.spec.i_min, delay: hop.delay };
             for port in rtr_types::ids::ports_in_mask(hop.out_mask) {
-                self.links
-                    .entry((hop.node, port.index()))
-                    .or_default()
-                    .reserve(reservation);
+                self.links.entry((hop.node, port.index())).or_default().reserve(reservation);
             }
             self.buffers
                 .get_mut(&hop.node)
@@ -584,15 +561,10 @@ impl ChannelManager {
         let packets = channel.request.spec.packets_per_message(self.data_bytes);
         let mut first_error: Option<ControlError> = None;
         for hop in &channel.hops {
-            let reservation = LinkReservation {
-                packets,
-                period: channel.request.spec.i_min,
-                delay: hop.delay,
-            };
+            let reservation =
+                LinkReservation { packets, period: channel.request.spec.i_min, delay: hop.delay };
             for port in rtr_types::ids::ports_in_mask(hop.out_mask) {
-                self.links
-                    .get_mut(&(hop.node, port.index()))
-                    .map(|b| b.release(reservation));
+                self.links.get_mut(&(hop.node, port.index())).map(|b| b.release(reservation));
             }
             if let Some(book) = self.buffers.get_mut(&hop.node) {
                 book.release(hop.buffers, hop.out_mask);
@@ -615,11 +587,8 @@ impl ChannelManager {
     /// Smallest identifier free at every listed node.
     fn pick_free_id(&self, nodes: &[NodeId]) -> Option<ConnectionId> {
         (0..self.conn_capacity as u16).find_map(|id| {
-            let free_everywhere = nodes.iter().all(|n| {
-                self.used_ids
-                    .get(n)
-                    .is_none_or(|used| !used.contains(&id))
-            });
+            let free_everywhere =
+                nodes.iter().all(|n| self.used_ids.get(n).is_none_or(|used| !used.contains(&id)));
             free_everywhere.then_some(ConnectionId(id))
         })
     }
@@ -836,10 +805,11 @@ mod tests {
         // The analytic bound covers the deepest branch and never exceeds
         // the request.
         assert!(ch.guaranteed_bound() <= ch.request.deadline);
-        let deep: u32 = [topo.node_at(0, 0), topo.node_at(1, 0), topo.node_at(1, 1), topo.node_at(1, 2)]
-            .iter()
-            .map(|n| ch.hop_at(*n).unwrap().delay)
-            .sum();
+        let deep: u32 =
+            [topo.node_at(0, 0), topo.node_at(1, 0), topo.node_at(1, 1), topo.node_at(1, 2)]
+                .iter()
+                .map(|n| ch.hop_at(*n).unwrap().delay)
+                .sum();
         assert_eq!(ch.guaranteed_bound(), deep);
     }
 
@@ -860,10 +830,7 @@ mod tests {
                 &mut plane,
             )
             .unwrap_err();
-        assert!(matches!(
-            err,
-            EstablishError::Admission(AdmissionError::BadDelayBound { .. })
-        ));
+        assert!(matches!(err, EstablishError::Admission(AdmissionError::BadDelayBound { .. })));
         assert!(plane.commands.is_empty(), "failed admission must not program routers");
     }
 
@@ -873,9 +840,7 @@ mod tests {
         let mut mgr = manager();
         let mut plane = MockPlane::default();
         let spec = TrafficSpec::periodic(4, 18); // 1/4 of the link each
-        let request = || {
-            ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 8)
-        };
+        let request = || ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 8);
         mgr.establish(&topo, request(), &mut plane).unwrap();
         mgr.establish(&topo, request(), &mut plane).unwrap();
         // A third channel overloads the 4-slot deadline window (2 packets +
@@ -890,8 +855,7 @@ mod tests {
         let mut mgr = manager();
         let mut plane = MockPlane::default();
         let spec = TrafficSpec::periodic(4, 18);
-        let request =
-            || ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 8);
+        let request = || ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 8);
         let a = mgr.establish(&topo, request(), &mut plane).unwrap();
         let _b = mgr.establish(&topo, request(), &mut plane).unwrap();
         assert!(mgr.establish(&topo, request(), &mut plane).is_err());
@@ -912,13 +876,23 @@ mod tests {
         // Two channels share the first link; one continues further.
         mgr.establish(
             &topo,
-            ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), TrafficSpec::periodic(8, 18), 16),
+            ChannelRequest::unicast(
+                topo.node_at(0, 0),
+                topo.node_at(1, 0),
+                TrafficSpec::periodic(8, 18),
+                16,
+            ),
             &mut plane,
         )
         .unwrap();
         mgr.establish(
             &topo,
-            ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(2, 0), TrafficSpec::periodic(16, 18), 30),
+            ChannelRequest::unicast(
+                topo.node_at(0, 0),
+                topo.node_at(2, 0),
+                TrafficSpec::periodic(16, 18),
+                30,
+            ),
             &mut plane,
         )
         .unwrap();
@@ -962,11 +936,8 @@ mod tests {
         let src = topo.node_at(0, 0);
         let dst = topo.node_at(2, 0);
         // Pretend the first +x link failed: route through row 1 instead.
-        let detour = topo
-            .route_avoiding(src, dst, &[(src, Direction::XPlus)])
-            .unwrap();
-        let request =
-            ChannelRequest::unicast(src, dst, TrafficSpec::periodic(16, 18), 50);
+        let detour = topo.route_avoiding(src, dst, &[(src, Direction::XPlus)]).unwrap();
+        let request = ChannelRequest::unicast(src, dst, TrafficSpec::periodic(16, 18), 50);
         let ch = mgr
             .establish_routed(&topo, request, std::slice::from_ref(&detour), &mut plane)
             .unwrap();
@@ -992,15 +963,10 @@ mod tests {
             )
             .unwrap();
         let old_id = ch.id;
-        let rerouted = mgr
-            .reroute(old_id, &topo, &[(src, Direction::XPlus)], &mut plane)
-            .unwrap();
+        let rerouted = mgr.reroute(old_id, &topo, &[(src, Direction::XPlus)], &mut plane).unwrap();
         assert_ne!(rerouted.id, old_id);
         assert!(rerouted.depth > ch.depth, "the detour is longer");
-        assert_ne!(
-            rerouted.hop_at(src).unwrap().out_mask,
-            Port::Dir(Direction::XPlus).mask()
-        );
+        assert_ne!(rerouted.hop_at(src).unwrap().out_mask, Port::Dir(Direction::XPlus).mask());
         assert!(!mgr.channels().contains_key(&old_id));
         // Rerouting an unknown channel is an error.
         assert!(matches!(
@@ -1083,8 +1049,7 @@ mod tests {
         let spec = TrafficSpec::periodic(100, 18);
         // Deadline 6 over 2 hops → d = 3: with η = 2, only one such
         // connection fits the 3-slot window under the demand criterion.
-        let request =
-            || ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 6);
+        let request = || ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 6);
         let mut strict = manager();
         let mut plane = MockPlane::default();
         strict.establish(&topo, request(), &mut plane).unwrap();
@@ -1129,10 +1094,8 @@ mod tests {
     #[test]
     fn buffer_exhaustion_rejected() {
         let topo = Topology::mesh(2, 1);
-        let mut mgr = ChannelManager::new(&RouterConfig {
-            packet_slots: 2,
-            ..RouterConfig::default()
-        });
+        let mut mgr =
+            ChannelManager::new(&RouterConfig { packet_slots: 2, ..RouterConfig::default() });
         let mut plane = MockPlane::default();
         // Large burst allowance wants B_max extra buffers at the source.
         let spec = TrafficSpec { i_min: 16, s_max_bytes: 18, b_max: 8 };
@@ -1143,9 +1106,6 @@ mod tests {
                 &mut plane,
             )
             .unwrap_err();
-        assert!(matches!(
-            err,
-            EstablishError::Admission(AdmissionError::BufferExceeded { .. })
-        ));
+        assert!(matches!(err, EstablishError::Admission(AdmissionError::BufferExceeded { .. })));
     }
 }

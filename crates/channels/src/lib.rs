@@ -56,8 +56,7 @@ pub mod spec;
 pub use admission::{AdmissionError, AdmissionPolicy, BufferBook, LinkBook, LinkReservation};
 pub use arrival::{ArrivalTracker, Policer};
 pub use establish::{
-    ChannelManager, ControlPlane, EstablishError, EstablishedChannel, Hop, LinkLoad,
-    WordLevelPlane,
+    ChannelManager, ControlPlane, EstablishError, EstablishedChannel, Hop, LinkLoad, WordLevelPlane,
 };
 pub use sender::{ChannelSender, PolicedSender};
 pub use spec::{ChannelRequest, TrafficSpec};

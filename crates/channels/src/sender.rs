@@ -45,7 +45,10 @@ impl ChannelSender {
             slot_bytes,
             clock,
             tracker: ArrivalTracker::new(channel.request.spec.i_min),
-            sequence: 0,
+            // Namespace provenance by channel so two channels sourced at the
+            // same node never share a (source, sequence) pair — trace replay
+            // stitches per-packet chains from exactly that pair.
+            sequence: channel.id << 32,
         }
     }
 
@@ -56,11 +59,8 @@ impl ChannelSender {
     pub fn make_message(&mut self, now: Cycle, payload: &[u8]) -> Vec<TcPacket> {
         let t = cycle_to_slot(now, self.slot_bytes);
         let l0 = self.tracker.next(t);
-        let chunks: Vec<&[u8]> = if payload.is_empty() {
-            vec![&[]]
-        } else {
-            payload.chunks(self.data_bytes).collect()
-        };
+        let chunks: Vec<&[u8]> =
+            if payload.is_empty() { vec![&[]] } else { payload.chunks(self.data_bytes).collect() };
         chunks
             .into_iter()
             .map(|chunk| {
@@ -75,12 +75,7 @@ impl ChannelSender {
                     deadline: l0 + u64::from(self.deadline),
                 };
                 self.sequence += 1;
-                TcPacket {
-                    conn: self.ingress,
-                    arrival: self.clock.wrap(l0),
-                    payload: data,
-                    trace,
-                }
+                TcPacket { conn: self.ingress, arrival: self.clock.wrap(l0), payload: data, trace }
             })
             .collect()
     }

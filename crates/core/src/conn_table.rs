@@ -148,10 +148,7 @@ impl ConnectionTable {
     /// software; the chip itself never allocates identifiers).
     #[must_use]
     pub fn free_id(&self) -> Option<ConnectionId> {
-        self.entries
-            .iter()
-            .position(Option::is_none)
-            .map(|i| ConnectionId(i as u16))
+        self.entries.iter().position(Option::is_none).map(|i| ConnectionId(i as u16))
     }
 }
 

@@ -227,10 +227,8 @@ impl ControlPort {
                     return Err(ControlError::IncompleteSequence { reg });
                 };
                 self.staging.horizon_mask = None;
-                let cmd = ControlCommand::SetHorizon {
-                    port_mask: mask as u8,
-                    horizon: u32::from(value),
-                };
+                let cmd =
+                    ControlCommand::SetHorizon { port_mask: mask as u8, horizon: u32::from(value) };
                 self.apply(cmd, table, horizons)?;
                 Ok(Some(cmd))
             }
@@ -252,10 +250,11 @@ mod tests {
         let (mut port, mut table, mut horizons) = setup();
         assert_eq!(port.write(ControlReg::OutConn, 9, &mut table, &mut horizons).unwrap(), None);
         assert_eq!(port.write(ControlReg::Delay, 16, &mut table, &mut horizons).unwrap(), None);
-        assert_eq!(port.write(ControlReg::PortMask, 0b10, &mut table, &mut horizons).unwrap(), None);
-        let committed = port
-            .write(ControlReg::InConnCommit, 3, &mut table, &mut horizons)
-            .unwrap();
+        assert_eq!(
+            port.write(ControlReg::PortMask, 0b10, &mut table, &mut horizons).unwrap(),
+            None
+        );
+        let committed = port.write(ControlReg::InConnCommit, 3, &mut table, &mut horizons).unwrap();
         assert!(matches!(committed, Some(ControlCommand::SetConnection { .. })));
         let e = table.lookup(ConnectionId(3)).unwrap();
         assert_eq!(e.outgoing, ConnectionId(9));
@@ -349,8 +348,12 @@ mod tests {
             &mut horizons,
         )
         .unwrap();
-        port.apply(ControlCommand::ClearConnection { incoming: ConnectionId(2) }, &mut table, &mut horizons)
-            .unwrap();
+        port.apply(
+            ControlCommand::ClearConnection { incoming: ConnectionId(2) },
+            &mut table,
+            &mut horizons,
+        )
+        .unwrap();
         assert!(table.lookup(ConnectionId(2)).is_none());
     }
 

@@ -99,9 +99,7 @@ impl PacketMemory {
     /// Panics if the slot is already free — that would mean the scheduler
     /// double-freed an address, corrupting the idle pool.
     pub fn free(&mut self, addr: SlotAddr) -> TcPacket {
-        let packet = self.slots[addr.index()]
-            .take()
-            .expect("freeing an already-idle packet slot");
+        let packet = self.slots[addr.index()].take().expect("freeing an already-idle packet slot");
         self.idle.push_back(addr);
         packet
     }

@@ -40,11 +40,7 @@ enum BeRoute {
     /// Waiting for a head byte.
     Idle,
     /// Got the x-offset byte; waiting for the y-offset to decide the route.
-    GotX {
-        x: u8,
-        trace: Option<PacketTrace>,
-        arrived: Cycle,
-    },
+    GotX { x: u8, trace: Option<PacketTrace>, arrived: Cycle },
     /// Routing decision made; body bytes stream through.
     Streaming { out: Port },
 }
@@ -211,9 +207,7 @@ impl InputPort {
     /// and ready to leave at `now`.
     #[must_use]
     pub fn be_front_for(&self, out: Port, now: Cycle) -> Option<&RoutedByte> {
-        self.be_fifo
-            .front()
-            .filter(|b| b.out == out && b.ready_at <= now)
+        self.be_fifo.front().filter(|b| b.out == out && b.ready_at <= now)
     }
 
     /// Removes and returns the head byte (after [`Self::be_front_for`]

@@ -23,6 +23,8 @@ pub struct PendingCut {
     pub packet: TcPacket,
     /// First cycle the output may emit the start symbol.
     pub start_at: Cycle,
+    /// Whether the packet cut through early (within the horizon).
+    pub early: bool,
 }
 
 /// A time-constrained packet currently being clocked out on a link.

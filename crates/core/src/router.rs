@@ -31,9 +31,32 @@ use crate::control::{ControlCommand, ControlError, ControlPort, ControlReg};
 use crate::memory::PacketMemory;
 use crate::ports::input::InputPort;
 use crate::ports::output::{OutputPort, TcTransmit};
-use crate::sched::leaf::Leaf;
 use crate::sched::dispatch::Scheduler;
+use crate::sched::leaf::Leaf;
 use crate::stats::RouterStats;
+
+#[cfg(feature = "trace")]
+use rtr_types::trace::{DropReason, QueueClass, SharedTraceSink, TraceEvent, TraceRecord};
+
+/// Emits a trace event through the attached sink. With the `trace` feature
+/// disabled the invocation expands to nothing, so the event-building
+/// expressions are never evaluated and the traced datapath costs zero.
+#[cfg(feature = "trace")]
+macro_rules! trace_event {
+    ($self:ident, $now:expr, $event:expr) => {
+        if let Some(sink) = &$self.trace_sink {
+            sink.borrow_mut().record(&TraceRecord {
+                cycle: $now,
+                node: $self.trace_node,
+                event: $event,
+            });
+        }
+    };
+}
+#[cfg(not(feature = "trace"))]
+macro_rules! trace_event {
+    ($self:ident, $now:expr, $event:expr) => {};
+}
 
 /// The single-chip real-time router.
 #[derive(Debug)]
@@ -58,6 +81,12 @@ pub struct RealTimeRouter {
     rx_be_buf: Vec<u8>,
     rx_be_trace: Option<PacketTrace>,
     stats: RouterStats,
+    /// Event sink for cycle-accurate tracing (None = tracing off).
+    #[cfg(feature = "trace")]
+    trace_sink: Option<SharedTraceSink>,
+    /// Node identity stamped on emitted trace records.
+    #[cfg(feature = "trace")]
+    trace_node: rtr_types::ids::NodeId,
 }
 
 impl RealTimeRouter {
@@ -73,8 +102,7 @@ impl RealTimeRouter {
         let be_latency =
             t.sync_cycles + t.header_cycles + config.chunk_bytes as u64 + t.bus_grant_cycles;
         let store_chunks = config.slot_bytes.div_ceil(config.memory_chunk_bytes) as u64;
-        let tc_store_latency =
-            t.sync_cycles + t.header_cycles + store_chunks * t.bus_grant_cycles;
+        let tc_store_latency = t.sync_cycles + t.header_cycles + store_chunks * t.bus_grant_cycles;
         let flit = config.be_path_bytes();
         let inputs = std::array::from_fn(|_| InputPort::new(be_latency, tc_store_latency, flit));
         // Network outputs start with a symmetric credit assumption (the
@@ -87,12 +115,7 @@ impl RealTimeRouter {
             table: ConnectionTable::new(config.connections),
             control: ControlPort::new(clock),
             memory: PacketMemory::new(config.packet_slots),
-            sched: Scheduler::new(
-                config.scheduler,
-                config.packet_slots,
-                clock,
-                config.late_policy,
-            ),
+            sched: Scheduler::new(config.scheduler, config.packet_slots, clock, config.late_policy),
             inputs,
             outputs,
             tc_inject_remaining: None,
@@ -100,6 +123,10 @@ impl RealTimeRouter {
             rx_be_buf: Vec::new(),
             rx_be_trace: None,
             stats: RouterStats::default(),
+            #[cfg(feature = "trace")]
+            trace_sink: None,
+            #[cfg(feature = "trace")]
+            trace_node: rtr_types::ids::NodeId(0),
             config,
         })
     }
@@ -120,6 +147,32 @@ impl RealTimeRouter {
     #[must_use]
     pub fn stats(&self) -> &RouterStats {
         &self.stats
+    }
+
+    /// Checks the packet-conservation invariants (see
+    /// [`RouterStats::check_conservation`]) against the live memory
+    /// occupancy. Call between cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        self.stats.check_conservation(self.memory.occupied())
+    }
+
+    /// Attaches a trace sink and sets the node identity stamped on emitted
+    /// records. Only available with the `trace` feature.
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&mut self, node: rtr_types::ids::NodeId, sink: SharedTraceSink) {
+        self.trace_node = node;
+        self.trace_sink = Some(sink);
+    }
+
+    /// Detaches the trace sink, returning it. Only available with the
+    /// `trace` feature.
+    #[cfg(feature = "trace")]
+    pub fn take_trace_sink(&mut self) -> Option<SharedTraceSink> {
+        self.trace_sink.take()
     }
 
     /// Current packet-memory occupancy (buffered time-constrained packets).
@@ -163,8 +216,7 @@ impl RealTimeRouter {
     ///
     /// See [`ControlError`].
     pub fn apply_control(&mut self, cmd: ControlCommand) -> Result<(), ControlError> {
-        let mut horizons: [u32; PORT_COUNT] =
-            std::array::from_fn(|i| self.outputs[i].horizon);
+        let mut horizons: [u32; PORT_COUNT] = std::array::from_fn(|i| self.outputs[i].horizon);
         self.control.apply(cmd, &mut self.table, &mut horizons)?;
         for (out, h) in self.outputs.iter_mut().zip(horizons) {
             out.horizon = h;
@@ -183,8 +235,7 @@ impl RealTimeRouter {
         reg: ControlReg,
         value: u16,
     ) -> Result<Option<ControlCommand>, ControlError> {
-        let mut horizons: [u32; PORT_COUNT] =
-            std::array::from_fn(|i| self.outputs[i].horizon);
+        let mut horizons: [u32; PORT_COUNT] = std::array::from_fn(|i| self.outputs[i].horizon);
         let r = self.control.write(reg, value, &mut self.table, &mut horizons)?;
         for (out, h) in self.outputs.iter_mut().zip(horizons) {
             out.horizon = h;
@@ -201,8 +252,7 @@ impl RealTimeRouter {
     /// The local scheduler time at `now`, including this router's skew.
     #[must_use]
     pub fn scheduler_time(&self, now: Cycle) -> LogicalTime {
-        self.clock
-            .wrap(now / self.config.slot_bytes as u64 + self.skew_slots)
+        self.clock.wrap(now / self.config.slot_bytes as u64 + self.skew_slots)
     }
 
     fn ingest_network_symbols(&mut self, now: Cycle, io: &mut ChipIo) {
@@ -261,17 +311,37 @@ impl RealTimeRouter {
                                 + t_config.header_cycles
                                 + t_config.bus_grant_cycles;
                             let wire_len = packet.wire_len();
+                            trace_event!(
+                                self,
+                                now,
+                                TraceEvent::TcArrive {
+                                    conn: packet.conn,
+                                    port: in_idx as u8,
+                                    src: packet.trace.source,
+                                    seq: packet.trace.sequence,
+                                }
+                            );
+                            trace_event!(
+                                self,
+                                now,
+                                TraceEvent::TcCutThrough {
+                                    conn: entry.outgoing,
+                                    port: out_idx as u8,
+                                    src: packet.trace.source,
+                                    seq: packet.trace.sequence,
+                                }
+                            );
                             let rewritten = TcPacket {
                                 conn: entry.outgoing,
                                 arrival: self.clock.add(l, entry.delay),
                                 ..packet
                             };
-                            self.outputs[out_idx].pending_cut = Some(
-                                crate::ports::output::PendingCut {
+                            self.outputs[out_idx].pending_cut =
+                                Some(crate::ports::output::PendingCut {
                                     packet: rewritten,
                                     start_at: now + cut_latency,
-                                },
-                            );
+                                    early: !on_time,
+                                });
                             self.inputs[in_idx].push_tc_start_cut(wire_len);
                             self.stats.tc_arrived += 1;
                             self.stats.tc_cut_through += 1;
@@ -295,8 +365,27 @@ impl RealTimeRouter {
         } else if let Some(packet) = io.inject_tc.pop_front() {
             if packet.payload.len() != self.config.tc_data_bytes() {
                 self.stats.tc_malformed += 1;
+                trace_event!(
+                    self,
+                    now,
+                    TraceEvent::TcDrop {
+                        conn: packet.conn,
+                        reason: DropReason::Malformed,
+                        src: packet.trace.source,
+                        seq: packet.trace.sequence,
+                    }
+                );
             } else {
                 self.stats.tc_injected += 1;
+                trace_event!(
+                    self,
+                    now,
+                    TraceEvent::TcInject {
+                        conn: packet.conn,
+                        src: packet.trace.source,
+                        seq: packet.trace.sequence,
+                    }
+                );
                 let remaining = packet.wire_len() - 1;
                 self.ingest_tc_start(now, 0, packet);
                 self.tc_inject_remaining = (remaining > 0).then_some(remaining);
@@ -314,12 +403,7 @@ impl RealTimeRouter {
             if self.inputs[0].be_free_space() > 0 {
                 let head = *pos == 0;
                 let tail = *pos == wire.len() - 1;
-                let byte = BeByte {
-                    byte: wire[*pos],
-                    head,
-                    tail,
-                    trace: head.then_some(*trace),
-                };
+                let byte = BeByte { byte: wire[*pos], head, tail, trace: head.then_some(*trace) };
                 self.inputs[0].push_be(now, byte);
                 *pos += 1;
                 if *pos == wire.len() {
@@ -335,8 +419,28 @@ impl RealTimeRouter {
                 continue;
             };
             self.stats.tc_arrived += 1;
+            trace_event!(
+                self,
+                now,
+                TraceEvent::TcArrive {
+                    conn: packet.conn,
+                    port: idx as u8,
+                    src: packet.trace.source,
+                    seq: packet.trace.sequence,
+                }
+            );
             let Some(entry) = self.table.lookup(packet.conn) else {
                 self.stats.tc_dropped_no_conn += 1;
+                trace_event!(
+                    self,
+                    now,
+                    TraceEvent::TcDrop {
+                        conn: packet.conn,
+                        reason: DropReason::NoConnection,
+                        src: packet.trace.source,
+                        seq: packet.trace.sequence,
+                    }
+                );
                 continue;
             };
             let l = packet.arrival;
@@ -347,16 +451,49 @@ impl RealTimeRouter {
             };
             let addr = match self.memory.store(rewritten) {
                 Ok(addr) => addr,
-                Err(_) => {
+                Err(_dropped) => {
                     self.stats.tc_dropped_no_buffer += 1;
+                    trace_event!(
+                        self,
+                        now,
+                        TraceEvent::TcDrop {
+                            conn: _dropped.conn,
+                            reason: DropReason::NoBuffer,
+                            src: _dropped.trace.source,
+                            seq: _dropped.trace.sequence,
+                        }
+                    );
                     continue;
                 }
             };
+            trace_event!(
+                self,
+                now,
+                TraceEvent::SlotAlloc {
+                    conn: entry.outgoing,
+                    slot: addr.0,
+                    src: packet.trace.source,
+                    seq: packet.trace.sequence,
+                }
+            );
             let leaf = Leaf { l, delay: entry.delay, port_mask: entry.out_mask, addr };
             if self.sched.insert(leaf).is_err() {
                 // Unreachable: leaves and memory slots are allocated 1:1.
                 self.memory.free(addr);
                 self.stats.tc_dropped_no_buffer += 1;
+                trace_event!(self, now, TraceEvent::SlotFree { slot: addr.0 });
+                trace_event!(
+                    self,
+                    now,
+                    TraceEvent::TcDrop {
+                        conn: entry.outgoing,
+                        reason: DropReason::NoBuffer,
+                        src: packet.trace.source,
+                        seq: packet.trace.sequence,
+                    }
+                );
+            } else {
+                self.stats.tc_buffered += 1;
             }
         }
     }
@@ -367,10 +504,7 @@ impl RealTimeRouter {
     fn be_waiting(&self, out_idx: usize, now: Cycle) -> bool {
         let port = Port::from_index(out_idx);
         self.outputs[out_idx].has_credit()
-            && self
-                .inputs
-                .iter()
-                .any(|input| input.be_front_for(port, now).is_some())
+            && self.inputs.iter().any(|input| input.be_front_for(port, now).is_some())
     }
 
     /// Picks the input port whose head-of-line best-effort byte this output
@@ -380,9 +514,7 @@ impl RealTimeRouter {
         let port = Port::from_index(out_idx);
         if let Some(bound) = self.outputs[out_idx].be_bound {
             // A packet is mid-flight on this output: only its bytes may go.
-            return self.inputs[bound]
-                .be_front_for(port, now)
-                .map(|_| bound);
+            return self.inputs[bound].be_front_for(port, now).map(|_| bound);
         }
         let start = self.outputs[out_idx].rr_next;
         for k in 0..PORT_COUNT {
@@ -407,6 +539,14 @@ impl RealTimeRouter {
                 Ok(mut packet) => {
                     packet.trace = self.rx_be_trace.take().unwrap_or_default();
                     self.stats.be_delivered += 1;
+                    trace_event!(
+                        self,
+                        now,
+                        TraceEvent::BeDeliver {
+                            src: packet.trace.source,
+                            seq: packet.trace.sequence,
+                        }
+                    );
                     io.delivered_be.push((now, packet));
                 }
                 Err(_) => self.stats.be_malformed += 1,
@@ -431,7 +571,7 @@ impl RealTimeRouter {
         if let Some(pending) = &self.outputs[out_idx].pending_cut {
             if pending.start_at <= now {
                 let pending = self.outputs[out_idx].pending_cut.take().expect("checked");
-                self.start_cut_tc(now, out_idx, pending.packet, io);
+                self.start_cut_tc(now, out_idx, pending.packet, pending.early, io);
                 return;
             }
             if self.outputs[out_idx].has_credit() {
@@ -489,6 +629,13 @@ impl RealTimeRouter {
     /// maintaining wormhole binding, credits, and reassembly.
     fn send_be_byte(&mut self, now: Cycle, out_idx: usize, in_idx: usize, io: &mut ChipIo) {
         let routed = self.inputs[in_idx].pop_be();
+        if routed.byte.head {
+            trace_event!(
+                self,
+                now,
+                TraceEvent::BeSelect { port: out_idx as u8, input: in_idx as u8 }
+            );
+        }
         self.outputs[out_idx].be_bound = (!routed.byte.tail).then_some(in_idx);
         self.outputs[out_idx].spend_credit();
         if in_idx != 0 {
@@ -503,19 +650,35 @@ impl RealTimeRouter {
     }
 
     /// Starts streaming a virtual cut-through packet on an output port.
-    fn start_cut_tc(&mut self, now: Cycle, out_idx: usize, packet: TcPacket, io: &mut ChipIo) {
+    fn start_cut_tc(
+        &mut self,
+        now: Cycle,
+        out_idx: usize,
+        packet: TcPacket,
+        early: bool,
+        io: &mut ChipIo,
+    ) {
         self.stats.tc_transmitted[out_idx] += 1;
         self.stats.tc_bytes[out_idx] += 1;
-        *self
-            .stats
-            .tc_bytes_by_conn
-            .entry((out_idx, packet.conn))
-            .or_insert(0) += packet.wire_len() as u64;
+        *self.stats.tc_bytes_by_conn.entry((out_idx, packet.conn)).or_insert(0) +=
+            packet.wire_len() as u64;
+        trace_event!(
+            self,
+            now,
+            TraceEvent::TcTransmit {
+                conn: packet.conn,
+                port: out_idx as u8,
+                early,
+                slack: i64::from(self.clock.signed_diff(packet.arrival, self.scheduler_time(now))),
+                src: packet.trace.source,
+                seq: packet.trace.sequence,
+            }
+        );
         let total = packet.wire_len();
         if out_idx != 0 {
             io.tx[out_idx] = Some(LinkSymbol::TcStart(Box::new(packet.clone())));
         }
-        let tx = TcTransmit { packet, leaf: usize::MAX, early: false, sent: 1, total };
+        let tx = TcTransmit { packet, leaf: usize::MAX, early, sent: 1, total };
         if tx.sent == tx.total {
             self.finish_tc(now, out_idx, tx, io);
         } else {
@@ -537,8 +700,21 @@ impl RealTimeRouter {
             .peek(sel.addr)
             .expect("selected leaf points at an idle memory slot")
             .clone();
+        trace_event!(
+            self,
+            now,
+            TraceEvent::SchedSelect {
+                conn: packet.conn,
+                port: out_idx as u8,
+                class: if early { QueueClass::EarlyWithinHorizon } else { QueueClass::OnTimeEdf },
+                src: packet.trace.source,
+                seq: packet.trace.sequence,
+            }
+        );
         if let Some(freed) = self.sched.commit(sel.leaf, port) {
             self.memory.free(freed);
+            self.stats.tc_retired += 1;
+            trace_event!(self, now, TraceEvent::SlotFree { slot: freed.0 });
         }
         self.stats.tc_transmitted[out_idx] += 1;
         if early {
@@ -548,11 +724,20 @@ impl RealTimeRouter {
             self.stats.aliased_keys += 1;
         }
         self.stats.tc_bytes[out_idx] += 1;
-        *self
-            .stats
-            .tc_bytes_by_conn
-            .entry((out_idx, packet.conn))
-            .or_insert(0) += packet.wire_len() as u64;
+        *self.stats.tc_bytes_by_conn.entry((out_idx, packet.conn)).or_insert(0) +=
+            packet.wire_len() as u64;
+        trace_event!(
+            self,
+            now,
+            TraceEvent::TcTransmit {
+                conn: packet.conn,
+                port: out_idx as u8,
+                early,
+                slack: i64::from(self.clock.signed_diff(packet.arrival, self.scheduler_time(now))),
+                src: packet.trace.source,
+                seq: packet.trace.sequence,
+            }
+        );
 
         let total = packet.wire_len();
         if out_idx != 0 {
@@ -583,6 +768,18 @@ impl RealTimeRouter {
     fn finish_tc(&mut self, now: Cycle, out_idx: usize, tx: TcTransmit, io: &mut ChipIo) {
         if out_idx == 0 {
             self.stats.tc_delivered += 1;
+            trace_event!(
+                self,
+                now,
+                TraceEvent::TcDeliver {
+                    conn: tx.packet.conn,
+                    slack: i64::from(
+                        self.clock.signed_diff(tx.packet.arrival, self.scheduler_time(now))
+                    ),
+                    src: tx.packet.trace.source,
+                    seq: tx.packet.trace.sequence,
+                }
+            );
             io.delivered_tc.push((now, tx.packet));
         }
     }
@@ -611,6 +808,21 @@ impl Chip for RealTimeRouter {
 
     fn set_output_credits(&mut self, port: Port, bytes: u32) {
         RealTimeRouter::set_output_credits(self, port, bytes);
+    }
+
+    fn gauges(&self) -> Option<rtr_types::chip::ChipGauges> {
+        let mut g = rtr_types::chip::ChipGauges {
+            memory_occupied: self.memory.occupied(),
+            memory_capacity: self.memory.capacity(),
+            sched_backlog: self.sched.len(),
+            ..Default::default()
+        };
+        for i in 0..PORT_COUNT {
+            g.queue_depth[i] = self.sched.backlog_for(Port::from_index(i));
+            g.horizon[i] = self.outputs[i].horizon;
+            g.be_buffered[i] = self.inputs[i].be_occupancy();
+        }
+        Some(g)
     }
 }
 
@@ -767,10 +979,12 @@ mod tests {
         let mut r = router();
         let mut io = io();
         let payload: Vec<u8> = (0..32).collect();
-        io.inject_be.push_back(BePacket::new(0, 0, payload.clone(), PacketTrace {
-            sequence: 42,
-            ..PacketTrace::default()
-        }));
+        io.inject_be.push_back(BePacket::new(
+            0,
+            0,
+            payload.clone(),
+            PacketTrace { sequence: 42, ..PacketTrace::default() },
+        ));
         let mut now = 0;
         run(&mut r, &mut io, &mut now, 300);
         assert_eq!(io.delivered_be.len(), 1);
@@ -861,9 +1075,7 @@ mod tests {
             .iter()
             .position(|(_, s)| matches!(s, LinkSymbol::TcStart(_)))
             .expect("TC packet must be transmitted");
-        let be_after_tc = symbols[tc_start..]
-            .iter()
-            .any(|(_, s)| matches!(s, LinkSymbol::Be(_)));
+        let be_after_tc = symbols[tc_start..].iter().any(|(_, s)| matches!(s, LinkSymbol::Be(_)));
         assert!(be_after_tc, "best-effort stream resumes after preemption");
         for k in 1..20 {
             assert!(
@@ -891,9 +1103,7 @@ mod tests {
         for now in 0..1000u64 {
             io.begin_cycle();
             r.tick(now, &mut io);
-            if start_cycle.is_none()
-                && matches!(io.tx[out.index()], Some(LinkSymbol::TcStart(_)))
-            {
+            if start_cycle.is_none() && matches!(io.tx[out.index()], Some(LinkSymbol::TcStart(_))) {
                 start_cycle = Some(now);
             }
             io.tx = Default::default();
@@ -921,9 +1131,7 @@ mod tests {
         for now in 0..1000u64 {
             io.begin_cycle();
             r.tick(now, &mut io);
-            if start_cycle.is_none()
-                && matches!(io.tx[out.index()], Some(LinkSymbol::TcStart(_)))
-            {
+            if start_cycle.is_none() && matches!(io.tx[out.index()], Some(LinkSymbol::TcStart(_))) {
                 start_cycle = Some(now);
             }
             io.tx = Default::default();
@@ -935,11 +1143,9 @@ mod tests {
 
     #[test]
     fn memory_exhaustion_drops_and_counts() {
-        let mut r = RealTimeRouter::new(RouterConfig {
-            packet_slots: 2,
-            ..RouterConfig::default()
-        })
-        .unwrap();
+        let mut r =
+            RealTimeRouter::new(RouterConfig { packet_slots: 2, ..RouterConfig::default() })
+                .unwrap();
         let out = Port::Dir(Direction::XPlus);
         r.apply_control(ControlCommand::SetConnection {
             incoming: ConnectionId(1),
@@ -993,20 +1199,15 @@ mod tests {
         };
         let buffered = measure(false);
         let cut = measure(true);
-        assert!(
-            cut + 10 <= buffered,
-            "cut-through must skip the store wait: {cut} vs {buffered}"
-        );
+        assert!(cut + 10 <= buffered, "cut-through must skip the store wait: {cut} vs {buffered}");
     }
 
     #[test]
     fn cut_through_streams_contiguously_with_correct_header() {
         let out = Port::Dir(Direction::XPlus);
-        let mut r = RealTimeRouter::new(RouterConfig {
-            tc_cut_through: true,
-            ..RouterConfig::default()
-        })
-        .unwrap();
+        let mut r =
+            RealTimeRouter::new(RouterConfig { tc_cut_through: true, ..RouterConfig::default() })
+                .unwrap();
         r.apply_control(ControlCommand::SetConnection {
             incoming: ConnectionId(2),
             outgoing: ConnectionId(9),
@@ -1038,11 +1239,9 @@ mod tests {
     #[test]
     fn cut_through_defers_to_buffered_packet_with_smaller_key() {
         let out = Port::Dir(Direction::XPlus);
-        let mut r = RealTimeRouter::new(RouterConfig {
-            tc_cut_through: true,
-            ..RouterConfig::default()
-        })
-        .unwrap();
+        let mut r =
+            RealTimeRouter::new(RouterConfig { tc_cut_through: true, ..RouterConfig::default() })
+                .unwrap();
         for conn in [1u16, 2] {
             r.apply_control(ControlCommand::SetConnection {
                 incoming: ConnectionId(conn),
@@ -1072,11 +1271,9 @@ mod tests {
     #[test]
     fn multicast_never_cuts_through() {
         let mask = Port::Dir(Direction::XPlus).mask() | Port::Local.mask();
-        let mut r = RealTimeRouter::new(RouterConfig {
-            tc_cut_through: true,
-            ..RouterConfig::default()
-        })
-        .unwrap();
+        let mut r =
+            RealTimeRouter::new(RouterConfig { tc_cut_through: true, ..RouterConfig::default() })
+                .unwrap();
         r.apply_control(ControlCommand::SetConnection {
             incoming: ConnectionId(1),
             outgoing: ConnectionId(1),
@@ -1095,11 +1292,9 @@ mod tests {
     #[test]
     fn early_packets_never_cut_through() {
         let out = Port::Dir(Direction::XPlus);
-        let mut r = RealTimeRouter::new(RouterConfig {
-            tc_cut_through: true,
-            ..RouterConfig::default()
-        })
-        .unwrap();
+        let mut r =
+            RealTimeRouter::new(RouterConfig { tc_cut_through: true, ..RouterConfig::default() })
+                .unwrap();
         r.apply_control(ControlCommand::SetConnection {
             incoming: ConnectionId(1),
             outgoing: ConnectionId(1),
@@ -1118,11 +1313,9 @@ mod tests {
     #[test]
     fn early_packet_within_horizon_cuts_through() {
         let out = Port::Dir(Direction::XPlus);
-        let mut r = RealTimeRouter::new(RouterConfig {
-            tc_cut_through: true,
-            ..RouterConfig::default()
-        })
-        .unwrap();
+        let mut r =
+            RealTimeRouter::new(RouterConfig { tc_cut_through: true, ..RouterConfig::default() })
+                .unwrap();
         r.apply_control(ControlCommand::SetConnection {
             incoming: ConnectionId(1),
             outgoing: ConnectionId(1),
@@ -1166,8 +1359,7 @@ mod tests {
             io.begin_cycle();
             if now == 0 {
                 for i in 1..PORT_COUNT {
-                    io.rx[i] =
-                        Some(LinkSymbol::TcStart(Box::new(tc_packet(i as u16, 0, &r))));
+                    io.rx[i] = Some(LinkSymbol::TcStart(Box::new(tc_packet(i as u16, 0, &r))));
                 }
             } else if now < 20 {
                 for i in 1..PORT_COUNT {
@@ -1181,11 +1373,7 @@ mod tests {
             busy_counts.push(busy);
             io.tx = Default::default();
         }
-        assert_eq!(
-            busy_counts.iter().max(),
-            Some(&4),
-            "all four ports must stream simultaneously"
-        );
+        assert_eq!(busy_counts.iter().max(), Some(&4), "all four ports must stream simultaneously");
         let total: u64 = (1..PORT_COUNT).map(|i| r.stats().tc_transmitted[i]).sum();
         assert_eq!(total, 4, "every port served its packet");
     }
@@ -1279,6 +1467,74 @@ mod tests {
         let fast = start_cycle(1);
         let slow = start_cycle(8);
         assert_eq!(slow - fast, 28, "7 extra serialisation rounds × 4 cycles");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_records_full_local_lifecycle() {
+        use rtr_types::ids::NodeId;
+        use rtr_types::trace::{shared, RingSink};
+
+        let mut r = router();
+        r.apply_control(ControlCommand::SetConnection {
+            incoming: ConnectionId(1),
+            outgoing: ConnectionId(1),
+            delay: 4,
+            out_mask: Port::Local.mask(),
+        })
+        .unwrap();
+        let ring = shared(RingSink::new(256));
+        r.set_trace_sink(NodeId(5), ring.clone());
+        let mut io = io();
+        io.inject_tc.push_back(tc_packet(1, 0, &r));
+        let mut now = 0;
+        run(&mut r, &mut io, &mut now, 200);
+        assert_eq!(io.delivered_tc.len(), 1);
+
+        let ring = ring.borrow();
+        assert!(ring.records().all(|rec| rec.node == NodeId(5)));
+        let tags: Vec<&str> = ring.records().map(|rec| rec.event.tag()).collect();
+        // The full store-and-forward lifecycle, in causal order.
+        let expected = [
+            "tc_inject",
+            "tc_arrive",
+            "slot_alloc",
+            "sched_select",
+            "slot_free",
+            "tc_transmit",
+            "tc_deliver",
+        ];
+        let mut want = expected.iter().peekable();
+        for tag in &tags {
+            if want.peek() == Some(&tag) {
+                want.next();
+            }
+        }
+        let missing: Vec<&&str> = want.collect();
+        assert!(missing.is_empty(), "missing {missing:?} in trace: {tags:?}");
+        // Cycles are monotone within the record stream.
+        let cycles: Vec<u64> = ring.records().map(|rec| rec.cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "cycles must be monotone");
+    }
+
+    #[test]
+    fn conservation_holds_after_mixed_outcomes() {
+        let mut r = router();
+        r.apply_control(ControlCommand::SetConnection {
+            incoming: ConnectionId(1),
+            outgoing: ConnectionId(1),
+            delay: 4,
+            out_mask: Port::Local.mask(),
+        })
+        .unwrap();
+        let mut io = io();
+        io.inject_tc.push_back(tc_packet(1, 0, &r)); // delivered
+        io.inject_tc.push_back(tc_packet(7, 0, &r)); // dropped: no connection
+        let mut now = 0;
+        run(&mut r, &mut io, &mut now, 300);
+        r.check_conservation().unwrap();
+        assert_eq!(r.stats().tc_buffered, 1);
+        assert_eq!(r.stats().tc_retired, 1);
     }
 
     #[test]

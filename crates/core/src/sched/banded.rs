@@ -150,10 +150,7 @@ impl BandedScheduler {
 
     /// Iterates live leaves.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Leaf)> {
-        self.leaves
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.as_ref().map(|(l, _)| (i, l)))
+        self.leaves.iter().enumerate().filter_map(|(i, l)| l.as_ref().map(|(l, _)| (i, l)))
     }
 }
 
@@ -177,7 +174,7 @@ mod tests {
     #[test]
     fn fifo_within_band_edf_across_bands() {
         let mut s = BandedScheduler::new(16, clock(), LatePolicy::Saturate, 3); // 8-slot bands
-        // Laxities 5 and 2 share band 0: FIFO order wins (addr 0 first).
+                                                                                // Laxities 5 and 2 share band 0: FIFO order wins (addr 0 first).
         s.insert(leaf(0, 5, 0)).unwrap();
         s.insert(leaf(0, 2, 1)).unwrap();
         // Laxity 20 is band 2: always later.

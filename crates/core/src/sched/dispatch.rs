@@ -92,6 +92,22 @@ impl Scheduler {
             Scheduler::Banded(b) => b.commit(idx, port),
         }
     }
+
+    /// The occupied leaves, as `(index, leaf)` pairs.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (usize, &Leaf)> + '_> {
+        match self {
+            Scheduler::Tree(t) => Box::new(t.iter()),
+            Scheduler::Banded(b) => Box::new(b.iter()),
+        }
+    }
+
+    /// Buffered packets still awaiting transmission on `port` (a per-link
+    /// queue-depth gauge).
+    #[must_use]
+    pub fn backlog_for(&self, port: Port) -> usize {
+        let mask = port.mask();
+        self.iter().filter(|(_, leaf)| leaf.port_mask & mask != 0).count()
+    }
 }
 
 #[cfg(test)]
@@ -104,12 +120,8 @@ mod tests {
         let clock = SlotClock::new(8);
         let tree = Scheduler::new(SchedulerKind::ComparatorTree, 8, clock, LatePolicy::Saturate);
         assert!(matches!(tree, Scheduler::Tree(_)));
-        let banded = Scheduler::new(
-            SchedulerKind::Banded { band_shift: 3 },
-            8,
-            clock,
-            LatePolicy::Saturate,
-        );
+        let banded =
+            Scheduler::new(SchedulerKind::Banded { band_shift: 3 }, 8, clock, LatePolicy::Saturate);
         assert!(matches!(banded, Scheduler::Banded(_)));
     }
 

@@ -53,12 +53,7 @@ mod tests {
     #[test]
     fn deadline_wraps_with_clock() {
         let clock = SlotClock::new(8);
-        let leaf = Leaf {
-            l: clock.wrap(250),
-            delay: 10,
-            port_mask: 0b10,
-            addr: SlotAddr(0),
-        };
+        let leaf = Leaf { l: clock.wrap(250), delay: 10, port_mask: 0b10, addr: SlotAddr(0) };
         assert_eq!(leaf.deadline(&clock).raw(), 4);
     }
 

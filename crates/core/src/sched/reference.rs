@@ -143,10 +143,7 @@ mod tests {
     #[test]
     fn empty_set_yields_nothing() {
         let r = ReferenceScheduler::new(clock());
-        assert_eq!(
-            r.choose(std::iter::empty(), XP, clock().wrap(0), 10),
-            ReferenceChoice::Nothing
-        );
+        assert_eq!(r.choose(std::iter::empty(), XP, clock().wrap(0), 10), ReferenceChoice::Nothing);
     }
 
     /// Strategy generating leaves in the admissible regime around a time.

@@ -186,10 +186,7 @@ impl ComparatorTree {
 
     /// Iterates the live leaves (index, leaf).
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Leaf)> {
-        self.leaves
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.as_ref().map(|l| (i, l)))
+        self.leaves.iter().enumerate().filter_map(|(i, l)| l.as_ref().map(|l| (i, l)))
     }
 }
 

@@ -28,6 +28,12 @@ pub struct RouterStats {
     /// Packets that cut through to their output link without buffering
     /// (only with the §7 virtual cut-through extension enabled).
     pub tc_cut_through: u64,
+    /// Packets stored in the shared packet memory *and* registered with the
+    /// link scheduler (the store-and-forward path).
+    pub tc_buffered: u64,
+    /// Buffered packets whose memory slot was freed after their last
+    /// scheduled transmission started.
+    pub tc_retired: u64,
     /// Time-constrained packets delivered through the reception port.
     pub tc_delivered: u64,
     /// Time-constrained bytes transmitted, per output port.
@@ -55,14 +61,52 @@ impl RouterStats {
         self.tc_dropped_no_buffer + self.tc_dropped_no_conn + self.tc_malformed
     }
 
+    /// Checks the time-constrained packet-conservation invariants against
+    /// the current packet-memory occupancy:
+    ///
+    /// 1. every arrival is accounted for exactly once —
+    ///    `arrived = dropped(no-conn) + dropped(no-buffer) + cut-through +
+    ///    buffered`;
+    /// 2. every buffered packet is either retired or still in memory —
+    ///    `buffered = retired + occupied`.
+    ///
+    /// Sample between cycles (the counters are transiently inconsistent only
+    /// inside a tick).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_conservation(&self, memory_occupied: usize) -> Result<(), String> {
+        let accounted = self.tc_dropped_no_conn
+            + self.tc_dropped_no_buffer
+            + self.tc_cut_through
+            + self.tc_buffered;
+        if self.tc_arrived != accounted {
+            return Err(format!(
+                "arrival conservation violated: arrived {} != no-conn {} + no-buffer {} \
+                 + cut-through {} + buffered {}",
+                self.tc_arrived,
+                self.tc_dropped_no_conn,
+                self.tc_dropped_no_buffer,
+                self.tc_cut_through,
+                self.tc_buffered
+            ));
+        }
+        let resident = self.tc_retired + memory_occupied as u64;
+        if self.tc_buffered != resident {
+            return Err(format!(
+                "buffer conservation violated: buffered {} != retired {} + occupied {}",
+                self.tc_buffered, self.tc_retired, memory_occupied
+            ));
+        }
+        Ok(())
+    }
+
     /// Cumulative time-constrained bytes a wire connection id received on an
     /// output port.
     #[must_use]
     pub fn tc_conn_bytes(&self, port_index: usize, conn: ConnectionId) -> u64 {
-        self.tc_bytes_by_conn
-            .get(&(port_index, conn))
-            .copied()
-            .unwrap_or(0)
+        self.tc_bytes_by_conn.get(&(port_index, conn)).copied().unwrap_or(0)
     }
 }
 
@@ -122,6 +166,36 @@ mod tests {
             ..RouterStats::default()
         };
         assert_eq!(stats.tc_dropped(), 10);
+    }
+
+    #[test]
+    fn conservation_accepts_balanced_counters() {
+        let stats = RouterStats {
+            tc_arrived: 10,
+            tc_dropped_no_conn: 1,
+            tc_dropped_no_buffer: 2,
+            tc_cut_through: 3,
+            tc_buffered: 4,
+            tc_retired: 3,
+            ..RouterStats::default()
+        };
+        stats.check_conservation(1).unwrap();
+    }
+
+    #[test]
+    fn conservation_flags_unaccounted_arrivals() {
+        let stats =
+            RouterStats { tc_arrived: 5, tc_buffered: 4, tc_retired: 4, ..RouterStats::default() };
+        let e = stats.check_conservation(0).unwrap_err();
+        assert!(e.contains("arrival conservation"), "{e}");
+    }
+
+    #[test]
+    fn conservation_flags_leaked_memory_slots() {
+        let stats =
+            RouterStats { tc_arrived: 4, tc_buffered: 4, tc_retired: 2, ..RouterStats::default() };
+        let e = stats.check_conservation(1).unwrap_err();
+        assert!(e.contains("buffer conservation"), "{e}");
     }
 
     #[test]

@@ -61,10 +61,7 @@ impl CostReport {
     /// The transistor count of a named block.
     #[must_use]
     pub fn block(&self, name: &str) -> u64 {
-        self.blocks
-            .iter()
-            .find(|b| b.name == name)
-            .map_or(0, |b| b.transistors)
+        self.blocks.iter().find(|b| b.name == name).map_or(0, |b| b.transistors)
     }
 
     /// Whether the scheduling logic is the largest block — the paper's
@@ -72,9 +69,7 @@ impl CostReport {
     #[must_use]
     pub fn scheduler_dominates(&self) -> bool {
         let sched = self.block("link scheduler");
-        self.blocks
-            .iter()
-            .all(|b| b.name == "link scheduler" || b.transistors <= sched)
+        self.blocks.iter().all(|b| b.name == "link scheduler" || b.transistors <= sched)
     }
 }
 
@@ -156,12 +151,10 @@ impl HardwareModel {
         // --- Packet memory (§3.4) ------------------------------------
         let mem_bits = leaves * c.slot_bytes as u64 * 8;
         let idle_fifo = leaves * addr_bits * SRAM_CELL + 200 * GATE;
-        let memory = mem_bits * SRAM_CELL + idle_fifo
-            + (c.memory_chunk_bytes as u64 * 8) * 400; // sense amps / decode periphery
+        let memory = mem_bits * SRAM_CELL + idle_fifo + (c.memory_chunk_bytes as u64 * 8) * 400; // sense amps / decode periphery
 
         // --- Connection table (Table 3) ------------------------------
-        let conn_bits =
-            c.connections as u64 * (2 * 16.min(addr_bits + 8) + clock_bits + 5);
+        let conn_bits = c.connections as u64 * (2 * 16.min(addr_bits + 8) + clock_bits + 5);
         let table = conn_bits * SRAM_CELL + 600 * GATE;
 
         // --- Datapath: ports, flit buffers, bus, control --------------
@@ -213,15 +206,15 @@ impl HardwareModel {
             + 2 * clock_bits * ADDER_BIT            // ℓ−t, (ℓ+d)−t subtractors
             + key_bits * MUX_BIT                    // key select
             + 20 * GATE; // eligibility / clear logic
-        // Comparator nodes: one (key compare + key/addr mux + pipeline
-        // latch allowance) per internal node; leaf sharing divides the
-        // base-level comparators and their fanout.
+                         // Comparator nodes: one (key compare + key/addr mux + pipeline
+                         // latch allowance) per internal node; leaf sharing divides the
+                         // base-level comparators and their fanout.
         let effective_leaves = leaves.div_ceil(self.leaf_sharing as u64).max(2);
         let nodes = effective_leaves - 1;
         let node_t = key_bits * COMPARATOR_BIT
             + (key_bits + addr_bits) * MUX_BIT
             + (key_bits + addr_bits) * REG_BIT / 2; // amortised stage latches
-        // Shared-leaf modules add a small key store + sequencer.
+                                                    // Shared-leaf modules add a small key store + sequencer.
         let share_t = if self.leaf_sharing > 1 {
             effective_leaves
                 * (self.leaf_sharing as u64 * (key_bits + addr_bits) * SRAM_CELL + 40 * GATE)
@@ -302,11 +295,9 @@ mod tests {
 
     #[test]
     fn cost_scales_with_leaves() {
-        let small = HardwareModel::new(RouterConfig {
-            packet_slots: 64,
-            ..RouterConfig::default()
-        })
-        .report();
+        let small =
+            HardwareModel::new(RouterConfig { packet_slots: 64, ..RouterConfig::default() })
+                .report();
         let large = default_report();
         assert!(large.block("link scheduler") > 3 * small.block("link scheduler"));
         assert!(large.block("packet memory") > 3 * small.block("packet memory"));
@@ -315,9 +306,7 @@ mod tests {
     #[test]
     fn leaf_sharing_cuts_comparator_cost() {
         let base = default_report();
-        let shared = HardwareModel::new(RouterConfig::default())
-            .with_leaf_sharing(4)
-            .report();
+        let shared = HardwareModel::new(RouterConfig::default()).with_leaf_sharing(4).report();
         assert!(
             shared.block("link scheduler") < base.block("link scheduler"),
             "sharing must reduce scheduler cost: {} vs {}",

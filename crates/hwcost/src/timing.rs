@@ -41,8 +41,8 @@ impl TreeTiming {
         // Key computation at the base adds roughly two comparator levels
         // of delay; leaf sharing serialises k keys through the base.
         let base_levels = 2 * leaf_sharing as u32;
-        let stage_ns =
-            f64::from(levels_per_stage + base_levels.div_ceil(stages)) * process.comparator_level_ns;
+        let stage_ns = f64::from(levels_per_stage + base_levels.div_ceil(stages))
+            * process.comparator_level_ns;
         let selection_ns = stage_ns * f64::from(stages);
         let slot_ns = config.slot_bytes as f64 * process.cycle_ns;
         let selections_per_slot = slot_ns / stage_ns;
@@ -89,20 +89,14 @@ mod tests {
     #[test]
     fn deeper_pipelines_raise_throughput() {
         let two = timing(&RouterConfig::default());
-        let five = timing(&RouterConfig {
-            sched_pipeline_stages: 5,
-            ..RouterConfig::default()
-        });
+        let five = timing(&RouterConfig { sched_pipeline_stages: 5, ..RouterConfig::default() });
         assert!(five.stage_ns < two.stage_ns);
         assert!(five.selections_per_slot > two.selections_per_slot);
     }
 
     #[test]
     fn more_leaves_need_more_levels() {
-        let big = timing(&RouterConfig {
-            packet_slots: 1024,
-            ..RouterConfig::default()
-        });
+        let big = timing(&RouterConfig { packet_slots: 1024, ..RouterConfig::default() });
         assert_eq!(big.levels, 10);
         assert!(big.sufficient_for(PORT_COUNT as u32), "1024 leaves still feasible");
     }

@@ -41,8 +41,8 @@ pub mod source;
 pub mod stats;
 pub mod topology;
 
-pub use netstats::{Histogram, NetworkReport};
-pub use sim::{LinkUsage, Simulator};
+pub use netstats::{ConnSlackReport, Histogram, NetworkReport, OccupancySummary};
+pub use sim::{LinkUsage, OccupancySample, Simulator};
 pub use source::TrafficSource;
 pub use stats::DeliveryLog;
 pub use topology::Topology;

@@ -2,9 +2,11 @@
 //! reports (the measurement surface the paper's §7 multicomputer-simulator
 //! plans call for).
 
+use std::collections::BTreeMap;
+
 use rtr_types::chip::Chip;
-use rtr_types::ids::{Direction, NodeId};
-use rtr_types::time::Cycle;
+use rtr_types::ids::{ConnectionId, Direction, NodeId};
+use rtr_types::time::{cycle_to_slot, Cycle};
 
 use crate::sim::{LinkUsage, Simulator};
 
@@ -40,14 +42,7 @@ impl Histogram {
     #[must_use]
     pub fn new(bucket_width: u64, buckets: usize) -> Self {
         assert!(bucket_width > 0 && buckets > 0, "histogram dimensions must be positive");
-        Histogram {
-            bucket_width,
-            buckets: vec![0; buckets],
-            overflow: 0,
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
+        Histogram { bucket_width, buckets: vec![0; buckets], overflow: 0, count: 0, sum: 0, max: 0 }
     }
 
     /// Records one sample.
@@ -97,15 +92,16 @@ impl Histogram {
     }
 
     /// Nearest-rank percentile (upper bucket edge; exact for the overflow
-    /// bucket only via [`Histogram::max`]). `p` in `(0, 100]`.
+    /// bucket only via [`Histogram::max`]). `p` in `[0, 100]`; the 0th
+    /// percentile is 0 by convention (no sample is below it).
     ///
     /// # Panics
     ///
-    /// Panics if `p` is outside `(0, 100]`.
+    /// Panics if `p` is outside `[0, 100]` or not a number.
     #[must_use]
     pub fn percentile(&self, p: f64) -> u64 {
-        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
-        if self.count == 0 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.count == 0 || p == 0.0 {
             return 0;
         }
         let rank = ((self.count as f64) * p / 100.0).ceil() as u64;
@@ -129,6 +125,46 @@ impl Histogram {
     }
 }
 
+/// End-to-end deadline-slack statistics of one connection's deliveries.
+///
+/// Slack is `deadline − delivery slot` in slots: positive means the packet
+/// arrived with room to spare, negative means a miss. For a correctly
+/// admitted channel the minimum slack is never negative.
+#[derive(Debug, Clone)]
+pub struct ConnSlackReport {
+    /// Wire connection identifier at the delivering router.
+    pub conn: ConnectionId,
+    /// Deadline-bearing packets delivered on this connection.
+    pub delivered: usize,
+    /// Of those, deliveries past the deadline.
+    pub misses: usize,
+    /// Smallest slack observed (slots; negative = worst miss).
+    pub min_slack: i64,
+    /// Mean slack (slots).
+    pub mean_slack: f64,
+    /// Histogram of the non-negative slacks, one slot per bucket (misses
+    /// land in bucket 0 and are counted exactly by `misses`).
+    pub slack: Histogram,
+}
+
+/// Occupancy statistics aggregated over every `(sample, node)` pair of a
+/// gauge-sampled run (see [`Simulator::enable_gauge_sampling`]).
+#[derive(Debug, Clone)]
+pub struct OccupancySummary {
+    /// Samples taken (time points).
+    pub samples: usize,
+    /// Mean packet-memory occupancy per node (slots).
+    pub mean_memory_occupied: f64,
+    /// Peak sampled packet-memory occupancy of any node.
+    pub peak_memory_occupied: usize,
+    /// Node where that peak was sampled.
+    pub peak_memory_node: NodeId,
+    /// Mean scheduler backlog per node (packets).
+    pub mean_sched_backlog: f64,
+    /// Peak sampled per-link queue depth of any output port.
+    pub peak_queue_depth: usize,
+}
+
 /// A snapshot of the whole network's delivery behaviour.
 #[derive(Debug, Clone)]
 pub struct NetworkReport {
@@ -144,6 +180,11 @@ pub struct NetworkReport {
     pub be_delivered: usize,
     /// End-to-end deadline misses.
     pub deadline_misses: usize,
+    /// Per-connection deadline-slack statistics, ordered by connection id
+    /// (deadline-bearing deliveries only).
+    pub slack: Vec<ConnSlackReport>,
+    /// Occupancy time-series summary (None unless gauge sampling was on).
+    pub occupancy: Option<OccupancySummary>,
     /// Per-link usage, densest first.
     pub links: Vec<(NodeId, Direction, LinkUsage)>,
 }
@@ -158,6 +199,7 @@ impl NetworkReport {
         let mut tc_delivered = 0;
         let mut be_delivered = 0;
         let mut deadline_misses = 0;
+        let mut slack_by_conn: BTreeMap<u16, Vec<i64>> = BTreeMap::new();
         for node in sim.topology().nodes() {
             let log = sim.log(node);
             tc_latency.record_all(&log.tc_latencies());
@@ -165,7 +207,29 @@ impl NetworkReport {
             tc_delivered += log.tc.len();
             be_delivered += log.be.len();
             deadline_misses += log.tc_deadline_misses(slot_bytes);
+            for (cycle, p) in log.tc.iter().filter(|(_, p)| p.trace.deadline != 0) {
+                let s = p.trace.deadline as i64 - cycle_to_slot(*cycle, slot_bytes) as i64;
+                slack_by_conn.entry(p.conn.0).or_default().push(s);
+            }
         }
+        let slack = slack_by_conn
+            .into_iter()
+            .map(|(conn, slacks)| {
+                let mut hist = Histogram::new(1, 128);
+                for &s in &slacks {
+                    hist.record(s.max(0) as u64);
+                }
+                ConnSlackReport {
+                    conn: ConnectionId(conn),
+                    delivered: slacks.len(),
+                    misses: slacks.iter().filter(|&&s| s < 0).count(),
+                    min_slack: slacks.iter().copied().min().unwrap_or(0),
+                    mean_slack: slacks.iter().sum::<i64>() as f64 / slacks.len() as f64,
+                    slack: hist,
+                }
+            })
+            .collect();
+        let occupancy = Self::summarise_occupancy(sim);
         let mut links = Vec::new();
         for node in sim.topology().nodes() {
             for dir in Direction::ALL {
@@ -182,8 +246,57 @@ impl NetworkReport {
             tc_delivered,
             be_delivered,
             deadline_misses,
+            slack,
+            occupancy,
             links,
         }
+    }
+
+    fn summarise_occupancy<C: Chip>(sim: &Simulator<C>) -> Option<OccupancySummary> {
+        let samples = sim.gauge_samples();
+        if samples.is_empty() {
+            return None;
+        }
+        let mut memory_sum = 0u64;
+        let mut backlog_sum = 0u64;
+        let mut point_count = 0u64;
+        let mut peak_memory_occupied = 0usize;
+        let mut peak_memory_node = NodeId(0);
+        let mut peak_queue_depth = 0usize;
+        for sample in samples {
+            for (idx, g) in sample.nodes.iter().enumerate() {
+                memory_sum += g.memory_occupied as u64;
+                backlog_sum += g.sched_backlog as u64;
+                point_count += 1;
+                if g.memory_occupied > peak_memory_occupied {
+                    peak_memory_occupied = g.memory_occupied;
+                    peak_memory_node = NodeId(idx as u16);
+                }
+                peak_queue_depth = peak_queue_depth.max(*g.queue_depth.iter().max().unwrap());
+            }
+        }
+        Some(OccupancySummary {
+            samples: samples.len(),
+            mean_memory_occupied: memory_sum as f64 / point_count as f64,
+            peak_memory_occupied,
+            peak_memory_node,
+            mean_sched_backlog: backlog_sum as f64 / point_count as f64,
+            peak_queue_depth,
+        })
+    }
+
+    /// Slack statistics of one connection, if it delivered deadline-bearing
+    /// packets.
+    #[must_use]
+    pub fn conn_slack(&self, conn: ConnectionId) -> Option<&ConnSlackReport> {
+        self.slack.iter().find(|r| r.conn == conn)
+    }
+
+    /// The smallest per-connection slack across the whole network (None
+    /// when nothing deadline-bearing was delivered).
+    #[must_use]
+    pub fn min_slack(&self) -> Option<i64> {
+        self.slack.iter().map(|r| r.min_slack).min()
     }
 
     /// The busiest links, for quick printing.
@@ -228,6 +341,50 @@ mod tests {
         let _ = Histogram::new(0, 4);
     }
 
+    #[test]
+    fn zeroth_percentile_is_zero() {
+        let mut h = Histogram::new(10, 4);
+        h.record_all(&[5, 15, 25]);
+        assert_eq!(h.percentile(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn negative_percentile_rejected() {
+        let _ = Histogram::new(10, 4).percentile(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn oversized_percentile_rejected() {
+        let _ = Histogram::new(10, 4).percentile(100.5);
+    }
+
+    #[test]
+    fn overflow_bucket_answers_with_the_true_max() {
+        let mut h = Histogram::new(10, 2); // bucketed range [0, 20)
+        h.record_all(&[5, 1000, 2000]);
+        assert_eq!(h.overflow(), 2);
+        // Ranks landing in the overflow bucket fall back to the exact max.
+        assert_eq!(h.percentile(100.0), 2000);
+        assert_eq!(h.percentile(67.0), 2000);
+        // Ranks inside the bucketed range still use bucket edges.
+        assert_eq!(h.percentile(33.0), 10);
+    }
+
+    #[test]
+    fn empty_histogram_queries_are_total() {
+        let h = Histogram::new(10, 4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert!((h.mean() - 0.0).abs() < f64::EPSILON);
+        assert_eq!(h.iter().count(), 0);
+        for p in [0.0, 1.0, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p = {p}");
+        }
+    }
+
     proptest! {
         /// The histogram never loses samples and its mean matches the
         /// exact mean.
@@ -241,6 +398,24 @@ mod tests {
             let exact = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
             prop_assert!((h.mean() - exact).abs() < 1e-6);
             prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        }
+
+        /// `percentile` is monotone non-decreasing in `p`, for any sample
+        /// set and any pair of valid percentiles.
+        #[test]
+        fn percentile_is_monotone(
+            values in proptest::collection::vec(0u64..5_000, 0..100),
+            p1 in 0.0f64..100.0,
+            p2 in 0.0f64..100.0,
+        ) {
+            let mut h = Histogram::new(13, 16);
+            h.record_all(&values);
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(
+                h.percentile(lo) <= h.percentile(hi),
+                "percentile({}) = {} > percentile({}) = {}",
+                lo, h.percentile(lo), hi, h.percentile(hi)
+            );
         }
     }
 }

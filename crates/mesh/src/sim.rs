@@ -9,7 +9,7 @@
 //! The simulation is fully deterministic: node order is fixed, all queues
 //! are FIFO, and sources that need randomness own their seeded generators.
 
-use rtr_types::chip::{Chip, ChipIo};
+use rtr_types::chip::{Chip, ChipGauges, ChipIo};
 use rtr_types::flit::LinkSymbol;
 use rtr_types::ids::{Direction, NodeId, Port};
 use rtr_types::packet::{BePacket, TcPacket};
@@ -49,6 +49,15 @@ impl LinkUsage {
     }
 }
 
+/// One occupancy snapshot of every chip in the network.
+#[derive(Debug, Clone)]
+pub struct OccupancySample {
+    /// Cycle the sample was taken (after that cycle's tick).
+    pub cycle: Cycle,
+    /// Per-node gauges, indexed by [`NodeId::index`].
+    pub nodes: Vec<ChipGauges>,
+}
+
 /// The network simulator, generic over the router chip model.
 pub struct Simulator<C: Chip> {
     topo: Topology,
@@ -63,6 +72,9 @@ pub struct Simulator<C: Chip> {
     usage: Vec<[LinkUsage; 4]>,
     sources: Vec<(NodeId, Box<dyn TrafficSource>)>,
     tap: Option<LinkTap>,
+    /// Sample chip gauges every N cycles (None = sampling off).
+    gauge_every: Option<Cycle>,
+    gauge_samples: Vec<OccupancySample>,
     now: Cycle,
 }
 
@@ -132,6 +144,8 @@ impl<C: Chip> Simulator<C> {
             usage: vec![[LinkUsage::default(); 4]; n],
             sources: Vec::new(),
             tap: None,
+            gauge_every: None,
+            gauge_samples: Vec::new(),
             now: 0,
             topo,
         })
@@ -203,6 +217,25 @@ impl<C: Chip> Simulator<C> {
         self.tap = None;
     }
 
+    /// Starts sampling every chip's occupancy gauges once per `every`
+    /// cycles (after that cycle's tick). Chips whose [`Chip::gauges`]
+    /// returns `None` contribute zeroed gauges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn enable_gauge_sampling(&mut self, every: Cycle) {
+        assert!(every > 0, "sampling period must be positive");
+        self.gauge_every = Some(every);
+    }
+
+    /// The occupancy samples collected so far (empty unless
+    /// [`Simulator::enable_gauge_sampling`] was called).
+    #[must_use]
+    pub fn gauge_samples(&self) -> &[OccupancySample] {
+        &self.gauge_samples
+    }
+
     /// Traffic carried so far by the link leaving `node` in `dir`.
     #[must_use]
     pub fn link_usage(&self, node: NodeId, dir: Direction) -> LinkUsage {
@@ -212,11 +245,7 @@ impl<C: Chip> Simulator<C> {
     /// The busiest link's utilisation so far (symbols per cycle).
     #[must_use]
     pub fn peak_link_utilization(&self) -> f64 {
-        self.usage
-            .iter()
-            .flatten()
-            .map(|u| u.utilization(self.now.max(1)))
-            .fold(0.0, f64::max)
+        self.usage.iter().flatten().map(|u| u.utilization(self.now.max(1))).fold(0.0, f64::max)
     }
 
     /// Advances the network by one cycle.
@@ -298,6 +327,16 @@ impl<C: Chip> Simulator<C> {
             log.be.append(&mut io.delivered_be);
         }
 
+        // 6. Periodic occupancy sampling.
+        if let Some(every) = self.gauge_every {
+            if now.is_multiple_of(every) {
+                self.gauge_samples.push(OccupancySample {
+                    cycle: now,
+                    nodes: self.chips.iter().map(|c| c.gauges().unwrap_or_default()).collect(),
+                });
+            }
+        }
+
         self.now += 1;
     }
 
@@ -335,10 +374,8 @@ mod tests {
     use rtr_types::packet::PacketTrace;
 
     fn two_node_sim() -> Simulator<RealTimeRouter> {
-        Simulator::build(Topology::mesh(2, 1), |_| {
-            RealTimeRouter::new(RouterConfig::default())
-        })
-        .unwrap()
+        Simulator::build(Topology::mesh(2, 1), |_| RealTimeRouter::new(RouterConfig::default()))
+            .unwrap()
     }
 
     #[test]
@@ -348,12 +385,17 @@ mod tests {
         let payload: Vec<u8> = (0..50).collect();
         sim.inject_be(
             NodeId(0),
-            BePacket::new(1, 0, payload.clone(), PacketTrace {
-                source: NodeId(0),
-                destination: dst,
-                injected_at: 0,
-                ..PacketTrace::default()
-            }),
+            BePacket::new(
+                1,
+                0,
+                payload.clone(),
+                PacketTrace {
+                    source: NodeId(0),
+                    destination: dst,
+                    injected_at: 0,
+                    ..PacketTrace::default()
+                },
+            ),
         );
         assert!(sim.run_until(2000, |s| !s.log(dst).be.is_empty()));
         let (cycle, p) = &sim.log(dst).be[0];
@@ -417,10 +459,7 @@ mod tests {
         let dst = sim.topology().node_at(1, 0);
         // 200-byte packet: far more than the 10-byte flit buffer, so it only
         // completes if credits return.
-        sim.inject_be(
-            NodeId(0),
-            BePacket::new(1, 0, vec![0xAB; 200], PacketTrace::default()),
-        );
+        sim.inject_be(NodeId(0), BePacket::new(1, 0, vec![0xAB; 200], PacketTrace::default()));
         assert!(sim.run_until(5000, |s| !s.log(dst).be.is_empty()));
         assert_eq!(sim.log(dst).be[0].1.payload.len(), 200);
     }
@@ -433,8 +472,12 @@ mod tests {
             NodeId(0),
             Box::new(crate::source::FnSource(move |now, _node, io: &mut ChipIo| {
                 if now == 0 {
-                    io.inject_be
-                        .push_back(BePacket::new(1, 0, vec![1, 2, 3], PacketTrace::default()));
+                    io.inject_be.push_back(BePacket::new(
+                        1,
+                        0,
+                        vec![1, 2, 3],
+                        PacketTrace::default(),
+                    ));
                 }
             })),
         );
@@ -444,16 +487,14 @@ mod tests {
     #[test]
     fn loopback_topology_returns_traffic_to_self() {
         let mut sim: Simulator<RealTimeRouter> =
-            Simulator::build(Topology::loopback(), |_| {
-                RealTimeRouter::new(RouterConfig::default())
-            })
+            Simulator::build(
+                Topology::loopback(),
+                |_| RealTimeRouter::new(RouterConfig::default()),
+            )
             .unwrap();
         // x_off = 1: the packet leaves +x, re-enters on −x with offsets
         // exhausted, and is delivered locally.
-        sim.inject_be(
-            NodeId(0),
-            BePacket::new(1, 0, vec![9; 16], PacketTrace::default()),
-        );
+        sim.inject_be(NodeId(0), BePacket::new(1, 0, vec![9; 16], PacketTrace::default()));
         assert!(sim.run_until(2000, |s| !s.log(NodeId(0)).be.is_empty()));
     }
 
@@ -476,10 +517,7 @@ mod tests {
             assert!(!symbol.is_time_constrained(), "only BE injected here");
             sink.borrow_mut().push((cycle, node, dir));
         }));
-        sim.inject_be(
-            NodeId(0),
-            BePacket::new(1, 0, vec![0; 6], PacketTrace::default()),
-        );
+        sim.inject_be(NodeId(0), BePacket::new(1, 0, vec![0; 6], PacketTrace::default()));
         assert!(sim.run_until(2000, |s| !s.log(dst).be.is_empty()));
         let seen = events.borrow();
         assert_eq!(seen.len(), 10, "4 header + 6 payload bytes crossed one link");
@@ -488,22 +526,55 @@ mod tests {
         // Clearing the tap stops observation.
         sim.clear_link_tap();
         let before = events.borrow().len();
-        sim.inject_be(
-            NodeId(0),
-            BePacket::new(1, 0, vec![0; 6], PacketTrace::default()),
-        );
+        sim.inject_be(NodeId(0), BePacket::new(1, 0, vec![0; 6], PacketTrace::default()));
         sim.run(2000);
         assert_eq!(events.borrow().len(), before);
+    }
+
+    #[test]
+    fn gauge_sampling_tracks_memory_occupancy() {
+        let mut sim = two_node_sim();
+        let src = NodeId(0);
+        // A connection whose logical arrival is far in the future: the
+        // packet parks in the source's packet memory (h = 0, nothing
+        // transmits), so occupancy gauges must show it.
+        sim.chip_mut(src)
+            .apply_control(ControlCommand::SetConnection {
+                incoming: ConnectionId(5),
+                outgoing: ConnectionId(5),
+                delay: 100,
+                out_mask: Port::Dir(Direction::XPlus).mask(),
+            })
+            .unwrap();
+        let clock = sim.chip(src).clock();
+        let payload = vec![0; sim.chip(src).config().tc_data_bytes()];
+        sim.inject_tc(
+            src,
+            TcPacket {
+                conn: ConnectionId(5),
+                arrival: clock.wrap(120),
+                payload,
+                trace: PacketTrace::default(),
+            },
+        );
+        sim.enable_gauge_sampling(10);
+        sim.run(400);
+        let samples = sim.gauge_samples();
+        assert_eq!(samples.len(), 40, "one sample per 10 cycles");
+        assert!(samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        let peak = samples.iter().map(|s| s.nodes[src.index()].memory_occupied).max().unwrap();
+        assert_eq!(peak, 1, "the parked packet shows up in the gauges");
+        assert!(samples
+            .iter()
+            .any(|s| s.nodes[src.index()].queue_depth[Port::Dir(Direction::XPlus).index()] == 1));
+        assert!(samples.iter().all(|s| s.nodes[0].memory_capacity > 0));
     }
 
     #[test]
     fn link_usage_counts_symbols_by_class() {
         let mut sim = two_node_sim();
         let dst = sim.topology().node_at(1, 0);
-        sim.inject_be(
-            NodeId(0),
-            BePacket::new(1, 0, vec![0; 30], PacketTrace::default()),
-        );
+        sim.inject_be(NodeId(0), BePacket::new(1, 0, vec![0; 30], PacketTrace::default()));
         assert!(sim.run_until(2000, |s| !s.log(dst).be.is_empty()));
         let usage = sim.link_usage(NodeId(0), Direction::XPlus);
         assert_eq!(usage.be_symbols, 34, "4 header + 30 payload bytes crossed");

@@ -40,8 +40,7 @@ mod tests {
     fn fn_source_injects() {
         let mut source = FnSource(|now: Cycle, _node: NodeId, io: &mut ChipIo| {
             if now == 3 {
-                io.inject_be
-                    .push_back(BePacket::new(0, 0, vec![], PacketTrace::default()));
+                io.inject_be.push_back(BePacket::new(0, 0, vec![], PacketTrace::default()));
             }
         });
         let mut io = ChipIo::new();

@@ -16,19 +16,13 @@ impl DeliveryLog {
     /// End-to-end latencies (cycles) of delivered time-constrained packets.
     #[must_use]
     pub fn tc_latencies(&self) -> Vec<Cycle> {
-        self.tc
-            .iter()
-            .map(|(cycle, p)| cycle.saturating_sub(p.trace.injected_at))
-            .collect()
+        self.tc.iter().map(|(cycle, p)| cycle.saturating_sub(p.trace.injected_at)).collect()
     }
 
     /// End-to-end latencies (cycles) of delivered best-effort packets.
     #[must_use]
     pub fn be_latencies(&self) -> Vec<Cycle> {
-        self.be
-            .iter()
-            .map(|(cycle, p)| cycle.saturating_sub(p.trace.injected_at))
-            .collect()
+        self.be.iter().map(|(cycle, p)| cycle.saturating_sub(p.trace.injected_at)).collect()
     }
 
     /// Delivered time-constrained packets that missed their end-to-end
@@ -132,10 +126,7 @@ mod tests {
 
     #[test]
     fn latency_and_misses() {
-        let log = DeliveryLog {
-            tc: vec![tc(100, 20, 10), tc(250, 50, 10)],
-            be: vec![],
-        };
+        let log = DeliveryLog { tc: vec![tc(100, 20, 10), tc(250, 50, 10)], be: vec![] };
         assert_eq!(log.tc_latencies(), vec![80, 200]);
         // Slot 20 bytes: deliveries at slots 5 and 12; deadline slot 10.
         assert_eq!(log.tc_deadline_misses(20), 1);

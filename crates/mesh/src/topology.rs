@@ -41,16 +41,12 @@ impl Topology {
             for x in 0..width {
                 let n = usize::from(y) * usize::from(width) + usize::from(x);
                 if x + 1 < width {
-                    wiring[n][dir_index(Direction::XPlus)] = Some(LinkEnd {
-                        node: NodeId((n + 1) as u16),
-                        dir: Direction::XMinus,
-                    });
+                    wiring[n][dir_index(Direction::XPlus)] =
+                        Some(LinkEnd { node: NodeId((n + 1) as u16), dir: Direction::XMinus });
                 }
                 if x > 0 {
-                    wiring[n][dir_index(Direction::XMinus)] = Some(LinkEnd {
-                        node: NodeId((n - 1) as u16),
-                        dir: Direction::XPlus,
-                    });
+                    wiring[n][dir_index(Direction::XMinus)] =
+                        Some(LinkEnd { node: NodeId((n - 1) as u16), dir: Direction::XPlus });
                 }
                 if y + 1 < height {
                     wiring[n][dir_index(Direction::YPlus)] = Some(LinkEnd {
@@ -273,9 +269,7 @@ impl Topology {
         let mut nodes = vec![src];
         let mut here = src;
         for dir in route {
-            let end = self
-                .link_end(here, *dir)
-                .expect("route leaves the wired topology");
+            let end = self.link_end(here, *dir).expect("route leaves the wired topology");
             here = end.node;
             nodes.push(here);
         }
@@ -360,10 +354,7 @@ mod tests {
     fn dor_route_goes_x_then_y() {
         let t = Topology::mesh(4, 4);
         let route = t.dor_route(t.node_at(0, 0), t.node_at(2, 1));
-        assert_eq!(
-            route,
-            vec![Direction::XPlus, Direction::XPlus, Direction::YPlus]
-        );
+        assert_eq!(route, vec![Direction::XPlus, Direction::XPlus, Direction::YPlus]);
         let nodes = t.walk(t.node_at(0, 0), &route);
         assert_eq!(nodes.last(), Some(&t.node_at(2, 1)));
         assert_eq!(nodes.len(), 4);
@@ -392,10 +383,7 @@ mod tests {
         let dead = [(t.node_at(0, 0), Direction::XPlus)];
         assert_eq!(t.route_avoiding(t.node_at(0, 0), t.node_at(1, 0), &dead), None);
         // Self-routes always succeed trivially.
-        assert_eq!(
-            t.route_avoiding(t.node_at(0, 0), t.node_at(0, 0), &dead),
-            Some(vec![])
-        );
+        assert_eq!(t.route_avoiding(t.node_at(0, 0), t.node_at(0, 0), &dead), Some(vec![]));
     }
 
     proptest! {

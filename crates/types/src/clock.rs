@@ -115,6 +115,23 @@ impl SlotClock {
         LogicalTime((a.0 + offset) & (self.range() - 1))
     }
 
+    /// Signed windowed separation `a - b` in slots: positive when `a` is
+    /// ahead of `b` on the clock circle (within half the range), negative
+    /// when behind.
+    ///
+    /// This is the reading a slack metric wants: with `a` a hop deadline and
+    /// `b` the current scheduler time, the result is slots of slack left
+    /// (negative = the deadline already passed).
+    #[must_use]
+    pub fn signed_diff(self, a: LogicalTime, b: LogicalTime) -> i32 {
+        let ahead = self.diff(a, b);
+        if ahead < self.half_range() {
+            ahead as i32
+        } else {
+            ahead as i32 - self.range() as i32
+        }
+    }
+
     /// Whether a packet with logical arrival time `l` is *early* at time `t`,
     /// i.e. its eligibility instant has not yet been reached.
     ///
@@ -203,6 +220,20 @@ mod tests {
         let t = c.wrap(3);
         assert!(c.has_passed(c.wrap(255), t));
         assert!(!c.has_passed(c.wrap(10), t));
+    }
+
+    #[test]
+    fn signed_diff_reads_ahead_and_behind() {
+        let c = SlotClock::new(8);
+        assert_eq!(c.signed_diff(c.wrap(105), c.wrap(100)), 5);
+        assert_eq!(c.signed_diff(c.wrap(95), c.wrap(100)), -5);
+        assert_eq!(c.signed_diff(c.wrap(100), c.wrap(100)), 0);
+        // Across rollover in both directions.
+        assert_eq!(c.signed_diff(c.wrap(3), c.wrap(250)), 9);
+        assert_eq!(c.signed_diff(c.wrap(250), c.wrap(3)), -9);
+        // Exactly half the range away reads as behind (on-time window is
+        // (t - half, t]).
+        assert_eq!(c.signed_diff(c.wrap(228), c.wrap(100)), -128);
     }
 
     #[test]

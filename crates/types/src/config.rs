@@ -209,12 +209,7 @@ impl RouterConfig {
             self.slot_bytes >= 3,
             "at least 3 (two header bytes + payload)",
         )?;
-        range(
-            "chunk_bytes",
-            self.chunk_bytes as u64,
-            self.chunk_bytes >= 1,
-            "at least 1",
-        )?;
+        range("chunk_bytes", self.chunk_bytes as u64, self.chunk_bytes >= 1, "at least 1")?;
         range(
             "memory_chunk_bytes",
             self.memory_chunk_bytes as u64,
@@ -388,10 +383,7 @@ mod tests {
         // overhead of Experiment 1.
         let t = TimingConfig::default();
         let c = RouterConfig::default();
-        assert_eq!(
-            t.sync_cycles + t.header_cycles + c.chunk_bytes as u64 + t.bus_grant_cycles,
-            10
-        );
+        assert_eq!(t.sync_cycles + t.header_cycles + c.chunk_bytes as u64 + t.bus_grant_cycles, 10);
     }
 
     #[test]
@@ -401,9 +393,7 @@ mod tests {
         let shared = RouterConfig { leaf_sharing: 8, ..RouterConfig::default() };
         assert_eq!(shared.effective_sched_latency(), 32);
         assert!(shared.validate().is_ok());
-        assert!(RouterConfig { leaf_sharing: 0, ..RouterConfig::default() }
-            .validate()
-            .is_err());
+        assert!(RouterConfig { leaf_sharing: 0, ..RouterConfig::default() }.validate().is_err());
     }
 
     #[test]

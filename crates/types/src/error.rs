@@ -69,7 +69,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::OutOfRange { parameter, constraint, value } => {
                 write!(f, "{parameter} = {value} violates: {constraint}")
             }
-            ConfigError::Inconsistent { reason } => write!(f, "inconsistent configuration: {reason}"),
+            ConfigError::Inconsistent { reason } => {
+                write!(f, "inconsistent configuration: {reason}")
+            }
         }
     }
 }
@@ -84,11 +86,8 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = PacketDecodeError::Truncated { needed: 4, got: 1 };
         assert_eq!(e.to_string(), "truncated packet: needed 4 bytes, got 1");
-        let e = ConfigError::OutOfRange {
-            parameter: "clock_bits",
-            constraint: "2..=30",
-            value: 99,
-        };
+        let e =
+            ConfigError::OutOfRange { parameter: "clock_bits", constraint: "2..=30", value: 99 };
         assert!(e.to_string().contains("clock_bits"));
     }
 

@@ -62,12 +62,8 @@ pub enum Direction {
 
 impl Direction {
     /// All four directions, in port-index order.
-    pub const ALL: [Direction; 4] = [
-        Direction::XPlus,
-        Direction::XMinus,
-        Direction::YPlus,
-        Direction::YMinus,
-    ];
+    pub const ALL: [Direction; 4] =
+        [Direction::XPlus, Direction::XMinus, Direction::YPlus, Direction::YMinus];
 
     /// The direction a packet arrives *from* when sent in this direction.
     #[must_use]
@@ -170,9 +166,7 @@ impl std::fmt::Display for Port {
 
 /// Iterates the ports set in an output-port bit mask, in index order.
 pub fn ports_in_mask(mask: u8) -> impl Iterator<Item = Port> {
-    Port::ALL
-        .into_iter()
-        .filter(move |p| mask & p.mask() != 0)
+    Port::ALL.into_iter().filter(move |p| mask & p.mask() != 0)
 }
 
 /// The two traffic classes the router mixes (§3, Table 2).

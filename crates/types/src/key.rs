@@ -105,32 +105,18 @@ impl SortKey {
             let delta = clock.until(l, t);
             debug_assert!(delta >= 1);
             let field = delta.min(field_mask);
-            SortKey {
-                value: half | field,
-                half,
-                aliased: delta > field_mask,
-            }
+            SortKey { value: half | field, half, aliased: delta > field_mask }
         } else {
             let deadline = clock.add(l, d);
             if clock.has_passed(deadline, t) {
                 match late_policy {
-                    LatePolicy::Saturate => SortKey {
-                        value: 0,
-                        half,
-                        aliased: true,
-                    },
-                    LatePolicy::Wrap => SortKey {
-                        value: clock.diff(deadline, t) & field_mask,
-                        half,
-                        aliased: true,
-                    },
+                    LatePolicy::Saturate => SortKey { value: 0, half, aliased: true },
+                    LatePolicy::Wrap => {
+                        SortKey { value: clock.diff(deadline, t) & field_mask, half, aliased: true }
+                    }
                 }
             } else {
-                SortKey {
-                    value: clock.until(deadline, t),
-                    half,
-                    aliased: false,
-                }
+                SortKey { value: clock.until(deadline, t), half, aliased: false }
             }
         }
     }
@@ -138,11 +124,7 @@ impl SortKey {
     /// The key of an ineligible leaf: larger than every packet key.
     #[must_use]
     pub fn ineligible(clock: &SlotClock) -> SortKey {
-        SortKey {
-            value: clock.range(),
-            half: clock.half_range(),
-            aliased: false,
-        }
+        SortKey { value: clock.range(), half: clock.half_range(), aliased: false }
     }
 
     /// Raw unsigned key value (what the comparator hardware compares).

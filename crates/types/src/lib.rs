@@ -12,7 +12,9 @@
 //!   Figure 3, including their wire encodings,
 //! * [`flit`] — link-level symbols (flits) and flow-control credits,
 //! * [`config`] — the architectural parameters of Table 4(a) and the
-//!   per-class policy matrix of Table 2.
+//!   per-class policy matrix of Table 2,
+//! * [`trace`] — cycle-accurate packet lifecycle events, trace sinks, and
+//!   the JSON Lines telemetry format.
 //!
 //! # Example
 //!
@@ -43,7 +45,9 @@ pub mod ids;
 pub mod key;
 pub mod packet;
 pub mod time;
+pub mod trace;
 
+pub use chip::ChipGauges;
 pub use chip::{Chip, ChipIo};
 pub use clock::{LogicalTime, SlotClock};
 pub use config::{RouterConfig, TimingConfig};
@@ -53,3 +57,4 @@ pub use ids::{ConnectionId, Direction, NodeId, Port, TrafficClass};
 pub use key::{LatePolicy, SortKey};
 pub use packet::{BeHeader, BePacket, PacketTrace, TcPacket};
 pub use time::{Cycle, Slot};
+pub use trace::{TraceEvent, TraceRecord, TraceSink};

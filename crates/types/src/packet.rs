@@ -78,9 +78,8 @@ impl TcPacket {
             field: "connection id",
             value: u32::from(self.conn.0),
         })?;
-        let ts = u8::try_from(self.arrival.raw()).map_err(|_| PacketDecodeError::FieldOverflow {
-            field: "timestamp",
-            value: self.arrival.raw(),
+        let ts = u8::try_from(self.arrival.raw()).map_err(|_| {
+            PacketDecodeError::FieldOverflow { field: "timestamp", value: self.arrival.raw() }
         })?;
         let mut bytes = Vec::with_capacity(self.wire_len());
         bytes.push(conn);
@@ -97,12 +96,12 @@ impl TcPacket {
     ///
     /// Returns [`PacketDecodeError::Truncated`] if fewer than two header
     /// bytes are present.
-    pub fn from_wire(bytes: &[u8], clock: &crate::clock::SlotClock) -> Result<Self, PacketDecodeError> {
+    pub fn from_wire(
+        bytes: &[u8],
+        clock: &crate::clock::SlotClock,
+    ) -> Result<Self, PacketDecodeError> {
         if bytes.len() < 2 {
-            return Err(PacketDecodeError::Truncated {
-                needed: 2,
-                got: bytes.len(),
-            });
+            return Err(PacketDecodeError::Truncated { needed: 2, got: bytes.len() });
         }
         Ok(TcPacket {
             conn: ConnectionId(u16::from(bytes[0])),
@@ -148,10 +147,7 @@ impl BeHeader {
     /// given.
     pub fn from_wire(bytes: &[u8]) -> Result<Self, PacketDecodeError> {
         if bytes.len() < BE_HEADER_BYTES {
-            return Err(PacketDecodeError::Truncated {
-                needed: BE_HEADER_BYTES,
-                got: bytes.len(),
-            });
+            return Err(PacketDecodeError::Truncated { needed: BE_HEADER_BYTES, got: bytes.len() });
         }
         Ok(BeHeader {
             x_off: bytes[0] as i8,
@@ -212,11 +208,7 @@ impl BePacket {
     #[must_use]
     pub fn new(x_off: i8, y_off: i8, payload: Vec<u8>, trace: PacketTrace) -> Self {
         let length = u16::try_from(payload.len()).expect("payload exceeds 16-bit length field");
-        BePacket {
-            header: BeHeader { x_off, y_off, length },
-            payload,
-            trace,
-        }
+        BePacket { header: BeHeader { x_off, y_off, length }, payload, trace }
     }
 
     /// Total wire size: header plus payload.
@@ -250,11 +242,7 @@ impl BePacket {
                 got: body.len(),
             });
         }
-        Ok(BePacket {
-            header,
-            payload: body.to_vec(),
-            trace: PacketTrace::default(),
-        })
+        Ok(BePacket { header, payload: body.to_vec(), trace: PacketTrace::default() })
     }
 }
 

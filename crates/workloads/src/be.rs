@@ -27,7 +27,13 @@ impl BackloggedBeSource {
     /// Creates a source sending `packet_bytes`-payload packets from `src`
     /// to `dst`, keeping `queue_depth` packets queued for injection.
     #[must_use]
-    pub fn new(topo: &Topology, src: NodeId, dst: NodeId, packet_bytes: usize, queue_depth: usize) -> Self {
+    pub fn new(
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        packet_bytes: usize,
+        queue_depth: usize,
+    ) -> Self {
         BackloggedBeSource {
             destination: dst,
             offsets: topo.be_offsets(src, dst),
@@ -180,14 +186,9 @@ mod tests {
     #[test]
     fn random_source_rate_is_roughly_honoured() {
         let topo = Topology::mesh(4, 4);
-        let mut src = RandomBeSource::new(
-            topo,
-            TrafficPattern::Uniform,
-            0.25,
-            SizeDist::Fixed(16),
-            42,
-        )
-        .with_max_queue(100_000);
+        let mut src =
+            RandomBeSource::new(topo, TrafficPattern::Uniform, 0.25, SizeDist::Fixed(16), 42)
+                .with_max_queue(100_000);
         let mut io = ChipIo::new();
         for now in 0..10_000 {
             src.pre_cycle(now, NodeId(5), &mut io);
@@ -199,14 +200,9 @@ mod tests {
     #[test]
     fn random_source_respects_queue_cap() {
         let topo = Topology::mesh(2, 2);
-        let mut src = RandomBeSource::new(
-            topo,
-            TrafficPattern::Uniform,
-            1.0,
-            SizeDist::Uniform(1, 8),
-            1,
-        )
-        .with_max_queue(5);
+        let mut src =
+            RandomBeSource::new(topo, TrafficPattern::Uniform, 1.0, SizeDist::Uniform(1, 8), 1)
+                .with_max_queue(5);
         let mut io = ChipIo::new();
         for now in 0..100 {
             src.pre_cycle(now, NodeId(0), &mut io);
@@ -229,10 +225,7 @@ mod tests {
             for now in 0..200 {
                 src.pre_cycle(now, NodeId(0), &mut io);
             }
-            io.inject_be
-                .iter()
-                .map(|p| (p.trace.destination, p.payload.len()))
-                .collect::<Vec<_>>()
+            io.inject_be.iter().map(|p| (p.trace.destination, p.payload.len())).collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

@@ -105,10 +105,7 @@ mod tests {
         let topo = Topology::mesh(4, 4);
         let mut r = rng();
         let src = topo.node_at(1, 3);
-        assert_eq!(
-            TrafficPattern::Transpose.pick(&mut r, &topo, src),
-            topo.node_at(3, 1)
-        );
+        assert_eq!(TrafficPattern::Transpose.pick(&mut r, &topo, src), topo.node_at(3, 1));
         // Diagonal nodes fall back to some other node.
         let diag = topo.node_at(2, 2);
         assert_ne!(TrafficPattern::Transpose.pick(&mut r, &topo, diag), diag);

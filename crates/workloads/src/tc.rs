@@ -190,7 +190,8 @@ impl BurstyTcSource {
 impl TrafficSource for BurstyTcSource {
     fn pre_cycle(&mut self, now: Cycle, _node: NodeId, io: &mut ChipIo) {
         let t = cycle_to_slot(now, self.slot_bytes);
-        if t >= self.bursts * self.burst_period_slots && now.is_multiple_of(self.slot_bytes as u64) {
+        if t >= self.bursts * self.burst_period_slots && now.is_multiple_of(self.slot_bytes as u64)
+        {
             for _ in 0..self.burst_size {
                 for p in self.sender.make_message(now, &self.payload) {
                     io.inject_tc.push_back(p);

@@ -105,7 +105,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let lat = LatencySummary::of(&log.tc_latencies());
         println!(
             "{}  delivered {:4}  misses {}  latency mean {:6.1} max {:4} cycles",
-            l.name, log.tc.len(), misses, lat.mean, lat.max
+            l.name,
+            log.tc.len(),
+            misses,
+            lat.mean,
+            lat.max
         );
         total_misses += misses;
     }

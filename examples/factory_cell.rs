@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Monitoring camera stream (best-effort) from an axis back to the
     // controller — it must not disturb the command channel.
-    sim.add_source(
-        axes[1],
-        Box::new(BackloggedBeSource::new(&topo, axes[1], controller, 120, 2)),
-    );
+    sim.add_source(axes[1], Box::new(BackloggedBeSource::new(&topo, axes[1], controller, 120, 2)));
 
     // Send 40 command messages.
     let mut sender = ChannelSender::new(
@@ -80,10 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Command skew: the spread of delivery times of the same message
     // across axes (all bounded by the common deadline).
     for k in 0..40usize {
-        let times: Vec<i64> = axes
-            .iter()
-            .map(|a| sim.log(*a).tc[k].0 as i64)
-            .collect();
+        let times: Vec<i64> = axes.iter().map(|a| sim.log(*a).tc[k].0 as i64).collect();
         worst_skew = worst_skew.max(times.iter().max().unwrap() - times.iter().min().unwrap());
     }
     println!(

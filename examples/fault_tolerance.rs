@@ -28,11 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = TrafficSpec::periodic(16, 18);
 
     // Phase 1: the direct route.
-    let direct = manager.establish(
-        &topo,
-        ChannelRequest::unicast(src, dst, spec, 60),
-        &mut sim,
-    )?;
+    let direct = manager.establish(&topo, ChannelRequest::unicast(src, dst, spec, 60), &mut sim)?;
     println!(
         "phase 1: direct route over {} hops, guaranteed bound {} slots",
         direct.depth,
@@ -59,9 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The first +x link fails. Tear down and re-establish over a detour.
     let dead = [(src, Direction::XPlus)];
     manager.teardown(direct.id, &mut sim)?;
-    let detour_route = topo
-        .route_avoiding(src, dst, &dead)
-        .expect("the mesh has disjoint alternatives");
+    let detour_route =
+        topo.route_avoiding(src, dst, &dead).expect("the mesh has disjoint alternatives");
     let detour = manager.establish_routed(
         &topo,
         ChannelRequest::unicast(src, dst, spec, 60),

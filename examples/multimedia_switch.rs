@@ -45,10 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut sim,
     )?;
 
-    for (label, channel, period, payload) in [
-        ("video", &video, 32u64, 50usize),
-        ("audio", &audio, 8, 12),
-    ] {
+    for (label, channel, period, payload) in
+        [("video", &video, 32u64, 50usize), ("audio", &audio, 8, 12)]
+    {
         println!(
             "{label}: {} packets/message, depth {}, guaranteed {} slots",
             channel.request.spec.packets_per_message(config.tc_data_bytes()),
@@ -77,13 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Bulk transfer: (1,1) → (2,2), backlogged 200-byte packets.
     sim.add_source(
         topo.node_at(1, 1),
-        Box::new(BackloggedBeSource::new(
-            &topo,
-            topo.node_at(1, 1),
-            topo.node_at(2, 2),
-            200,
-            2,
-        )),
+        Box::new(BackloggedBeSource::new(&topo, topo.node_at(1, 1), topo.node_at(2, 2), 200, 2)),
     );
 
     sim.run(150_000);
@@ -93,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for row in manager.utilization_report().iter().take(5) {
         println!(
             "  node {:>3} port {:<5}  {} connection(s)  utilisation {:.4}  headroom {} slots",
-            row.node, row.port.to_string(), row.connections, row.utilization, row.headroom_slots
+            row.node,
+            row.port.to_string(),
+            row.connections,
+            row.utilization,
+            row.headroom_slots
         );
     }
 

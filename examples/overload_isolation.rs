@@ -79,10 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|(c, p)| cycle_to_slot(*c, slot_bytes) > p.trace.deadline)
             .count();
         let lat = LatencySummary::of(
-            &packets
-                .iter()
-                .map(|(c, p)| c.saturating_sub(p.trace.injected_at))
-                .collect::<Vec<_>>(),
+            &packets.iter().map(|(c, p)| c.saturating_sub(p.trace.injected_at)).collect::<Vec<_>>(),
         );
         (packets.len(), misses, lat.mean)
     };
@@ -98,10 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          ({}% dropped at the host), {evil_n} delivered, {evil_misses} misses, mean latency {evil_mean:.0} cycles",
         100 * (evil_generated - evil_admitted) / evil_generated
     );
-    println!(
-        "aliased sorting keys in the network: {}",
-        sim.chip(src).stats().aliased_keys
-    );
+    println!("aliased sorting keys in the network: {}", sim.chip(src).stats().aliased_keys);
 
     assert_eq!(good_misses, 0, "the flooder must not hurt the conforming channel");
     assert_eq!(evil_misses, 0, "what the policer admits is still guaranteed");

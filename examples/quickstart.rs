@@ -46,11 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Also drop a best-effort packet in: it shares the wires without a
     // reservation.
     let (x, y) = topo.be_offsets(src, dst);
-    sim.inject_be(src, BePacket::new(x, y, b"hello best effort".to_vec(), PacketTrace {
-        source: src,
-        destination: dst,
-        ..PacketTrace::default()
-    }));
+    sim.inject_be(
+        src,
+        BePacket::new(
+            x,
+            y,
+            b"hello best effort".to_vec(),
+            PacketTrace { source: src, destination: dst, ..PacketTrace::default() },
+        ),
+    );
 
     for k in 0..50u64 {
         let now = sim.now();
@@ -65,11 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let log = sim.log(dst);
     let misses = log.tc_deadline_misses(config.slot_bytes);
     let slacks = log.tc_slack_slots(config.slot_bytes);
-    println!(
-        "delivered {} time-constrained messages, {} deadline misses",
-        log.tc.len(),
-        misses
-    );
+    println!("delivered {} time-constrained messages, {} deadline misses", log.tc.len(), misses);
     println!(
         "worst-case remaining slack: {} slots (deadline bound was {} slots)",
         slacks.iter().min().unwrap(),

@@ -4,8 +4,7 @@
 //! the demand criterion admits is delivered on time.
 
 use realtime_router::channels::{
-    AdmissionPolicy, ChannelManager, ChannelRequest, ChannelSender, EstablishedChannel,
-    TrafficSpec,
+    AdmissionPolicy, ChannelManager, ChannelRequest, ChannelSender, EstablishedChannel, TrafficSpec,
 };
 use realtime_router::core::RealTimeRouter;
 use realtime_router::mesh::{Simulator, Topology};
@@ -33,8 +32,7 @@ fn offered(topo: &Topology) -> Vec<ChannelRequest> {
 fn run(policy: AdmissionPolicy) -> (usize, usize, usize) {
     let config = RouterConfig::default();
     let topo = Topology::mesh(3, 3);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let mut manager = ChannelManager::new(&config);
     manager.set_policy(policy);
 
@@ -67,11 +65,7 @@ fn run(policy: AdmissionPolicy) -> (usize, usize, usize) {
 
     let dst = topo.node_at(1, 1);
     let log = sim.log(dst);
-    (
-        admitted.len(),
-        log.tc.len(),
-        log.tc_deadline_misses(config.slot_bytes),
-    )
+    (admitted.len(), log.tc.len(), log.tc_deadline_misses(config.slot_bytes))
 }
 
 #[test]
@@ -88,8 +82,5 @@ fn utilization_only_is_unsound() {
     let (admitted, delivered, misses) = run(AdmissionPolicy::UtilizationOnly);
     assert_eq!(admitted, 9, "utilisation-only waves the whole overload through");
     assert!(delivered > 0);
-    assert!(
-        misses > 0,
-        "the naive policy must produce deadline misses ({delivered} delivered)"
-    );
+    assert!(misses > 0, "the naive policy must produce deadline misses ({delivered} delivered)");
 }

@@ -19,12 +19,78 @@ fn total_be_delivered(sim: &Simulator<RealTimeRouter>, topo: &Topology) -> usize
     topo.nodes().map(|n| sim.log(n).be.len()).sum()
 }
 
+/// Every router's own conservation ledger must balance after a mixed
+/// TC + BE run: arrivals fully accounted (dropped, cut through, or
+/// buffered) and buffered packets fully retired or still in memory.
+#[test]
+fn router_stats_conserve_under_mixed_traffic() {
+    use realtime_router::workloads::tc::PeriodicTcSource;
+
+    let config = RouterConfig::default();
+    let topo = Topology::mesh(3, 3);
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut manager = ChannelManager::new(&config);
+
+    let pairs = [(0u16, 8u16), (2, 6), (4, 0), (7, 1)];
+    for (phase, (src, dst)) in pairs.into_iter().enumerate() {
+        let (src, dst) = (NodeId(src), NodeId(dst));
+        let depth = topo.dor_route(src, dst).len() as u32 + 1;
+        let channel = manager
+            .establish(
+                &topo,
+                ChannelRequest::unicast(src, dst, TrafficSpec::periodic(16, 18), depth * 6),
+                &mut sim,
+            )
+            .expect("sparse channel set admits");
+        let sender = ChannelSender::new(
+            &channel,
+            sim.chip(src).clock(),
+            config.slot_bytes,
+            config.tc_data_bytes(),
+        );
+        sim.add_source(
+            src,
+            Box::new(PeriodicTcSource::new(
+                sender,
+                16,
+                phase as u64,
+                config.slot_bytes,
+                vec![0x42; config.tc_data_bytes()],
+            )),
+        );
+    }
+    for node in topo.nodes() {
+        sim.add_source(
+            node,
+            Box::new(
+                RandomBeSource::new(
+                    topo.clone(),
+                    TrafficPattern::Uniform,
+                    0.15,
+                    SizeDist::Uniform(4, 40),
+                    u64::from(node.0) * 31 + 5,
+                )
+                .with_max_queue(4),
+            ),
+        );
+    }
+    sim.run(25_000);
+
+    let mut tc_arrived_total = 0;
+    for node in topo.nodes() {
+        sim.chip(node).check_conservation().unwrap_or_else(|e| panic!("node {node}: {e}"));
+        tc_arrived_total += sim.chip(node).stats().tc_arrived;
+    }
+    assert!(tc_arrived_total > 0, "TC traffic actually flowed");
+    let tc_delivered: usize = topo.nodes().map(|n| sim.log(n).tc.len()).sum();
+    assert!(tc_delivered > 200, "delivered {tc_delivered}");
+}
+
 #[test]
 fn be_packets_conserve_and_never_duplicate() {
     let topo = Topology::mesh(3, 3);
     let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(RouterConfig::default()))
-            .unwrap();
+        Simulator::build(topo.clone(), |_| RealTimeRouter::new(RouterConfig::default())).unwrap();
     for node in topo.nodes() {
         sim.add_source(
             node,
@@ -58,10 +124,7 @@ fn be_packets_conserve_and_never_duplicate() {
                 p.trace.source,
                 p.trace.sequence
             );
-            assert_eq!(
-                p.trace.destination, node,
-                "packet delivered at the wrong node"
-            );
+            assert_eq!(p.trace.destination, node, "packet delivered at the wrong node");
         }
     }
 }

@@ -11,8 +11,7 @@ use realtime_router::types::packet::{PacketTrace, TcPacket};
 fn word_level_writes_program_a_working_route() {
     let config = RouterConfig::default();
     let topo = Topology::mesh(2, 1);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let src = NodeId(0);
     let dst = topo.node_at(1, 0);
 
@@ -20,11 +19,8 @@ fn word_level_writes_program_a_working_route() {
     let chip = sim.chip_mut(src);
     chip.control_write(ControlReg::OutConn, 9).unwrap();
     chip.control_write(ControlReg::Delay, 6).unwrap();
-    chip.control_write(
-        ControlReg::PortMask,
-        u16::from(Port::Dir(Direction::XPlus).mask()),
-    )
-    .unwrap();
+    chip.control_write(ControlReg::PortMask, u16::from(Port::Dir(Direction::XPlus).mask()))
+        .unwrap();
     chip.control_write(ControlReg::InConnCommit, 5).unwrap();
     // Horizon for all ports — the two-write sequence.
     chip.control_write(ControlReg::HorizonMask, 0b1_1111).unwrap();
@@ -58,8 +54,7 @@ fn table_rewrite_redirects_in_flight_connections() {
     // "protocol software can edit this table" behaviour of §3.3.
     let config = RouterConfig::default();
     let topo = Topology::mesh(3, 1);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let src = NodeId(0);
     let near = topo.node_at(1, 0);
     let far = topo.node_at(2, 0);
@@ -120,19 +115,11 @@ fn table_rewrite_redirects_in_flight_connections() {
 fn word_level_plane_establishment_matches_typed() {
     // Establish the same channel twice — once through the typed control
     // plane, once through the raw pin protocol — and compare the tables.
-    use realtime_router::channels::{
-        ChannelManager, ChannelRequest, TrafficSpec, WordLevelPlane,
-    };
+    use realtime_router::channels::{ChannelManager, ChannelRequest, TrafficSpec, WordLevelPlane};
     let config = RouterConfig::default();
     let topo = Topology::mesh(3, 1);
-    let request = || {
-        ChannelRequest::unicast(
-            NodeId(0),
-            NodeId(2),
-            TrafficSpec::periodic(16, 18),
-            30,
-        )
-    };
+    let request =
+        || ChannelRequest::unicast(NodeId(0), NodeId(2), TrafficSpec::periodic(16, 18), 30);
 
     let mut typed_sim =
         Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
@@ -174,8 +161,7 @@ fn word_level_plane_establishment_matches_typed() {
 fn unprogrammed_connections_drop_cleanly_everywhere() {
     let config = RouterConfig::default();
     let topo = Topology::mesh(2, 2);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let clock = sim.chip(NodeId(0)).clock();
     for node in topo.nodes() {
         sim.inject_tc(

@@ -20,8 +20,7 @@ fn total_delivered(sim: &Simulator<RealTimeRouter>, topo: &Topology) -> usize {
 fn stress(pattern: TrafficPattern, seed: u64, min_total: usize) {
     let topo = Topology::mesh(5, 5);
     let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(RouterConfig::default()))
-            .unwrap();
+        Simulator::build(topo.clone(), |_| RealTimeRouter::new(RouterConfig::default())).unwrap();
     for node in topo.nodes() {
         sim.add_source(
             node,
@@ -42,10 +41,7 @@ fn stress(pattern: TrafficPattern, seed: u64, min_total: usize) {
     for window in 0..12 {
         sim.run(10_000);
         let now = total_delivered(&sim, &topo);
-        assert!(
-            now > last,
-            "no forward progress in window {window}: stuck at {now} deliveries"
-        );
+        assert!(now > last, "no forward progress in window {window}: stuck at {now} deliveries");
         last = now;
     }
     assert!(last > min_total, "sustained throughput expected, got {last}");

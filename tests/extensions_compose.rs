@@ -19,8 +19,7 @@ fn cut_through_plus_banded_scheduler_keep_guarantees() {
         ..RouterConfig::default()
     };
     let topo = Topology::mesh(4, 4);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let mut manager = ChannelManager::new(&config);
 
     let pairs = [((0u16, 0u16), (3u16, 1u16)), ((3, 3), (0, 2)), ((1, 0), (2, 3))];

@@ -13,16 +13,12 @@ use realtime_router::workloads::tc::PeriodicTcSource;
 fn channel_routed_around_a_dead_link_still_guarantees() {
     let config = RouterConfig::default();
     let topo = Topology::mesh(3, 3);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let src = topo.node_at(0, 0);
     let dst = topo.node_at(2, 0);
 
     // The direct row-0 links are "failed": pick a detour and reserve it.
-    let dead = [
-        (src, Direction::XPlus),
-        (topo.node_at(1, 0), Direction::XPlus),
-    ];
+    let dead = [(src, Direction::XPlus), (topo.node_at(1, 0), Direction::XPlus)];
     let detour = topo.route_avoiding(src, dst, &dead).unwrap();
     for hop in &dead {
         assert!(!detour_uses(&topo, src, &detour, *hop), "detour avoids dead links");
@@ -78,17 +74,12 @@ fn detour_uses(
     link: (NodeId, Direction),
 ) -> bool {
     let nodes = topo.walk(src, route);
-    nodes
-        .iter()
-        .zip(route)
-        .any(|(&n, &d)| (n, d) == link)
+    nodes.iter().zip(route).any(|(&n, &d)| (n, d) == link)
 }
 
 #[test]
 fn disconnected_failures_are_reported_not_mis_routed() {
     let topo = Topology::mesh(2, 1);
     let dead = [(topo.node_at(0, 0), Direction::XPlus)];
-    assert!(topo
-        .route_avoiding(topo.node_at(0, 0), topo.node_at(1, 0), &dead)
-        .is_none());
+    assert!(topo.route_avoiding(topo.node_at(0, 0), topo.node_at(1, 0), &dead).is_none());
 }

@@ -15,8 +15,7 @@ use realtime_router::workloads::tc::{BurstyTcSource, PeriodicTcSource};
 fn everything_at_once_zero_misses() {
     let config = RouterConfig::default();
     let topo = Topology::mesh(6, 6);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let mut manager = ChannelManager::new(&config);
     let horizon = 8;
     manager.set_assumed_horizon(horizon);
@@ -50,11 +49,7 @@ fn everything_at_once_zero_misses() {
         let depth = topo.dor_route(src, dst).len() as u32 + 1;
         let spec = TrafficSpec { i_min: 32, s_max_bytes: 18, b_max: 3 };
         let channel = manager
-            .establish(
-                &topo,
-                ChannelRequest::unicast(src, dst, spec, depth * 8),
-                &mut sim,
-            )
+            .establish(&topo, ChannelRequest::unicast(src, dst, spec, depth * 8), &mut sim)
             .expect("criss-cross set must be admissible at 1/32 each");
         channels.push(channel);
     }
@@ -64,11 +59,7 @@ fn everything_at_once_zero_misses() {
             &topo,
             ChannelRequest {
                 source: topo.node_at(2, 3),
-                destinations: vec![
-                    topo.node_at(5, 5),
-                    topo.node_at(5, 0),
-                    topo.node_at(0, 5),
-                ],
+                destinations: vec![topo.node_at(5, 5), topo.node_at(5, 0), topo.node_at(0, 5)],
                 spec: TrafficSpec::periodic(32, 18),
                 deadline: 64,
             },
@@ -157,11 +148,7 @@ fn everything_at_once_zero_misses() {
         .destinations
         .iter()
         .map(|d| {
-            sim.log(*d)
-                .tc
-                .iter()
-                .filter(|(_, p)| p.trace.source == mcast.request.source)
-                .count()
+            sim.log(*d).tc.iter().filter(|(_, p)| p.trace.source == mcast.request.source).count()
         })
         .collect();
     let min = *mcast_counts.iter().min().unwrap();

@@ -4,9 +4,7 @@
 //! release would panic).
 
 use proptest::prelude::*;
-use realtime_router::channels::{
-    ChannelManager, ChannelRequest, ControlPlane, TrafficSpec,
-};
+use realtime_router::channels::{ChannelManager, ChannelRequest, ControlPlane, TrafficSpec};
 use realtime_router::core::{ControlCommand, ControlError};
 use realtime_router::mesh::Topology;
 use realtime_router::prelude::*;

@@ -12,20 +12,22 @@ use realtime_router::workloads::tc::BackloggedTcSource;
 
 /// Builds a 2-node link with one TC channel (utilisation `1/i_min`) and a
 /// saturating best-effort stream; returns (sim, config, dst).
-fn shared_link(
-    i_min: u32,
-) -> (Simulator<RealTimeRouter>, RouterConfig, rtr_types::ids::NodeId) {
+fn shared_link(i_min: u32) -> (Simulator<RealTimeRouter>, RouterConfig, rtr_types::ids::NodeId) {
     let config = RouterConfig::default();
     let topo = Topology::mesh(2, 1);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let src = topo.node_at(0, 0);
     let dst = topo.node_at(1, 0);
     let mut manager = ChannelManager::new(&config);
     let channel = manager
         .establish(
             &topo,
-            ChannelRequest::unicast(src, dst, TrafficSpec::periodic(i_min, 18), (2 * i_min).min(32)),
+            ChannelRequest::unicast(
+                src,
+                dst,
+                TrafficSpec::periodic(i_min, 18),
+                (2 * i_min).min(32),
+            ),
             &mut sim,
         )
         .unwrap();
@@ -73,11 +75,7 @@ fn be_receives_exactly_the_excess_bandwidth() {
         "tc share {}",
         tc_bytes as f64 / 60_000.0
     );
-    assert!(
-        be_bytes as f64 / 60_000.0 > 0.6,
-        "be share {}",
-        be_bytes as f64 / 60_000.0
-    );
+    assert!(be_bytes as f64 / 60_000.0 > 0.6, "be share {}", be_bytes as f64 / 60_000.0);
     assert!(total > 0.75, "combined utilisation {total}");
 }
 

@@ -12,8 +12,7 @@ use realtime_router::prelude::*;
 fn large_messages_split_travel_and_arrive_on_time() {
     let config = RouterConfig::default();
     let topo = Topology::mesh(3, 1);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let src = topo.node_at(0, 0);
     let dst = topo.node_at(2, 0);
     let mut manager = ChannelManager::new(&config);
@@ -21,13 +20,8 @@ fn large_messages_split_travel_and_arrive_on_time() {
     // 50-byte messages → 3 packets each, every 16 slots.
     let spec = TrafficSpec { i_min: 16, s_max_bytes: 50, b_max: 0 };
     assert_eq!(spec.packets_per_message(config.tc_data_bytes()), 3);
-    let channel = manager
-        .establish(
-            &topo,
-            ChannelRequest::unicast(src, dst, spec, 45),
-            &mut sim,
-        )
-        .unwrap();
+    let channel =
+        manager.establish(&topo, ChannelRequest::unicast(src, dst, spec, 45), &mut sim).unwrap();
 
     let mut sender = ChannelSender::new(
         &channel,
@@ -69,15 +63,13 @@ fn large_messages_split_travel_and_arrive_on_time() {
 fn admission_charges_multi_packet_messages_properly() {
     let config = RouterConfig::default();
     let topo = Topology::mesh(2, 1);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let mut manager = ChannelManager::new(&config);
     // 3 packets per message every 12 slots = 1/4 of the link each; the
     // demand test with η = 2 fits two such channels in the 6-slot window
     // (2 + 3 + 3 ≥ ... it does not — so exactly ONE is admitted at d = 6).
     let spec = TrafficSpec { i_min: 12, s_max_bytes: 50, b_max: 0 };
-    let request =
-        || ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 12);
+    let request = || ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 12);
     assert!(manager.establish(&topo, request(), &mut sim).is_ok());
     // The second channel's three packets no longer fit the shared window.
     assert!(manager.establish(&topo, request(), &mut sim).is_err());

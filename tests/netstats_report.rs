@@ -12,8 +12,7 @@ use realtime_router::workloads::tc::PeriodicTcSource;
 fn report_reflects_the_simulation() {
     let config = RouterConfig::default();
     let topo = Topology::mesh(3, 1);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let src = topo.node_at(0, 0);
     let dst = topo.node_at(2, 0);
     let mut manager = ChannelManager::new(&config);

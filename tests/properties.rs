@@ -3,9 +3,7 @@
 //! statement of the paper's central claim.
 
 use proptest::prelude::*;
-use realtime_router::channels::{
-    ChannelManager, ChannelRequest, ChannelSender, TrafficSpec,
-};
+use realtime_router::channels::{ChannelManager, ChannelRequest, ChannelSender, TrafficSpec};
 use realtime_router::core::RealTimeRouter;
 use realtime_router::mesh::{Simulator, Topology};
 use realtime_router::types::config::RouterConfig;

@@ -21,8 +21,7 @@ use realtime_router::workloads::tc::PeriodicTcSource;
 fn rogue_injections_are_contained() {
     let config = RouterConfig::default();
     let topo = Topology::mesh(3, 3);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let mut manager = ChannelManager::new(&config);
 
     // The legitimate channel crosses the rogue's node.
@@ -61,7 +60,7 @@ fn rogue_injections_are_contained() {
         rogue,
         Box::new(FnSource(move |now: u64, _node, io: &mut rtr_types::chip::ChipIo| {
             if now.is_multiple_of(7) && io.inject_tc.len() < 8 {
-                let payload_len = *[0usize, 3, 18, 18, 18].get(rng.gen_range(0..5)).unwrap();
+                let payload_len = *[0usize, 3, 18, 18, 18].get(rng.gen_range(0..5usize)).unwrap();
                 io.inject_tc.push_back(TcPacket {
                     conn: ConnectionId(rng.gen_range(0..256)),
                     arrival: clock.wrap(rng.gen_range(0..100_000)),

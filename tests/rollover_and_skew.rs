@@ -10,8 +10,7 @@ use realtime_router::workloads::tc::PeriodicTcSource;
 fn run_chain(skews: &[u64], cycles: u64) -> (usize, usize, u64) {
     let config = RouterConfig::default();
     let topo = Topology::mesh(3, 1);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     for (i, node) in topo.nodes().enumerate() {
         sim.chip_mut(node).set_clock_skew(skews.get(i).copied().unwrap_or(0));
     }
@@ -43,11 +42,7 @@ fn run_chain(skews: &[u64], cycles: u64) -> (usize, usize, u64) {
     );
     sim.run(cycles);
     let aliased: u64 = topo.nodes().map(|n| sim.chip(n).stats().aliased_keys).sum();
-    (
-        sim.log(dst).tc.len(),
-        sim.log(dst).tc_deadline_misses(config.slot_bytes),
-        aliased,
-    )
+    (sim.log(dst).tc.len(), sim.log(dst).tc_deadline_misses(config.slot_bytes), aliased)
 }
 
 #[test]
@@ -82,8 +77,5 @@ fn excessive_skew_is_detectable_via_aliasing_counters() {
     // A skew beyond half the clock range violates the §4.3 window: the
     // chip's aliasing counter exposes the misconfiguration.
     let (_, _, aliased) = run_chain(&[0, 200, 0], 100_000);
-    assert!(
-        aliased > 0,
-        "skew past the half-range window must surface as aliased keys"
-    );
+    assert!(aliased > 0, "skew past the half-range window must surface as aliased keys");
 }

@@ -10,8 +10,7 @@ use realtime_router::prelude::*;
 fn delivered_tc_packets_survive_a_wire_round_trip() {
     let config = RouterConfig::default();
     let topo = Topology::mesh(2, 1);
-    let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
     let src = NodeId(0);
     let dst = topo.node_at(1, 0);
     for (node, mask) in [(src, Port::Dir(Direction::XPlus).mask()), (dst, Port::Local.mask())] {
@@ -49,10 +48,8 @@ fn delivered_tc_packets_survive_a_wire_round_trip() {
 #[test]
 fn delivered_be_packets_survive_a_wire_round_trip() {
     let topo = Topology::mesh(2, 1);
-    let mut sim = Simulator::build(topo.clone(), |_| {
-        RealTimeRouter::new(RouterConfig::default())
-    })
-    .unwrap();
+    let mut sim =
+        Simulator::build(topo.clone(), |_| RealTimeRouter::new(RouterConfig::default())).unwrap();
     let dst = topo.node_at(1, 0);
     let payload: Vec<u8> = (0..100).collect();
     sim.inject_be(NodeId(0), BePacket::new(1, 0, payload.clone(), PacketTrace::default()));

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the bench-definition API the workspace's `[[bench]]` targets use
+//! (`Criterion`, `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `iter`/`iter_batched`, `BenchmarkId`, `black_box`) backed by a simple
+//! wall-clock harness: each benchmark warms up, runs a fixed number of
+//! samples, and prints min/mean per-iteration times. There is no statistical
+//! analysis, HTML report, or baseline storage — numbers are comparable
+//! within one machine and build only.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost (ignored by this harness; every
+/// iteration reruns its setup outside the timed section).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id naming a function/parameter pair.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    /// Total time spent in timed sections.
+    elapsed: Duration,
+    /// Per-iteration durations (for min).
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Bencher {
+        Bencher { iters, elapsed: Duration::ZERO, samples: Vec::new() }
+    }
+
+    /// Times `routine`, repeated for the sample count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            let dt = start.elapsed();
+            black_box(out);
+            self.samples.push(dt);
+            self.elapsed += dt;
+        }
+    }
+
+    /// Times `routine` over fresh `setup` output each iteration; only the
+    /// routine is inside the timed section.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let dt = start.elapsed();
+            black_box(out);
+            self.samples.push(dt);
+            self.elapsed += dt;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let mean = self.elapsed / self.samples.len() as u32;
+        println!("{id:<50} min {:>12?}  mean {:>12?}  ({} samples)", min, mean, self.samples.len());
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep runs quick: benches exist to compare orders of magnitude and
+        // regressions, not to do statistics.
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: &str, mut body: impl FnMut(&mut Bencher)) -> &mut Self {
+        // One warmup pass, then the timed samples.
+        let mut warmup = Bencher::new(1);
+        body(&mut warmup);
+        let mut bencher = Bencher::new(self.sample_size);
+        body(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), sample_size: None }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    fn run(&mut self, id: &str, body: &mut dyn FnMut(&mut Bencher)) {
+        let iters = self.sample_size.unwrap_or(self.parent.sample_size);
+        let mut warmup = Bencher::new(1);
+        body(&mut warmup);
+        let mut bencher = Bencher::new(iters);
+        body(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: &str, mut body: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(id, &mut body);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut wrapped = |b: &mut Bencher| body(b, input);
+        self.run(&id.id, &mut wrapped);
+        self
+    }
+
+    /// Ends the group (reports are printed eagerly; this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &3u64, |b, &x| {
+            b.iter_batched(
+                || x,
+                |v| {
+                    calls += v;
+                    v
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        // 1 warmup + 5 samples, each adding 3.
+        assert_eq!(calls, 18);
+    }
+}

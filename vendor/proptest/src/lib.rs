@@ -1,0 +1,426 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of proptest the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, integer-range and
+//! tuple strategies, [`collection::vec`], [`strategy::any`], the
+//! [`proptest!`] macro, and the `prop_assert*` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with its
+//! deterministic case index; re-running reproduces it exactly), and the
+//! random stream is this workspace's own, not upstream proptest's.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+
+    /// Generates values of an output type from a random stream.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Applies `f` to every generated value.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, builds a second strategy from it with `f`, and
+        /// draws from that.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Discards generated values failing `f` (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty float range");
+                    // Uniform in [start, end) from 53 random mantissa bits.
+                    let unit = (rng.0.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    let v = self.start as f64 + unit * (self.end as f64 - self.start as f64);
+                    let v = v as $t;
+                    // Rounding at the cast can land exactly on the excluded
+                    // upper bound; fold that back to the lower one.
+                    if v >= self.start && v < self.end { v } else { self.start }
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.0.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy over a type's whole domain; see [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical whole-domain strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: crate::strategy::Any<bool> = crate::strategy::Any(core::marker::PhantomData);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A permitted range of collection sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// falls in `size`; see [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case running.
+
+    use rand::SeedableRng;
+
+    /// The random stream handed to strategies (wraps the workspace's
+    /// deterministic generator).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub rand::rngs::StdRng);
+
+    impl TestRng {
+        /// A deterministic stream for the given test case index.
+        #[must_use]
+        pub fn for_case(case: u64) -> TestRng {
+            TestRng(rand::rngs::StdRng::seed_from_u64(
+                0x5EED_0000_0000_0000 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+    }
+
+    /// Runner configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+        /// Accepted for API compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64, max_shrink_iters: 1024 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports for property tests.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Asserts a condition inside a property; panics (failing the case) when
+/// false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..u64::from(config.cases) {
+                let mut rng = $crate::test_runner::TestRng::for_case(case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::test_runner::TestRng::for_case(3);
+        let s = crate::collection::vec(0u32..10, 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn flat_map_feeds_first_stage_into_second() {
+        let mut rng = crate::test_runner::TestRng::for_case(9);
+        let s = (10u64..20).prop_flat_map(|n| crate::collection::vec(0u64..n, 1..3));
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v.iter().all(|&x| x < 20));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro wires strategies to arguments.
+        #[test]
+        fn macro_generates_in_range(a in 1u32..5, b in any::<bool>(), v in crate::collection::vec(0i8..=3, 1..4)) {
+            prop_assert!((1..5).contains(&a));
+            let _ = b;
+            prop_assert!(!v.is_empty());
+            prop_assert_ne!(v.len(), 9);
+            prop_assert_eq!(v.iter().filter(|&&x| x > 3).count(), 0);
+        }
+    }
+
+    proptest! {
+        /// Default-config form (no inner attribute).
+        #[test]
+        fn default_config_form(x in 0u8..=255) {
+            let _ = x;
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io. This workspace's only
+//! serde surface is the optional `#[cfg_attr(feature = "serde", ...)]`
+//! derives on vocabulary types (nothing serialises through serde — JSONL
+//! telemetry is hand-encoded in `rtr-types::trace`), so this stand-in
+//! provides just enough for those attributes to compile: empty marker
+//! traits and no-op derive macros.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize` (no methods; nothing in this
+/// workspace serialises through serde).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op derive macros backing the offline `serde` stand-in: the derives
+//! expand to nothing, which is valid for types that are never serialised
+//! through serde.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (see the crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (see the crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
