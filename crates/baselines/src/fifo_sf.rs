@@ -373,7 +373,7 @@ mod tests {
             TcPacket {
                 conn: ConnectionId(1),
                 arrival: SlotClock::new(8).wrap(0),
-                payload: vec![0x42; 18],
+                payload: vec![0x42; 18].into(),
                 trace: PacketTrace::default(),
             },
         );
@@ -390,7 +390,7 @@ mod tests {
         let mk = |tag: u8| TcPacket {
             conn: ConnectionId(1),
             arrival: SlotClock::new(8).wrap(0),
-            payload: vec![tag; 18],
+            payload: vec![tag; 18].into(),
             trace: PacketTrace::default(),
         };
         io.inject_tc.push_back(mk(1)); // later deadline, injected first

@@ -316,7 +316,7 @@ mod tests {
         TcPacket {
             conn: ConnectionId(conn),
             arrival: SlotClock::new(8).wrap(0),
-            payload: vec![payload; 18],
+            payload: vec![payload; 18].into(),
             trace: PacketTrace::default(),
         }
     }

@@ -253,7 +253,7 @@ mod tests {
         io.inject_tc.push_back(rtr_types::packet::TcPacket {
             conn: rtr_types::ids::ConnectionId(0),
             arrival: rtr_types::clock::SlotClock::new(8).wrap(0),
-            payload: vec![0; 18],
+            payload: vec![0; 18].into(),
             trace: PacketTrace::default(),
         });
         io.begin_cycle();

@@ -27,7 +27,7 @@ fn loaded_router() -> (RealTimeRouter, ChipIo) {
         io.inject_tc.push_back(TcPacket {
             conn: ConnectionId((k % 3 + 1) as u16),
             arrival: router.clock().wrap(k),
-            payload: vec![0; router.config().tc_data_bytes()],
+            payload: vec![0; router.config().tc_data_bytes()].into(),
             trace: PacketTrace::default(),
         });
         io.inject_be.push_back(BePacket::new(1, 0, vec![0; 60], PacketTrace::default()));

@@ -83,6 +83,31 @@ fn bench_banded_select(c: &mut Criterion) {
     group.finish();
 }
 
+/// The §5.1 complexity claim, measured: once the incremental tournament is
+/// warm for a slot time, a select is a root read whose cost must not move
+/// with occupancy. Sweeps the number of live leaves at fixed capacity.
+fn bench_select_occupancy(c: &mut Criterion) {
+    let clock = SlotClock::new(8);
+    let t = clock.wrap(100);
+    let mut group = c.benchmark_group("tree_select_occupancy");
+    for &fill in &[16usize, 64, 128, 256] {
+        let tree = populated_tree(256, fill);
+        let _ = tree.select(Port::Dir(Direction::XPlus), t); // warm the cache
+        group.bench_with_input(BenchmarkId::from_parameter(fill), &tree, |b, tree| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for port in Port::ALL {
+                    if let Some(sel) = tree.select(port, t) {
+                        acc += sel.leaf;
+                    }
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_insert_commit(c: &mut Criterion) {
     let clock = SlotClock::new(8);
     c.bench_function("tree_insert_commit_cycle", |b| {
@@ -101,5 +126,11 @@ fn bench_insert_commit(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_select, bench_banded_select, bench_insert_commit);
+criterion_group!(
+    benches,
+    bench_select,
+    bench_select_occupancy,
+    bench_banded_select,
+    bench_insert_commit
+);
 criterion_main!(benches);

@@ -1,0 +1,283 @@
+//! `rtr-bench` runner: the recorded wall-clock benchmark suite.
+//!
+//! Runs the three performance-critical scenarios — single-router cycle
+//! throughput, scheduler selection cost across occupancies, and full-mesh
+//! stepping (serial and parallel) — with fixed seeds and hand-rolled
+//! timing, then writes the results as JSON so a run can be committed next
+//! to the code it measured (`BENCH_1.json`).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_runner [--smoke] [--out <path>]
+//! ```
+//!
+//! `--smoke` shrinks iteration counts so CI can exercise the whole
+//! pipeline in seconds; committed numbers come from a full run.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rtr_core::control::ControlCommand;
+use rtr_core::memory::SlotAddr;
+use rtr_core::sched::leaf::Leaf;
+use rtr_core::sched::tree::ComparatorTree;
+use rtr_core::RealTimeRouter;
+use rtr_mesh::{Simulator, Topology};
+use rtr_types::chip::{Chip, ChipIo};
+use rtr_types::clock::SlotClock;
+use rtr_types::config::RouterConfig;
+use rtr_types::ids::{ConnectionId, Direction, Port};
+use rtr_types::key::LatePolicy;
+use rtr_types::packet::{BePacket, PacketTrace, TcPacket};
+
+/// One recorded benchmark result.
+struct BenchResult {
+    name: String,
+    iters: usize,
+    min_s: f64,
+    mean_s: f64,
+    /// Scenario-specific throughput figure.
+    metric: f64,
+    unit: &'static str,
+}
+
+/// Times `iters` runs of `work` over fresh untimed `setup` state (after
+/// one untimed warm-up), returning (min, mean) seconds per run — the
+/// `iter_batched` discipline of the Criterion benches, so numbers compare.
+fn time_runs<S>(
+    iters: usize,
+    mut setup: impl FnMut() -> S,
+    mut work: impl FnMut(S) -> u64,
+) -> (f64, f64) {
+    let mut sink = 0u64;
+    sink = sink.wrapping_add(work(setup())); // warm-up
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let state = setup();
+        let start = Instant::now();
+        sink = sink.wrapping_add(work(state));
+        times.push(start.elapsed().as_secs_f64());
+    }
+    // Keep the checksum alive so the work cannot be optimised away.
+    std::hint::black_box(sink);
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    (min, mean)
+}
+
+/// A single router with three TC connections and a mixed TC/BE backlog of
+/// `tc_packets` + 64 BE packets — the Criterion `router_cycle` scenario.
+fn loaded_router(tc_packets: u64) -> (RealTimeRouter, ChipIo) {
+    let mut router = RealTimeRouter::new(RouterConfig::default()).unwrap();
+    let out = Port::Dir(Direction::XPlus);
+    for i in 1..=3u16 {
+        router
+            .apply_control(ControlCommand::SetConnection {
+                incoming: ConnectionId(i),
+                outgoing: ConnectionId(i),
+                delay: 4 * u32::from(i),
+                out_mask: out.mask(),
+            })
+            .unwrap();
+    }
+    let mut io = ChipIo::new();
+    for k in 0..tc_packets {
+        io.inject_tc.push_back(TcPacket {
+            conn: ConnectionId((k % 3 + 1) as u16),
+            arrival: router.clock().wrap(k),
+            payload: vec![0; router.config().tc_data_bytes()].into(),
+            trace: PacketTrace::default(),
+        });
+        if k < 64 {
+            io.inject_be.push_back(BePacket::new(1, 0, vec![0; 60], PacketTrace::default()));
+        }
+    }
+    (router, io)
+}
+
+fn run_router_cycle(name: &str, tc_packets: u64, iters: usize) -> BenchResult {
+    const CYCLES: u64 = 1000;
+    let (min_s, mean_s) = time_runs(
+        iters,
+        || loaded_router(tc_packets),
+        |(mut router, mut io)| {
+            for now in 0..CYCLES {
+                io.begin_cycle();
+                io.credit_in[1] = 1;
+                router.tick(now, &mut io);
+                io.tx = Default::default();
+                io.credit_out = [0; 5];
+            }
+            router.stats().tc_transmitted[1]
+        },
+    );
+    BenchResult {
+        name: name.to_string(),
+        iters,
+        min_s,
+        mean_s,
+        metric: CYCLES as f64 / min_s,
+        unit: "cycles/s",
+    }
+}
+
+fn populated_tree(capacity: usize, fill: usize) -> ComparatorTree {
+    let clock = SlotClock::new(8);
+    let mut tree = ComparatorTree::new(capacity, clock, LatePolicy::Saturate);
+    for i in 0..fill {
+        tree.insert(Leaf {
+            l: clock.wrap(60 + (i as u64 * 7) % 90),
+            delay: 4 + (i as u32 * 13) % 100,
+            port_mask: 1 << (i % 5),
+            addr: SlotAddr(i as u16),
+        })
+        .unwrap();
+    }
+    tree
+}
+
+/// Warm selects over all five ports at a fixed slot time — the per-cycle
+/// cost the router pays once the tournament cache is built.
+fn run_scheduler_select(fill: usize, iters: usize) -> BenchResult {
+    const READS_PER_ITER: u64 = 10_000;
+    let clock = SlotClock::new(8);
+    let t = clock.wrap(100);
+    let tree = populated_tree(256, fill);
+    let _ = tree.select(Port::Dir(Direction::XPlus), t); // build the cache
+    let (min_s, mean_s) = time_runs(
+        iters,
+        || (),
+        |()| {
+            let mut acc = 0u64;
+            for _ in 0..READS_PER_ITER / 5 {
+                for port in Port::ALL {
+                    if let Some(sel) = tree.select(port, t) {
+                        acc = acc.wrapping_add(sel.leaf as u64);
+                    }
+                }
+            }
+            acc
+        },
+    );
+    BenchResult {
+        name: format!("scheduler_select_occ{fill}"),
+        iters,
+        min_s,
+        mean_s,
+        metric: min_s / READS_PER_ITER as f64 * 1e9,
+        unit: "ns/select",
+    }
+}
+
+/// An 8×8 mesh under seeded uniform best-effort load.
+fn loaded_mesh(workers: usize) -> Simulator<RealTimeRouter> {
+    use rtr_workloads::be::{RandomBeSource, SizeDist};
+    use rtr_workloads::patterns::TrafficPattern;
+    let topo = Topology::mesh(8, 8);
+    let mut sim =
+        Simulator::build(topo.clone(), |_| RealTimeRouter::new(RouterConfig::default())).unwrap();
+    sim.set_parallelism(workers);
+    for node in topo.nodes() {
+        sim.add_source(
+            node,
+            Box::new(
+                RandomBeSource::new(
+                    topo.clone(),
+                    TrafficPattern::Uniform,
+                    0.2,
+                    SizeDist::Fixed(32),
+                    u64::from(node.0),
+                )
+                .with_max_queue(8),
+            ),
+        );
+    }
+    sim
+}
+
+fn run_mesh(name: &str, workers: usize, cycles: u64, iters: usize) -> BenchResult {
+    let nodes = 64u64;
+    let (min_s, mean_s) = time_runs(
+        iters,
+        || loaded_mesh(workers),
+        |mut sim| {
+            sim.run_parallel(cycles);
+            sim.now()
+        },
+    );
+    BenchResult {
+        name: name.to_string(),
+        iters,
+        min_s,
+        mean_s,
+        metric: (nodes * cycles) as f64 / min_s,
+        unit: "node-cycles/s",
+    }
+}
+
+fn render_json(results: &[BenchResult], smoke: bool) -> String {
+    // The vendored serde stub has no real serialisation, so the JSON is
+    // written by hand; the format is flat on purpose.
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"suite\": \"rtr-bench runner\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"benches\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"iters\": {}, \"min_s\": {:.9}, \"mean_s\": {:.9}, \
+             \"metric\": {:.1}, \"unit\": \"{}\"}}{comma}",
+            r.name, r.iters, r.min_s, r.mean_s, r.metric, r.unit
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_1.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_runner [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (router_iters, sched_iters, mesh_iters, mesh_cycles) =
+        if smoke { (3, 3, 2, 200) } else { (30, 20, 10, 2000) };
+
+    let mut results = Vec::new();
+    eprintln!("router cycle throughput (1000 cycles, mixed TC/BE load)...");
+    results.push(run_router_cycle("router_1000_cycles_mixed_load", 64, router_iters));
+    eprintln!("router cycle throughput at full 256-slot occupancy...");
+    results.push(run_router_cycle("router_1000_cycles_occ256", 256, router_iters));
+    for fill in [16usize, 64, 128, 256] {
+        eprintln!("scheduler select at occupancy {fill}...");
+        results.push(run_scheduler_select(fill, sched_iters));
+    }
+    eprintln!("8x8 mesh stepping, serial...");
+    results.push(run_mesh("mesh_8x8_serial", 1, mesh_cycles, mesh_iters));
+    eprintln!("8x8 mesh stepping, 4 workers...");
+    results.push(run_mesh("mesh_8x8_parallel4", 4, mesh_cycles, mesh_iters));
+
+    let json = render_json(&results, smoke);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -142,7 +142,7 @@ fn attach_trace(
     sim: &mut Simulator<RealTimeRouter>,
     topo: &Topology,
     path: &str,
-) -> std::rc::Rc<std::cell::RefCell<rtr_types::trace::JsonlSink<std::fs::File>>> {
+) -> std::sync::Arc<std::sync::Mutex<rtr_types::trace::JsonlSink<std::fs::File>>> {
     use rtr_types::trace::{shared, JsonlSink};
     let sink = shared(JsonlSink::create(path).unwrap_or_else(|e| {
         eprintln!("cannot create trace file {path}: {e}");
@@ -340,11 +340,11 @@ fn main() {
     #[cfg(feature = "trace")]
     if let Some(sink) = trace_sink {
         use rtr_types::trace::TraceSink;
-        sink.borrow_mut().flush();
+        sink.lock().unwrap().flush();
         println!();
         println!(
             "trace: wrote {} records to {}",
-            sink.borrow().written(),
+            sink.lock().unwrap().written(),
             opts.trace.as_deref().unwrap_or("?")
         );
     }

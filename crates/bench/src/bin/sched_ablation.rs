@@ -15,6 +15,7 @@ fn main() {
     for r in &rows {
         let name = match r.kind {
             SchedulerKind::ComparatorTree => "comparator tree".to_string(),
+            SchedulerKind::Oracle => "table-1 oracle".to_string(),
             SchedulerKind::Banded { band_shift } => format!("banded (shift {band_shift})"),
         };
         println!(

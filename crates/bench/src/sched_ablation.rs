@@ -167,7 +167,7 @@ fn run_one(kind: SchedulerKind, total_cycles: Cycle) -> SchedRow {
     SchedRow {
         kind,
         band_slots: match kind {
-            SchedulerKind::ComparatorTree => 1,
+            SchedulerKind::ComparatorTree | SchedulerKind::Oracle => 1,
             SchedulerKind::Banded { band_shift } => 1 << band_shift,
         },
         delivered: tight_packets.len(),
@@ -176,11 +176,15 @@ fn run_one(kind: SchedulerKind, total_cycles: Cycle) -> SchedRow {
     }
 }
 
-/// Runs the ablation: the exact tree plus banded variants at the given
-/// shifts.
+/// Runs the ablation: the exact tree, the Table 1 oracle, and banded
+/// variants at the given shifts — all three scheduler families through the
+/// identical router code path.
 #[must_use]
 pub fn run(band_shifts: &[u32], total_cycles: Cycle) -> Vec<SchedRow> {
-    let mut rows = vec![run_one(SchedulerKind::ComparatorTree, total_cycles)];
+    let mut rows = vec![
+        run_one(SchedulerKind::ComparatorTree, total_cycles),
+        run_one(SchedulerKind::Oracle, total_cycles),
+    ];
     for &shift in band_shifts {
         rows.push(run_one(SchedulerKind::Banded { band_shift: shift }, total_cycles));
     }
@@ -195,9 +199,16 @@ mod tests {
     fn coarse_bands_miss_where_the_tree_does_not() {
         let rows = run(&[1, 4], 40_000);
         let tree = rows[0];
-        let fine = rows[1]; // 2-slot bands: tight (4) and loose (8) stay apart
-        let coarse = rows[2]; // 16-slot bands: merged → FIFO inversion
+        let oracle = rows[1]; // Table 1 evaluated directly
+        let fine = rows[2]; // 2-slot bands: tight (4) and loose (8) stay apart
+        let coarse = rows[3]; // 16-slot bands: merged → FIFO inversion
         assert_eq!(tree.misses, 0, "exact EDF never misses");
+        assert_eq!(oracle.misses, 0, "the specification never misses either");
+        assert_eq!(
+            (oracle.delivered, oracle.mean_latency),
+            (tree.delivered, tree.mean_latency),
+            "the tree must behave exactly like the Table 1 oracle"
+        );
         assert_eq!(fine.misses, 0, "fine bands preserve the separation");
         assert!(
             coarse.misses > tree.delivered / 4,

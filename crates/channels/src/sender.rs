@@ -6,7 +6,7 @@
 //! carries the absolute slots so experiments can audit deadlines end to end.
 
 use rtr_types::clock::SlotClock;
-use rtr_types::packet::{PacketTrace, TcPacket};
+use rtr_types::packet::{PacketTrace, Payload, TcPacket};
 use rtr_types::time::{cycle_to_slot, Cycle};
 
 use crate::arrival::ArrivalTracker;
@@ -52,13 +52,13 @@ impl ChannelSender {
         }
     }
 
-    /// Builds the packets of one message generated at cycle `now`. The
-    /// payload is split across as many fixed-size packets as needed (each
-    /// zero-padded to the full payload size); all packets of a message share
-    /// the message's logical arrival time and deadline.
-    pub fn make_message(&mut self, now: Cycle, payload: &[u8]) -> Vec<TcPacket> {
-        let t = cycle_to_slot(now, self.slot_bytes);
-        let l0 = self.tracker.next(t);
+    /// Splits a message payload into the zero-padded per-packet payloads
+    /// the sender would put on the wire. Sources that send the same message
+    /// body repeatedly should call this once and reuse the shared payloads
+    /// through [`ChannelSender::make_message_shared`], so every injected
+    /// packet is a refcount bump instead of a fresh allocation.
+    #[must_use]
+    pub fn prepare_payload(&self, payload: &[u8]) -> Vec<Payload> {
         let chunks: Vec<&[u8]> =
             if payload.is_empty() { vec![&[]] } else { payload.chunks(self.data_bytes).collect() };
         chunks
@@ -66,6 +66,29 @@ impl ChannelSender {
             .map(|chunk| {
                 let mut data = chunk.to_vec();
                 data.resize(self.data_bytes, 0);
+                Payload::from(data)
+            })
+            .collect()
+    }
+
+    /// Builds the packets of one message generated at cycle `now`. The
+    /// payload is split across as many fixed-size packets as needed (each
+    /// zero-padded to the full payload size); all packets of a message share
+    /// the message's logical arrival time and deadline.
+    pub fn make_message(&mut self, now: Cycle, payload: &[u8]) -> Vec<TcPacket> {
+        let chunks = self.prepare_payload(payload);
+        self.make_message_shared(now, &chunks)
+    }
+
+    /// Builds one message's packets from pre-chunked shared payloads (see
+    /// [`ChannelSender::prepare_payload`]); each packet clones its payload
+    /// by reference count only.
+    pub fn make_message_shared(&mut self, now: Cycle, chunks: &[Payload]) -> Vec<TcPacket> {
+        let t = cycle_to_slot(now, self.slot_bytes);
+        let l0 = self.tracker.next(t);
+        chunks
+            .iter()
+            .map(|chunk| {
                 let trace = PacketTrace {
                     source: self.source,
                     destination: self.destination,
@@ -75,7 +98,12 @@ impl ChannelSender {
                     deadline: l0 + u64::from(self.deadline),
                 };
                 self.sequence += 1;
-                TcPacket { conn: self.ingress, arrival: self.clock.wrap(l0), payload: data, trace }
+                TcPacket {
+                    conn: self.ingress,
+                    arrival: self.clock.wrap(l0),
+                    payload: chunk.clone(),
+                    trace,
+                }
             })
             .collect()
     }

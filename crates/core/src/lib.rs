@@ -47,7 +47,7 @@
 //! io.inject_tc.push_back(TcPacket {
 //!     conn: ConnectionId(1),
 //!     arrival: router.clock().wrap(0),
-//!     payload: vec![0; router.config().tc_data_bytes()],
+//!     payload: vec![0; router.config().tc_data_bytes()].into(),
 //!     trace: PacketTrace::default(),
 //! });
 //! for now in 0..200 {

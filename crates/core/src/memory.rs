@@ -117,7 +117,7 @@ mod tests {
         TcPacket {
             conn: ConnectionId(u16::from(tag)),
             arrival: SlotClock::new(8).wrap(0),
-            payload: vec![tag; 18],
+            payload: vec![tag; 18].into(),
             trace: PacketTrace::default(),
         }
     }

@@ -231,7 +231,7 @@ mod tests {
         TcPacket {
             conn: ConnectionId(1),
             arrival: SlotClock::new(8).wrap(0),
-            payload: vec![0xAA; payload_len],
+            payload: vec![0xAA; payload_len].into(),
             trace: PacketTrace::default(),
         }
     }

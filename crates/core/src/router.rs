@@ -45,7 +45,7 @@ use rtr_types::trace::{DropReason, QueueClass, SharedTraceSink, TraceEvent, Trac
 macro_rules! trace_event {
     ($self:ident, $now:expr, $event:expr) => {
         if let Some(sink) = &$self.trace_sink {
-            sink.borrow_mut().record(&TraceRecord {
+            sink.lock().unwrap().record(&TraceRecord {
                 cycle: $now,
                 node: $self.trace_node,
                 event: $event,
@@ -75,8 +75,12 @@ pub struct RealTimeRouter {
     /// Remaining continuation symbols of the time-constrained injection in
     /// progress.
     tc_inject_remaining: Option<usize>,
-    /// Best-effort injection in progress: wire bytes, position, trace.
-    be_inject: Option<(Vec<u8>, usize, PacketTrace)>,
+    /// Best-effort injection in progress: position and trace;
+    /// the staged wire bytes live in [`Self::be_inject_buf`].
+    be_inject: Option<(usize, PacketTrace)>,
+    /// Staging buffer for the best-effort injection port, reused across
+    /// packets so injection never allocates.
+    be_inject_buf: Vec<u8>,
     /// Reception-port best-effort reassembly buffer.
     rx_be_buf: Vec<u8>,
     rx_be_trace: Option<PacketTrace>,
@@ -120,6 +124,7 @@ impl RealTimeRouter {
             outputs,
             tc_inject_remaining: None,
             be_inject: None,
+            be_inject_buf: Vec::new(),
             rx_be_buf: Vec::new(),
             rx_be_trace: None,
             stats: RouterStats::default(),
@@ -396,11 +401,13 @@ impl RealTimeRouter {
         // flit buffer.
         if self.be_inject.is_none() {
             if let Some(packet) = io.inject_be.pop_front() {
-                self.be_inject = Some((packet.to_wire(), 0, packet.trace));
+                packet.to_wire_into(&mut self.be_inject_buf);
+                self.be_inject = Some((0, packet.trace));
             }
         }
-        if let Some((wire, pos, trace)) = &mut self.be_inject {
+        if let Some((pos, trace)) = &mut self.be_inject {
             if self.inputs[0].be_free_space() > 0 {
+                let wire = &self.be_inject_buf;
                 let head = *pos == 0;
                 let tail = *pos == wire.len() - 1;
                 let byte = BeByte { byte: wire[*pos], head, tail, trace: head.then_some(*trace) };
@@ -854,7 +861,7 @@ mod tests {
         TcPacket {
             conn: ConnectionId(conn),
             arrival: router.clock().wrap(arrival),
-            payload: vec![0x5A; router.config().tc_data_bytes()],
+            payload: vec![0x5A; router.config().tc_data_bytes()].into(),
             trace: PacketTrace::default(),
         }
     }
@@ -901,7 +908,7 @@ mod tests {
         io.inject_tc.push_back(TcPacket {
             conn: ConnectionId(0),
             arrival: r.clock().wrap(0),
-            payload: vec![1, 2, 3], // wrong size
+            payload: vec![1, 2, 3].into(), // wrong size
             trace: PacketTrace::default(),
         });
         let mut now = 0;
@@ -1059,7 +1066,7 @@ mod tests {
                 io.inject_tc.push_back(TcPacket {
                     conn: ConnectionId(1),
                     arrival: r.clock().wrap(now / 20),
-                    payload: vec![0; r.config().tc_data_bytes()],
+                    payload: vec![0; r.config().tc_data_bytes()].into(),
                     trace: PacketTrace::default(),
                 });
             }
@@ -1491,7 +1498,7 @@ mod tests {
         run(&mut r, &mut io, &mut now, 200);
         assert_eq!(io.delivered_tc.len(), 1);
 
-        let ring = ring.borrow();
+        let ring = ring.lock().unwrap();
         assert!(ring.records().all(|rec| rec.node == NodeId(5)));
         let tags: Vec<&str> = ring.records().map(|rec| rec.event.tag()).collect();
         // The full store-and-forward lifecycle, in causal order.

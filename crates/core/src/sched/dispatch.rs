@@ -1,15 +1,141 @@
-//! Scheduler dispatch: the router is built with either the exact
-//! comparator tree (the fabricated chip) or the §7 banded approximation,
-//! behind one interface.
+//! Scheduler dispatch: the router is built with the exact comparator tree
+//! (the fabricated chip), the §7 banded approximation, or the Table 1
+//! oracle, behind one interface.
+//!
+//! Every variant implements [`LinkScheduler`]; the [`Scheduler`] enum only
+//! chooses which implementation backs the trait object, so the router — and
+//! the ablation experiments — exercise all variants through a single code
+//! path.
 
 use crate::memory::SlotAddr;
 use crate::sched::banded::BandedScheduler;
 use crate::sched::leaf::Leaf;
+use crate::sched::oracle::OracleScheduler;
 use crate::sched::tree::{ComparatorTree, Selection};
 use rtr_types::clock::{LogicalTime, SlotClock};
 use rtr_types::config::SchedulerKind;
 use rtr_types::ids::Port;
 use rtr_types::key::LatePolicy;
+
+/// The common contract of every link-scheduler implementation: the leaf
+/// lifecycle (`insert` → `select`* → `commit`) plus the version counter the
+/// output ports key their selection caches on.
+pub trait LinkScheduler: std::fmt::Debug {
+    /// Number of buffered packets.
+    fn len(&self) -> usize;
+
+    /// Whether no packets are buffered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Monotone counter bumped on every mutation (never by selection).
+    fn version(&self) -> u64;
+
+    /// Inserts a packet's scheduler state, returning its leaf index.
+    ///
+    /// # Errors
+    ///
+    /// Gives the leaf back if every slot is occupied.
+    fn insert(&mut self, leaf: Leaf) -> Result<usize, Leaf>;
+
+    /// Selects the winning packet for `port` at scheduler time `t`. Both
+    /// on-time and early packets compete; the caller applies the horizon
+    /// check before transmitting an early winner.
+    fn select(&self, port: Port, t: LogicalTime) -> Option<Selection>;
+
+    /// Records that `port` transmitted leaf `idx`; returns the freed memory
+    /// address when the last port commits.
+    fn commit(&mut self, idx: usize, port: Port) -> Option<SlotAddr>;
+
+    /// The occupied leaves, as `(index, leaf)` pairs.
+    fn live_leaves(&self) -> Box<dyn Iterator<Item = (usize, &Leaf)> + '_>;
+
+    /// Buffered packets still awaiting transmission on `port` (a per-link
+    /// queue-depth gauge).
+    fn backlog_for(&self, port: Port) -> usize {
+        let mask = port.mask();
+        self.live_leaves().filter(|(_, leaf)| leaf.port_mask & mask != 0).count()
+    }
+}
+
+impl LinkScheduler for ComparatorTree {
+    fn len(&self) -> usize {
+        ComparatorTree::len(self)
+    }
+
+    fn version(&self) -> u64 {
+        ComparatorTree::version(self)
+    }
+
+    fn insert(&mut self, leaf: Leaf) -> Result<usize, Leaf> {
+        ComparatorTree::insert(self, leaf)
+    }
+
+    fn select(&self, port: Port, t: LogicalTime) -> Option<Selection> {
+        ComparatorTree::select(self, port, t)
+    }
+
+    fn commit(&mut self, idx: usize, port: Port) -> Option<SlotAddr> {
+        ComparatorTree::commit(self, idx, port)
+    }
+
+    fn live_leaves(&self) -> Box<dyn Iterator<Item = (usize, &Leaf)> + '_> {
+        Box::new(self.iter())
+    }
+}
+
+impl LinkScheduler for BandedScheduler {
+    fn len(&self) -> usize {
+        BandedScheduler::len(self)
+    }
+
+    fn version(&self) -> u64 {
+        BandedScheduler::version(self)
+    }
+
+    fn insert(&mut self, leaf: Leaf) -> Result<usize, Leaf> {
+        BandedScheduler::insert(self, leaf)
+    }
+
+    fn select(&self, port: Port, t: LogicalTime) -> Option<Selection> {
+        BandedScheduler::select(self, port, t)
+    }
+
+    fn commit(&mut self, idx: usize, port: Port) -> Option<SlotAddr> {
+        BandedScheduler::commit(self, idx, port)
+    }
+
+    fn live_leaves(&self) -> Box<dyn Iterator<Item = (usize, &Leaf)> + '_> {
+        Box::new(self.iter())
+    }
+}
+
+impl LinkScheduler for OracleScheduler {
+    fn len(&self) -> usize {
+        OracleScheduler::len(self)
+    }
+
+    fn version(&self) -> u64 {
+        OracleScheduler::version(self)
+    }
+
+    fn insert(&mut self, leaf: Leaf) -> Result<usize, Leaf> {
+        OracleScheduler::insert(self, leaf)
+    }
+
+    fn select(&self, port: Port, t: LogicalTime) -> Option<Selection> {
+        OracleScheduler::select(self, port, t)
+    }
+
+    fn commit(&mut self, idx: usize, port: Port) -> Option<SlotAddr> {
+        OracleScheduler::commit(self, idx, port)
+    }
+
+    fn live_leaves(&self) -> Box<dyn Iterator<Item = (usize, &Leaf)> + '_> {
+        Box::new(self.iter())
+    }
+}
 
 /// The link scheduler variant instantiated by the router.
 #[derive(Debug)]
@@ -18,6 +144,8 @@ pub enum Scheduler {
     Tree(ComparatorTree),
     /// The §7 banded approximation.
     Banded(BandedScheduler),
+    /// The Table 1 reference discipline, run as a live scheduler.
+    Oracle(OracleScheduler),
 }
 
 impl Scheduler {
@@ -36,31 +164,48 @@ impl Scheduler {
             SchedulerKind::Banded { band_shift } => {
                 Scheduler::Banded(BandedScheduler::new(capacity, clock, late_policy, band_shift))
             }
+            SchedulerKind::Oracle => {
+                Scheduler::Oracle(OracleScheduler::new(capacity, clock, late_policy))
+            }
+        }
+    }
+
+    /// The active implementation as a trait object — the single code path
+    /// every caller goes through.
+    #[must_use]
+    pub fn as_dyn(&self) -> &dyn LinkScheduler {
+        match self {
+            Scheduler::Tree(t) => t,
+            Scheduler::Banded(b) => b,
+            Scheduler::Oracle(o) => o,
+        }
+    }
+
+    /// Mutable access to the active implementation.
+    pub fn as_dyn_mut(&mut self) -> &mut dyn LinkScheduler {
+        match self {
+            Scheduler::Tree(t) => t,
+            Scheduler::Banded(b) => b,
+            Scheduler::Oracle(o) => o,
         }
     }
 
     /// Number of buffered packets.
     #[must_use]
     pub fn len(&self) -> usize {
-        match self {
-            Scheduler::Tree(t) => t.len(),
-            Scheduler::Banded(b) => b.len(),
-        }
+        self.as_dyn().len()
     }
 
     /// Whether no packets are buffered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.as_dyn().is_empty()
     }
 
     /// Mutation counter (for selection caching).
     #[must_use]
     pub fn version(&self) -> u64 {
-        match self {
-            Scheduler::Tree(t) => t.version(),
-            Scheduler::Banded(b) => b.version(),
-        }
+        self.as_dyn().version()
     }
 
     /// Inserts a leaf.
@@ -69,44 +214,31 @@ impl Scheduler {
     ///
     /// Gives the leaf back if every slot is occupied.
     pub fn insert(&mut self, leaf: Leaf) -> Result<usize, Leaf> {
-        match self {
-            Scheduler::Tree(t) => t.insert(leaf),
-            Scheduler::Banded(b) => b.insert(leaf),
-        }
+        self.as_dyn_mut().insert(leaf)
     }
 
     /// Selects the winning packet for a port.
     #[must_use]
     pub fn select(&self, port: Port, t: LogicalTime) -> Option<Selection> {
-        match self {
-            Scheduler::Tree(tr) => tr.select(port, t),
-            Scheduler::Banded(b) => b.select(port, t),
-        }
+        self.as_dyn().select(port, t)
     }
 
     /// Records a transmission; returns the freed memory address when the
     /// leaf empties.
     pub fn commit(&mut self, idx: usize, port: Port) -> Option<SlotAddr> {
-        match self {
-            Scheduler::Tree(t) => t.commit(idx, port),
-            Scheduler::Banded(b) => b.commit(idx, port),
-        }
+        self.as_dyn_mut().commit(idx, port)
     }
 
     /// The occupied leaves, as `(index, leaf)` pairs.
     pub fn iter(&self) -> Box<dyn Iterator<Item = (usize, &Leaf)> + '_> {
-        match self {
-            Scheduler::Tree(t) => Box::new(t.iter()),
-            Scheduler::Banded(b) => Box::new(b.iter()),
-        }
+        self.as_dyn().live_leaves()
     }
 
     /// Buffered packets still awaiting transmission on `port` (a per-link
     /// queue-depth gauge).
     #[must_use]
     pub fn backlog_for(&self, port: Port) -> usize {
-        let mask = port.mask();
-        self.iter().filter(|(_, leaf)| leaf.port_mask & mask != 0).count()
+        self.as_dyn().backlog_for(port)
     }
 }
 
@@ -123,12 +255,18 @@ mod tests {
         let banded =
             Scheduler::new(SchedulerKind::Banded { band_shift: 3 }, 8, clock, LatePolicy::Saturate);
         assert!(matches!(banded, Scheduler::Banded(_)));
+        let oracle = Scheduler::new(SchedulerKind::Oracle, 8, clock, LatePolicy::Saturate);
+        assert!(matches!(oracle, Scheduler::Oracle(_)));
     }
 
     #[test]
-    fn both_variants_round_trip_a_leaf() {
+    fn all_variants_round_trip_a_leaf() {
         let clock = SlotClock::new(8);
-        for kind in [SchedulerKind::ComparatorTree, SchedulerKind::Banded { band_shift: 2 }] {
+        for kind in [
+            SchedulerKind::ComparatorTree,
+            SchedulerKind::Banded { band_shift: 2 },
+            SchedulerKind::Oracle,
+        ] {
             let mut s = Scheduler::new(kind, 4, clock, LatePolicy::Saturate);
             assert!(s.is_empty());
             let idx = s
@@ -142,6 +280,7 @@ mod tests {
             assert_eq!(s.len(), 1);
             let sel = s.select(Port::Dir(Direction::XPlus), clock.wrap(1)).unwrap();
             assert_eq!(sel.addr, SlotAddr(2));
+            assert_eq!(s.backlog_for(Port::Dir(Direction::XPlus)), 1);
             assert_eq!(s.commit(idx, Port::Dir(Direction::XPlus)), Some(SlotAddr(2)));
             assert!(s.is_empty());
         }

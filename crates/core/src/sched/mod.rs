@@ -10,11 +10,13 @@
 pub mod banded;
 pub mod dispatch;
 pub mod leaf;
+pub mod oracle;
 pub mod reference;
 pub mod tree;
 
 pub use banded::BandedScheduler;
-pub use dispatch::Scheduler;
+pub use dispatch::{LinkScheduler, Scheduler};
 pub use leaf::Leaf;
+pub use oracle::OracleScheduler;
 pub use reference::ReferenceScheduler;
 pub use tree::{ComparatorTree, Selection};

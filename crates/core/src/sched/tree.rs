@@ -12,12 +12,63 @@
 //! simulator models that pipeline at the router level (a configurable
 //! latency from "packets became eligible" to "first grant"); the tree itself
 //! is combinational and versioned so unchanged state is never re-scanned.
+//!
+//! # Incremental tournament
+//!
+//! Like the hardware, selection is a materialised tournament: a complete
+//! binary tree of per-port minima over the leaf keys. Keys are normalised to
+//! the current slot time `t`, so the whole tree is recomputed once when `t`
+//! advances (exactly what the combinational hardware does every slot) and
+//! then maintained *incrementally*: `insert`/`commit` recompute one
+//! root-to-leaf path in O(log n), and each per-port selection is an O(1)
+//! read of the root. The per-slot state lives behind a [`RefCell`] so
+//! `select(&self, …)` stays immutable-by-contract (the `version` counter
+//! never moves on selection), matching the caching protocol of
+//! `ports/output.rs`.
+
+use std::cell::RefCell;
 
 use crate::memory::SlotAddr;
 use crate::sched::leaf::Leaf;
 use rtr_types::clock::{LogicalTime, SlotClock};
-use rtr_types::ids::Port;
+use rtr_types::ids::{ports_in_mask, Port, PORT_COUNT};
 use rtr_types::key::{LatePolicy, SortKey};
+
+/// Packed tournament entry: key value in the high half, leaf index in the
+/// low half, so an unsigned `min` orders by key first and breaks ties toward
+/// the lowest leaf index — the hardware comparator that keeps its left input
+/// on equality.
+const NONE_ENTRY: u64 = u64::MAX;
+
+fn pack(key: SortKey, leaf: usize) -> u64 {
+    (u64::from(key.value()) << 32) | leaf as u64
+}
+
+fn unpack_leaf(entry: u64) -> usize {
+    (entry & 0xffff_ffff) as usize
+}
+
+/// Per-slot tournament state: keys normalised to `t` plus the per-port
+/// minima of every tournament node.
+#[derive(Debug)]
+struct MinCache {
+    /// The slot time (raw wrapped value) the cached keys are normalised to;
+    /// `None` while cold (rebuilt lazily by the next selection).
+    t: Option<u32>,
+    /// Key per occupied leaf, valid only while the cache is warm.
+    keys: Vec<SortKey>,
+    /// Tournament nodes: node `i` has children `2i`/`2i+1`, leaf `j` lives
+    /// at `width + j`, the root is node 1. Only `2 * width` entries are in
+    /// play at a time; the vector is sized for the full capacity.
+    nodes: Vec<[u64; PORT_COUNT]>,
+    /// Tournament width of the last rebuild: the occupied-leaf high-water
+    /// mark rounded up to a power of two, so rebuild cost tracks occupancy
+    /// rather than capacity (the free list reuses low indices first).
+    width: usize,
+    /// Total `SortKey::compute` invocations (perf accounting: selections at
+    /// an unchanged slot must not add any).
+    key_computes: u64,
+}
 
 /// The winning leaf of a selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,12 +114,18 @@ pub struct ComparatorTree {
     late_policy: LatePolicy,
     version: u64,
     live: usize,
+    /// One past the highest occupied leaf index; bounds every rebuild.
+    high: usize,
+    cache: RefCell<MinCache>,
 }
 
 impl ComparatorTree {
     /// Creates a tree with `capacity` leaves (one per packet-memory slot).
     #[must_use]
     pub fn new(capacity: usize, clock: SlotClock, late_policy: LatePolicy) -> Self {
+        // The node vector is sized once for the maximum tournament width
+        // (capacity rounded up to a power of two); rebuilds use a prefix.
+        let cap_pow2 = capacity.next_power_of_two().max(1);
         ComparatorTree {
             leaves: (0..capacity).map(|_| None).collect(),
             free: (0..capacity).rev().collect(),
@@ -76,6 +133,14 @@ impl ComparatorTree {
             late_policy,
             version: 0,
             live: 0,
+            high: 0,
+            cache: RefCell::new(MinCache {
+                t: None,
+                keys: vec![SortKey::ineligible(&clock); capacity],
+                nodes: vec![[NONE_ENTRY; PORT_COUNT]; 2 * cap_pow2],
+                width: 1,
+                key_computes: 0,
+            }),
         }
     }
 
@@ -126,7 +191,84 @@ impl ComparatorTree {
         self.leaves[idx] = Some(leaf);
         self.live += 1;
         self.version += 1;
+        self.high = self.high.max(idx + 1);
+        let cache = self.cache.get_mut();
+        if let Some(raw) = cache.t {
+            if idx >= cache.width {
+                // The leaf falls outside the current tournament; let the
+                // next selection rebuild at the wider size.
+                cache.t = None;
+            } else {
+                let t = self.clock.wrap(u64::from(raw));
+                let key = SortKey::compute(&self.clock, leaf.l, leaf.delay, t, self.late_policy);
+                cache.key_computes += 1;
+                cache.keys[idx] = key;
+                let packed = pack(key, idx);
+                let node = &mut cache.nodes[cache.width + idx];
+                for port in ports_in_mask(leaf.port_mask) {
+                    node[port.index()] = packed;
+                }
+                Self::refresh_path(cache, cache.width + idx);
+            }
+        }
         Ok(idx)
+    }
+
+    /// Recomputes the per-port minima on the path from leaf node
+    /// `leaf_node` to the root.
+    fn refresh_path(cache: &mut MinCache, leaf_node: usize) {
+        let mut i = leaf_node >> 1;
+        while i >= 1 {
+            let left = cache.nodes[2 * i];
+            let right = cache.nodes[2 * i + 1];
+            let mut merged = [NONE_ENTRY; PORT_COUNT];
+            for (m, (l, r)) in merged.iter_mut().zip(left.iter().zip(right.iter())) {
+                *m = (*l).min(*r);
+            }
+            cache.nodes[i] = merged;
+            i >>= 1;
+        }
+    }
+
+    /// Rebuilds the whole tournament for slot time `t` — the once-per-slot
+    /// equivalent of the hardware recomputing every key combinationally.
+    fn rebuild(&self, cache: &mut MinCache, t: LogicalTime) {
+        cache.t = Some(t.raw());
+        // Size the tournament to the occupied prefix, not the capacity:
+        // the free list hands out low indices first, so a quarter-full
+        // 256-leaf tree rebuilds a 64-wide tournament.
+        let base = self.high.next_power_of_two().max(1);
+        cache.width = base;
+        for node in &mut cache.nodes[base..2 * base] {
+            *node = [NONE_ENTRY; PORT_COUNT];
+        }
+        for (idx, slot) in self.leaves[..self.high].iter().enumerate() {
+            let Some(leaf) = slot else { continue };
+            let key = SortKey::compute(&self.clock, leaf.l, leaf.delay, t, self.late_policy);
+            cache.key_computes += 1;
+            cache.keys[idx] = key;
+            let packed = pack(key, idx);
+            let node = &mut cache.nodes[base + idx];
+            for port in ports_in_mask(leaf.port_mask) {
+                node[port.index()] = packed;
+            }
+        }
+        for i in (1..base).rev() {
+            let left = cache.nodes[2 * i];
+            let right = cache.nodes[2 * i + 1];
+            let mut merged = [NONE_ENTRY; PORT_COUNT];
+            for (m, (l, r)) in merged.iter_mut().zip(left.iter().zip(right.iter())) {
+                *m = (*l).min(*r);
+            }
+            cache.nodes[i] = merged;
+        }
+    }
+
+    /// Total `SortKey` computations performed so far — the tournament's cost
+    /// model. Selections at an unchanged slot time perform none.
+    #[must_use]
+    pub fn key_computations(&self) -> u64 {
+        self.cache.borrow().key_computes
     }
 
     /// Reads a leaf (test/diagnostic use).
@@ -143,6 +285,24 @@ impl ComparatorTree {
     /// best-effort checks of §3.2 before transmitting an early winner.
     #[must_use]
     pub fn select(&self, port: Port, t: LogicalTime) -> Option<Selection> {
+        let mut cache = self.cache.borrow_mut();
+        if cache.t != Some(t.raw()) {
+            self.rebuild(&mut cache, t);
+        }
+        let entry = cache.nodes[1][port.index()];
+        if entry == NONE_ENTRY {
+            return None;
+        }
+        let idx = unpack_leaf(entry);
+        let leaf = self.leaves[idx].as_ref().expect("tournament winner must be live");
+        Some(Selection { leaf: idx, addr: leaf.addr, key: cache.keys[idx] })
+    }
+
+    /// The original exhaustive scan over every leaf — O(n) per call. Kept as
+    /// the in-crate oracle for the tournament (property tests drive both and
+    /// assert equality on every selection).
+    #[must_use]
+    pub fn select_linear(&self, port: Port, t: LogicalTime) -> Option<Selection> {
         let mut best: Option<Selection> = None;
         for (idx, slot) in self.leaves.iter().enumerate() {
             let Some(leaf) = slot else { continue };
@@ -173,11 +333,30 @@ impl ComparatorTree {
         let leaf = self.leaves[idx].as_mut().expect("committing an empty leaf");
         assert!(leaf.eligible_for(port), "committing a port whose bit is clear");
         self.version += 1;
-        if leaf.clear_port(port) {
-            let addr = leaf.addr;
+        let freed = leaf.clear_port(port);
+        let addr = leaf.addr;
+        if freed {
             self.leaves[idx] = None;
             self.free.push(idx);
             self.live -= 1;
+            while self.high > 0 && self.leaves[self.high - 1].is_none() {
+                self.high -= 1;
+            }
+        }
+        let cache = self.cache.get_mut();
+        if cache.t.is_some() {
+            // A warm cache always covers every live leaf (inserting past
+            // the width invalidates it), so `idx` is inside the tournament.
+            debug_assert!(idx < cache.width);
+            let node = &mut cache.nodes[cache.width + idx];
+            if freed {
+                *node = [NONE_ENTRY; PORT_COUNT];
+            } else {
+                node[port.index()] = NONE_ENTRY;
+            }
+            Self::refresh_path(cache, cache.width + idx);
+        }
+        if freed {
             Some(addr)
         } else {
             None
@@ -339,5 +518,105 @@ mod tests {
         let sel = t.select(XP, clock().wrap(254)).unwrap();
         assert_eq!(sel.addr, SlotAddr(1));
         assert_eq!(sel.key.time_field(), 0);
+    }
+
+    #[test]
+    fn select_cost_is_independent_of_occupancy() {
+        // The incremental tournament pays its keys on insert and on the
+        // first select of a slot time; a repeat select at the same time is
+        // a pure root read — zero key computations at any occupancy.
+        for occupancy in [16usize, 64, 128, 256] {
+            let mut t = tree(256);
+            let c = clock();
+            for i in 0..occupancy {
+                t.insert(Leaf {
+                    l: c.wrap(60 + (i as u64 * 7) % 90),
+                    delay: 4 + (i as u32 * 13) % 100,
+                    port_mask: 1 << (i % 5),
+                    addr: SlotAddr(i as u16),
+                })
+                .unwrap();
+            }
+            let now = c.wrap(100);
+            let _ = t.select(XP, now); // warms the cache: O(n) keys, once
+            let warm = t.key_computations();
+            for port in Port::ALL {
+                let _ = t.select(port, now);
+            }
+            assert_eq!(
+                t.key_computations(),
+                warm,
+                "cached selects at occupancy {occupancy} must compute no keys"
+            );
+        }
+    }
+
+    mod random_ops {
+        use super::*;
+        use crate::sched::banded::BandedScheduler;
+        use proptest::prelude::*;
+
+        /// One randomly chosen scheduler operation, encoded as plain
+        /// numbers: (kind, l-offset, delay, mask, (addr, port), advance).
+        type RawOp = (u8, i64, u32, u8, (u16, usize), u64);
+
+        proptest! {
+            /// Drives a random interleaving of insert / commit / select /
+            /// clock-advance through the incremental tournament, the
+            /// exhaustive linear scan, and the banded scheduler. After
+            /// every operation the tournament and the scan must agree on
+            /// every port — same winner, same key, same slot address —
+            /// including ties (leftmost leaf wins in both) and selections
+            /// straddling the 8-bit clock wrap.
+            #[test]
+            fn tournament_matches_linear_scan_under_random_ops(
+                start in 0u64..600,
+                ops in proptest::collection::vec(
+                    (0u8..4, -40i64..40, 0u32..100, 1u8..32, (0u16..32, 0usize..5), 1u64..30),
+                    1..80,
+                ),
+            ) {
+                let c = clock();
+                let mut tree = ComparatorTree::new(32, c, LatePolicy::Saturate);
+                let mut banded = BandedScheduler::new(32, c, LatePolicy::Saturate, 2);
+                let mut t_abs = start;
+                let ops: Vec<RawOp> = ops;
+                for (kind, off, d, mask, (addr, port_i), adv) in ops {
+                    let port = Port::ALL[port_i];
+                    let t = c.wrap(t_abs);
+                    match kind {
+                        0 => {
+                            let l_abs = (t_abs as i64 + off).max(0) as u64;
+                            let leaf = Leaf {
+                                l: c.wrap(l_abs),
+                                delay: d.min(127),
+                                port_mask: mask,
+                                addr: SlotAddr(addr),
+                            };
+                            let _ = tree.insert(leaf);
+                            let _ = banded.insert(leaf);
+                        }
+                        1 => {
+                            // Commit the current winner, like the router.
+                            if let Some(sel) = tree.select(port, t) {
+                                tree.commit(sel.leaf, port);
+                            }
+                            if let Some(sel) = banded.select(port, t) {
+                                banded.commit(sel.leaf, port);
+                            }
+                        }
+                        2 => {
+                            // Pure select; the postcondition below checks it.
+                        }
+                        3 => t_abs += adv,
+                        _ => unreachable!(),
+                    }
+                    let t = c.wrap(t_abs);
+                    for p in Port::ALL {
+                        prop_assert_eq!(tree.select(p, t), tree.select_linear(p, t));
+                    }
+                }
+            }
+        }
     }
 }

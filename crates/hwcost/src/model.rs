@@ -146,6 +146,11 @@ impl HardwareModel {
             rtr_types::config::SchedulerKind::Banded { band_shift } => {
                 banded_scheduler_transistors(c, band_shift, addr_bits)
             }
+            // The oracle is a software-only specification model; cost it as
+            // the hardware it specifies (the exact tree).
+            rtr_types::config::SchedulerKind::Oracle => {
+                self.tree_scheduler_transistors(key_bits, clock_bits, leaves, addr_bits)
+            }
         };
 
         // --- Packet memory (§3.4) ------------------------------------

@@ -49,13 +49,93 @@ impl LinkUsage {
     }
 }
 
-/// One occupancy snapshot of every chip in the network.
-#[derive(Debug, Clone)]
-pub struct OccupancySample {
+/// One occupancy snapshot of every chip in the network, borrowed from the
+/// flat storage of an [`OccupancyHistory`].
+#[derive(Debug, Clone, Copy)]
+pub struct OccupancySample<'a> {
     /// Cycle the sample was taken (after that cycle's tick).
     pub cycle: Cycle,
     /// Per-node gauges, indexed by [`NodeId::index`].
-    pub nodes: Vec<ChipGauges>,
+    pub nodes: &'a [ChipGauges],
+}
+
+/// The collected occupancy samples, stored flat: one `cycle` entry and one
+/// contiguous run of per-node gauges per sample. Recording a sample appends
+/// to the same two vectors, so steady-state sampling never allocates once
+/// the vectors have grown to capacity.
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyHistory {
+    cycles: Vec<Cycle>,
+    gauges: Vec<ChipGauges>,
+    nodes_per_sample: usize,
+}
+
+impl OccupancyHistory {
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether any samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// The cycle of every sample, in recording order.
+    #[must_use]
+    pub fn cycles(&self) -> &[Cycle] {
+        &self.cycles
+    }
+
+    /// The `index`-th sample, if recorded.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<OccupancySample<'_>> {
+        let cycle = *self.cycles.get(index)?;
+        let start = index * self.nodes_per_sample;
+        Some(OccupancySample { cycle, nodes: &self.gauges[start..start + self.nodes_per_sample] })
+    }
+
+    /// Iterates over the samples in recording order.
+    pub fn iter(&self) -> OccupancyIter<'_> {
+        OccupancyIter { history: self, next: 0 }
+    }
+
+    fn record<C: Chip>(&mut self, cycle: Cycle, chips: &[C]) {
+        self.nodes_per_sample = chips.len();
+        self.cycles.push(cycle);
+        self.gauges.extend(chips.iter().map(|c| c.gauges().unwrap_or_default()));
+    }
+}
+
+impl<'a> IntoIterator for &'a OccupancyHistory {
+    type Item = OccupancySample<'a>;
+    type IntoIter = OccupancyIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the samples of an [`OccupancyHistory`].
+#[derive(Debug)]
+pub struct OccupancyIter<'a> {
+    history: &'a OccupancyHistory,
+    next: usize,
+}
+
+impl<'a> Iterator for OccupancyIter<'a> {
+    type Item = OccupancySample<'a>;
+    fn next(&mut self) -> Option<Self::Item> {
+        let sample = self.history.get(self.next)?;
+        self.next += 1;
+        Some(sample)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.history.len().saturating_sub(self.next);
+        (left, Some(left))
+    }
 }
 
 /// The network simulator, generic over the router chip model.
@@ -74,7 +154,9 @@ pub struct Simulator<C: Chip> {
     tap: Option<LinkTap>,
     /// Sample chip gauges every N cycles (None = sampling off).
     gauge_every: Option<Cycle>,
-    gauge_samples: Vec<OccupancySample>,
+    gauge_samples: OccupancyHistory,
+    /// Worker threads for [`Simulator::step_parallel`] (1 = serial).
+    workers: usize,
     now: Cycle,
 }
 
@@ -145,7 +227,8 @@ impl<C: Chip> Simulator<C> {
             sources: Vec::new(),
             tap: None,
             gauge_every: None,
-            gauge_samples: Vec::new(),
+            gauge_samples: OccupancyHistory::default(),
+            workers: 1,
             now: 0,
             topo,
         })
@@ -232,8 +315,22 @@ impl<C: Chip> Simulator<C> {
     /// The occupancy samples collected so far (empty unless
     /// [`Simulator::enable_gauge_sampling`] was called).
     #[must_use]
-    pub fn gauge_samples(&self) -> &[OccupancySample] {
+    pub fn gauge_samples(&self) -> &OccupancyHistory {
         &self.gauge_samples
+    }
+
+    /// Sets how many worker threads [`Simulator::step_parallel`] uses to
+    /// tick chips (clamped to at least 1; 1 means a plain serial step).
+    /// Chip ticks are data-independent within a cycle, so the worker count
+    /// never changes simulation results — see `parallel_matches_serial`.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.workers
     }
 
     /// Traffic carried so far by the link leaving `node` in `dir`.
@@ -250,6 +347,17 @@ impl<C: Chip> Simulator<C> {
 
     /// Advances the network by one cycle.
     pub fn step(&mut self) {
+        let now = self.phase_pre();
+        // 3. Chips tick.
+        for (chip, io) in self.chips.iter_mut().zip(self.ios.iter_mut()) {
+            chip.tick(now, io);
+        }
+        self.phase_post(now);
+    }
+
+    /// Pre-tick phases of one cycle: link arrivals and traffic sources.
+    /// Returns the cycle being simulated.
+    fn phase_pre(&mut self) -> Cycle {
         let now = self.now;
         for io in &mut self.ios {
             io.begin_cycle();
@@ -279,12 +387,12 @@ impl<C: Chip> Simulator<C> {
         for (node, source) in &mut self.sources {
             source.pre_cycle(now, *node, &mut self.ios[node.index()]);
         }
+        now
+    }
 
-        // 3. Chips tick.
-        for (chip, io) in self.chips.iter_mut().zip(self.ios.iter_mut()) {
-            chip.tick(now, io);
-        }
-
+    /// Post-tick phases of one cycle: symbol/credit collection, delivery
+    /// draining, gauge sampling, and the clock advance.
+    fn phase_post(&mut self, now: Cycle) {
         // 4. Collect driven symbols and returned credits.
         for node in 0..self.chips.len() {
             debug_assert!(
@@ -330,10 +438,7 @@ impl<C: Chip> Simulator<C> {
         // 6. Periodic occupancy sampling.
         if let Some(every) = self.gauge_every {
             if now.is_multiple_of(every) {
-                self.gauge_samples.push(OccupancySample {
-                    cycle: now,
-                    nodes: self.chips.iter().map(|c| c.gauges().unwrap_or_default()).collect(),
-                });
+                self.gauge_samples.record(now, &self.chips);
             }
         }
 
@@ -361,6 +466,51 @@ impl<C: Chip> Simulator<C> {
             }
         }
         false
+    }
+}
+
+impl<C: Chip + Send> Simulator<C> {
+    /// Advances the network by one cycle, ticking chips on the configured
+    /// worker threads (see [`Simulator::set_parallelism`]).
+    ///
+    /// Within a cycle every chip reads and writes only its own state and
+    /// its own [`ChipIo`] bundle — cross-node effects travel exclusively
+    /// through the link phases, which stay on the calling thread — so the
+    /// result is identical to [`Simulator::step`] regardless of the worker
+    /// count or thread scheduling.
+    pub fn step_parallel(&mut self) {
+        if self.workers <= 1 || self.chips.len() <= 1 {
+            self.step();
+            return;
+        }
+        let now = self.phase_pre();
+        // 3. Chips tick, one contiguous chunk of nodes per worker; the
+        // first chunk runs on the calling thread to save one spawn.
+        let chunk = self.chips.len().div_ceil(self.workers);
+        std::thread::scope(|scope| {
+            let mut chunks = self.chips.chunks_mut(chunk).zip(self.ios.chunks_mut(chunk));
+            let local = chunks.next();
+            for (chips, ios) in chunks {
+                scope.spawn(move || {
+                    for (chip, io) in chips.iter_mut().zip(ios.iter_mut()) {
+                        chip.tick(now, io);
+                    }
+                });
+            }
+            if let Some((chips, ios)) = local {
+                for (chip, io) in chips.iter_mut().zip(ios.iter_mut()) {
+                    chip.tick(now, io);
+                }
+            }
+        });
+        self.phase_post(now);
+    }
+
+    /// Runs for `cycles` cycles using [`Simulator::step_parallel`].
+    pub fn run_parallel(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            self.step_parallel();
+        }
     }
 }
 
@@ -436,7 +586,7 @@ mod tests {
             TcPacket {
                 conn: ConnectionId(5),
                 arrival: clock.wrap(0),
-                payload: payload.clone(),
+                payload: payload.clone().into(),
                 trace: PacketTrace {
                     source: src,
                     destination: dst,
@@ -553,7 +703,7 @@ mod tests {
             TcPacket {
                 conn: ConnectionId(5),
                 arrival: clock.wrap(120),
-                payload,
+                payload: payload.into(),
                 trace: PacketTrace::default(),
             },
         );
@@ -561,13 +711,36 @@ mod tests {
         sim.run(400);
         let samples = sim.gauge_samples();
         assert_eq!(samples.len(), 40, "one sample per 10 cycles");
-        assert!(samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        assert!(samples.cycles().windows(2).all(|w| w[0] < w[1]));
         let peak = samples.iter().map(|s| s.nodes[src.index()].memory_occupied).max().unwrap();
         assert_eq!(peak, 1, "the parked packet shows up in the gauges");
         assert!(samples
             .iter()
             .any(|s| s.nodes[src.index()].queue_depth[Port::Dir(Direction::XPlus).index()] == 1));
         assert!(samples.iter().all(|s| s.nodes[0].memory_capacity > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period must be positive")]
+    fn gauge_sampling_rejects_a_zero_period() {
+        // A zero period would divide by zero on every cycle's
+        // `is_multiple_of` check; the knob must refuse it up front.
+        two_node_sim().enable_gauge_sampling(0);
+    }
+
+    #[test]
+    fn parallel_step_with_one_worker_is_a_serial_step() {
+        let mut serial = two_node_sim();
+        let mut parallel = two_node_sim();
+        parallel.set_parallelism(4);
+        assert_eq!(parallel.parallelism(), 4);
+        let dst = serial.topology().node_at(1, 0);
+        for sim in [&mut serial, &mut parallel] {
+            sim.inject_be(NodeId(0), BePacket::new(1, 0, vec![7; 12], PacketTrace::default()));
+        }
+        serial.run(500);
+        parallel.run_parallel(500);
+        assert_eq!(serial.log(dst).be, parallel.log(dst).be);
     }
 
     #[test]

@@ -114,7 +114,7 @@ mod tests {
             TcPacket {
                 conn: ConnectionId(0),
                 arrival: SlotClock::new(8).wrap(0),
-                payload: vec![],
+                payload: vec![].into(),
                 trace: PacketTrace {
                     injected_at: injected,
                     deadline: deadline_slot,

@@ -68,6 +68,11 @@ pub enum SchedulerKind {
         /// Laxity bits dropped before comparison.
         band_shift: u32,
     },
+    /// The Table 1 reference discipline evaluated directly (no keys, no
+    /// comparators) — the specification run as a live scheduler, for
+    /// ablation against the implementations. Requires
+    /// [`LatePolicy::Saturate`].
+    Oracle,
 }
 
 /// Architectural parameters of the real-time router (Table 4a).
@@ -254,6 +259,12 @@ impl RouterConfig {
                     ),
                 });
             }
+        }
+        if self.scheduler == SchedulerKind::Oracle && self.late_policy != LatePolicy::Saturate {
+            return Err(ConfigError::Inconsistent {
+                reason: "the oracle scheduler implements Table 1, which saturates late packets"
+                    .to_string(),
+            });
         }
         Ok(())
     }

@@ -84,7 +84,7 @@ mod tests {
         let packet = TcPacket {
             conn: ConnectionId(0),
             arrival: SlotClock::new(8).wrap(0),
-            payload: vec![0; 18],
+            payload: vec![0; 18].into(),
             trace: PacketTrace::default(),
         };
         assert!(LinkSymbol::TcStart(Box::new(packet)).is_time_constrained());

@@ -11,10 +11,78 @@
 //! statistics; it does not exist on the wire and the routers never base
 //! decisions on it.
 
+use std::sync::Arc;
+
 use crate::clock::LogicalTime;
 use crate::error::PacketDecodeError;
 use crate::ids::{ConnectionId, NodeId, Port};
 use crate::time::{Cycle, Slot};
+
+/// A reference-counted, immutable packet payload.
+///
+/// Payload bytes never change once a packet is built, so every copy a
+/// packet goes through — the shared memory slot, the link symbol, multicast
+/// fan-out, the delivery log — shares one allocation and `clone` is a
+/// refcount bump instead of a byte copy. Traffic sources additionally share
+/// one payload template across every packet they inject.
+///
+/// Dereferences to `[u8]`, so slicing, indexing and iteration work as they
+/// do on a `Vec<u8>`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// The payload bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload(bytes.into())
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(bytes: &[u8]) -> Self {
+        Payload(Arc::from(bytes))
+    }
+}
+
+impl FromIterator<u8> for Payload {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Payload(iter.into_iter().collect())
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        self[..] == *other.0
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        *self.0 == *other
+    }
+}
 
 /// Simulation-only provenance attached to every packet.
 ///
@@ -53,7 +121,7 @@ pub struct TcPacket {
     /// Logical arrival time at the receiving router (wrapped clock value).
     pub arrival: LogicalTime,
     /// Application payload (18 bytes in the default configuration).
-    pub payload: Vec<u8>,
+    pub payload: Payload,
     /// Simulation-only provenance.
     pub trace: PacketTrace,
 }
@@ -106,7 +174,7 @@ impl TcPacket {
         Ok(TcPacket {
             conn: ConnectionId(u16::from(bytes[0])),
             arrival: clock.wrap(u64::from(bytes[1])),
-            payload: bytes[2..].to_vec(),
+            payload: Payload::from(&bytes[2..]),
             trace: PacketTrace::default(),
         })
     }
@@ -194,7 +262,7 @@ pub struct BePacket {
     /// Routing header.
     pub header: BeHeader,
     /// Application payload.
-    pub payload: Vec<u8>,
+    pub payload: Payload,
     /// Simulation-only provenance.
     pub trace: PacketTrace,
 }
@@ -206,7 +274,8 @@ impl BePacket {
     ///
     /// Panics if the payload exceeds the 16-bit length field.
     #[must_use]
-    pub fn new(x_off: i8, y_off: i8, payload: Vec<u8>, trace: PacketTrace) -> Self {
+    pub fn new(x_off: i8, y_off: i8, payload: impl Into<Payload>, trace: PacketTrace) -> Self {
+        let payload = payload.into();
         let length = u16::try_from(payload.len()).expect("payload exceeds 16-bit length field");
         BePacket { header: BeHeader { x_off, y_off, length }, payload, trace }
     }
@@ -221,9 +290,16 @@ impl BePacket {
     #[must_use]
     pub fn to_wire(&self) -> Vec<u8> {
         let mut bytes = Vec::with_capacity(self.wire_len());
+        self.to_wire_into(&mut bytes);
+        bytes
+    }
+
+    /// Encodes header and payload into a caller-supplied buffer (cleared
+    /// first), so per-packet staging can reuse one allocation.
+    pub fn to_wire_into(&self, bytes: &mut Vec<u8>) {
+        bytes.clear();
         bytes.extend_from_slice(&self.header.to_wire());
         bytes.extend_from_slice(&self.payload);
-        bytes
     }
 
     /// Decodes a packet from wire bytes.
@@ -242,7 +318,7 @@ impl BePacket {
                 got: body.len(),
             });
         }
-        Ok(BePacket { header, payload: body.to_vec(), trace: PacketTrace::default() })
+        Ok(BePacket { header, payload: Payload::from(body), trace: PacketTrace::default() })
     }
 }
 
@@ -269,7 +345,7 @@ mod tests {
         let p = TcPacket {
             conn: ConnectionId(7),
             arrival: SlotClock::new(8).wrap(42),
-            payload: vec![0xAB; 18],
+            payload: vec![0xAB; 18].into(),
             trace: trace(),
         };
         assert_eq!(p.wire_len(), 20);
@@ -297,7 +373,7 @@ mod tests {
         let p = TcPacket {
             conn: ConnectionId(256),
             arrival: SlotClock::new(8).wrap(0),
-            payload: vec![],
+            payload: vec![].into(),
             trace: PacketTrace::default(),
         };
         assert!(matches!(

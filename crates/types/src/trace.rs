@@ -42,9 +42,8 @@
 //! assert_eq!(TraceRecord::from_jsonl(&line).unwrap(), rec);
 //! ```
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::ids::{ConnectionId, NodeId};
 use crate::time::Cycle;
@@ -563,13 +562,15 @@ pub trait TraceSink: std::fmt::Debug {
     fn flush(&mut self) {}
 }
 
-/// A sink shareable between the routers of a mesh (single-threaded
-/// simulation, hence `Rc<RefCell<…>>`).
-pub type SharedTraceSink = Rc<RefCell<dyn TraceSink>>;
+/// A sink shareable between the routers of a mesh. `Arc<Mutex<…>>` so
+/// routers stay `Send` and the simulator may tick chips on worker threads;
+/// with tracing enabled the sink lock serialises emission, so parallel runs
+/// should normally trace to per-node sinks or run serially.
+pub type SharedTraceSink = Arc<Mutex<dyn TraceSink + Send>>;
 
 /// Wraps a concrete sink for sharing across routers.
-pub fn shared<S: TraceSink + 'static>(sink: S) -> Rc<RefCell<S>> {
-    Rc::new(RefCell::new(sink))
+pub fn shared<S: TraceSink + Send + 'static>(sink: S) -> Arc<Mutex<S>> {
+    Arc::new(Mutex::new(sink))
 }
 
 /// A bounded in-memory ring of the most recent records.
@@ -855,7 +856,7 @@ mod tests {
     fn shared_sink_is_usable_through_dyn_trait() {
         let ring = shared(RingSink::new(8));
         let as_dyn: SharedTraceSink = ring.clone();
-        as_dyn.borrow_mut().record(&sample_records()[0]);
-        assert_eq!(ring.borrow().len(), 1);
+        as_dyn.lock().unwrap().record(&sample_records()[0]);
+        assert_eq!(ring.lock().unwrap().len(), 1);
     }
 }

@@ -6,7 +6,7 @@ use rtr_mesh::source::TrafficSource;
 use rtr_mesh::topology::Topology;
 use rtr_types::chip::ChipIo;
 use rtr_types::ids::NodeId;
-use rtr_types::packet::{BePacket, PacketTrace};
+use rtr_types::packet::{BePacket, PacketTrace, Payload};
 use rtr_types::time::Cycle;
 
 use crate::patterns::TrafficPattern;
@@ -18,7 +18,7 @@ use crate::patterns::TrafficPattern;
 pub struct BackloggedBeSource {
     destination: NodeId,
     offsets: (i8, i8),
-    packet_bytes: usize,
+    payload: Payload,
     queue_depth: usize,
     sequence: u64,
 }
@@ -37,7 +37,9 @@ impl BackloggedBeSource {
         BackloggedBeSource {
             destination: dst,
             offsets: topo.be_offsets(src, dst),
-            packet_bytes,
+            // One shared payload for the whole run: injection clones the
+            // reference count, never the bytes.
+            payload: vec![0xBE; packet_bytes].into(),
             queue_depth: queue_depth.max(1),
             sequence: 0,
         }
@@ -63,7 +65,7 @@ impl TrafficSource for BackloggedBeSource {
             io.inject_be.push_back(BePacket::new(
                 self.offsets.0,
                 self.offsets.1,
-                vec![0xBE; self.packet_bytes],
+                self.payload.clone(),
                 trace,
             ));
             self.sequence += 1;
@@ -100,6 +102,9 @@ pub struct RandomBeSource {
     pattern: TrafficPattern,
     rate: f64,
     size: SizeDist,
+    /// Shared payload for `SizeDist::Fixed` sources; variable-size sources
+    /// must allocate per packet.
+    template: Option<Payload>,
     max_queue: usize,
     rng: StdRng,
     sequence: u64,
@@ -120,11 +125,16 @@ impl RandomBeSource {
         seed: u64,
     ) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        let template = match size {
+            SizeDist::Fixed(n) => Some(vec![0xDA; n].into()),
+            SizeDist::Uniform(..) => None,
+        };
         RandomBeSource {
             topo,
             pattern,
             rate,
             size,
+            template,
             max_queue: 64,
             rng: StdRng::seed_from_u64(seed),
             sequence: 0,
@@ -152,7 +162,10 @@ impl TrafficSource for RandomBeSource {
         }
         let dst = self.pattern.pick(&mut self.rng, &self.topo, node);
         let (x, y) = self.topo.be_offsets(node, dst);
-        let len = self.size.sample(&mut self.rng);
+        let payload = match &self.template {
+            Some(p) => p.clone(),
+            None => vec![0xDA; self.size.sample(&mut self.rng)].into(),
+        };
         let trace = PacketTrace {
             source: node,
             destination: dst,
@@ -160,7 +173,7 @@ impl TrafficSource for RandomBeSource {
             injected_at: now,
             ..PacketTrace::default()
         };
-        io.inject_be.push_back(BePacket::new(x, y, vec![0xDA; len], trace));
+        io.inject_be.push_back(BePacket::new(x, y, payload, trace));
         self.sequence += 1;
     }
 }

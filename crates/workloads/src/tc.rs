@@ -4,6 +4,7 @@ use rtr_channels::sender::ChannelSender;
 use rtr_mesh::source::TrafficSource;
 use rtr_types::chip::ChipIo;
 use rtr_types::ids::NodeId;
+use rtr_types::packet::Payload;
 use rtr_types::time::{cycle_to_slot, Cycle};
 
 /// A connection with a *continual backlog* of traffic — the regime of the
@@ -20,7 +21,7 @@ pub struct BackloggedTcSource {
     i_min: u32,
     lead_messages: u32,
     slot_bytes: usize,
-    payload: Vec<u8>,
+    chunks: Vec<Payload>,
     injected: u64,
 }
 
@@ -37,12 +38,15 @@ impl BackloggedTcSource {
         slot_bytes: usize,
         payload: Vec<u8>,
     ) -> Self {
+        // Chunk and pad the message body once; every injected packet then
+        // shares the same reference-counted payloads.
+        let chunks = sender.prepare_payload(&payload);
         BackloggedTcSource {
             sender,
             i_min,
             lead_messages: lead_messages.max(1),
             slot_bytes,
-            payload,
+            chunks,
             injected: 0,
         }
     }
@@ -66,7 +70,7 @@ impl TrafficSource for BackloggedTcSource {
             if next_l0 > t + lead {
                 break;
             }
-            for p in self.sender.make_message(now, &self.payload) {
+            for p in self.sender.make_message_shared(now, &self.chunks) {
                 io.inject_tc.push_back(p);
             }
             self.injected += 1;
@@ -82,7 +86,7 @@ pub struct PeriodicTcSource {
     period_slots: u64,
     phase_slots: u64,
     slot_bytes: usize,
-    payload: Vec<u8>,
+    chunks: Vec<Payload>,
     sent: u64,
     limit: Option<u64>,
 }
@@ -102,12 +106,13 @@ impl PeriodicTcSource {
         payload: Vec<u8>,
     ) -> Self {
         assert!(period_slots > 0, "period must be positive");
+        let chunks = sender.prepare_payload(&payload);
         PeriodicTcSource {
             sender,
             period_slots,
             phase_slots,
             slot_bytes,
-            payload,
+            chunks,
             sent: 0,
             limit: None,
         }
@@ -136,7 +141,7 @@ impl TrafficSource for PeriodicTcSource {
         // Fire on the first cycle of each due slot.
         let due = self.phase_slots + self.sent * self.period_slots;
         if t >= due && now.is_multiple_of(self.slot_bytes as u64) {
-            for p in self.sender.make_message(now, &self.payload) {
+            for p in self.sender.make_message_shared(now, &self.chunks) {
                 io.inject_tc.push_back(p);
             }
             self.sent += 1;
@@ -158,7 +163,7 @@ pub struct BurstyTcSource {
     burst_size: u32,
     burst_period_slots: u64,
     slot_bytes: usize,
-    payload: Vec<u8>,
+    chunks: Vec<Payload>,
     bursts: u64,
 }
 
@@ -177,7 +182,8 @@ impl BurstyTcSource {
         payload: Vec<u8>,
     ) -> Self {
         assert!(burst_size > 0 && burst_period_slots > 0, "burst parameters must be positive");
-        BurstyTcSource { sender, burst_size, burst_period_slots, slot_bytes, payload, bursts: 0 }
+        let chunks = sender.prepare_payload(&payload);
+        BurstyTcSource { sender, burst_size, burst_period_slots, slot_bytes, chunks, bursts: 0 }
     }
 
     /// Bursts emitted so far.
@@ -193,7 +199,7 @@ impl TrafficSource for BurstyTcSource {
         if t >= self.bursts * self.burst_period_slots && now.is_multiple_of(self.slot_bytes as u64)
         {
             for _ in 0..self.burst_size {
-                for p in self.sender.make_message(now, &self.payload) {
+                for p in self.sender.make_message_shared(now, &self.chunks) {
                     io.inject_tc.push_back(p);
                 }
             }

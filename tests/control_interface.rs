@@ -40,7 +40,7 @@ fn word_level_writes_program_a_working_route() {
         TcPacket {
             conn: ConnectionId(5),
             arrival: clock.wrap(0),
-            payload: vec![0xAD; config.tc_data_bytes()],
+            payload: vec![0xAD; config.tc_data_bytes()].into(),
             trace: PacketTrace { deadline: 12, ..PacketTrace::default() },
         },
     );
@@ -82,7 +82,7 @@ fn table_rewrite_redirects_in_flight_connections() {
     let packet = |slot: u64| TcPacket {
         conn: ConnectionId(1),
         arrival: clock.wrap(slot),
-        payload: vec![1; config.tc_data_bytes()],
+        payload: vec![1; config.tc_data_bytes()].into(),
         trace: PacketTrace::default(),
     };
     sim.inject_tc(src, packet(0));
@@ -149,7 +149,7 @@ fn word_level_plane_establishment_matches_typed() {
         TcPacket {
             conn: b.ingress,
             arrival: clock.wrap(0),
-            payload: vec![1; config.tc_data_bytes()],
+            payload: vec![1; config.tc_data_bytes()].into(),
             trace: PacketTrace { deadline: 30, ..PacketTrace::default() },
         },
     );
@@ -169,7 +169,7 @@ fn unprogrammed_connections_drop_cleanly_everywhere() {
             TcPacket {
                 conn: ConnectionId(77),
                 arrival: clock.wrap(0),
-                payload: vec![0; config.tc_data_bytes()],
+                payload: vec![0; config.tc_data_bytes()].into(),
                 trace: PacketTrace::default(),
             },
         );

@@ -1,0 +1,155 @@
+//! Integration: parallel chip ticking is bit-for-bit deterministic.
+//!
+//! Within a cycle every chip touches only its own state and its own
+//! [`ChipIo`] bundle, so distributing the tick phase over worker threads
+//! must not change a single delivered byte. This test drives a loaded,
+//! seeded 8×8 mesh (time-constrained channels plus best-effort background
+//! traffic at every node) serially and with four workers, then compares
+//! every node's delivery log and the full network report.
+//!
+//! [`ChipIo`]: realtime_router::types::chip::ChipIo
+
+use realtime_router::channels::establish::{EstablishedChannel, Hop};
+use realtime_router::channels::sender::ChannelSender;
+use realtime_router::channels::spec::{ChannelRequest, TrafficSpec};
+use realtime_router::core::{ControlCommand, RealTimeRouter};
+use realtime_router::mesh::{NetworkReport, Simulator, Topology};
+use realtime_router::types::config::RouterConfig;
+use realtime_router::types::ids::{ConnectionId, Direction, Port};
+use realtime_router::workloads::be::{RandomBeSource, SizeDist};
+use realtime_router::workloads::patterns::TrafficPattern;
+use realtime_router::workloads::tc::PeriodicTcSource;
+
+const PERIOD: u32 = 8;
+const DELAY: u32 = 6;
+
+/// Builds the reference workload: four one-hop TC channels along the west
+/// edge and a seeded Bernoulli BE source at every node. Every run of this
+/// function produces an identical simulator apart from the worker count.
+fn build(workers: usize) -> Simulator<RealTimeRouter> {
+    let config = RouterConfig::default();
+    let topo = Topology::mesh(8, 8);
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    sim.set_parallelism(workers);
+    sim.enable_gauge_sampling(50);
+
+    for (i, y) in [0u16, 2, 5, 7].into_iter().enumerate() {
+        let conn = ConnectionId(10 + i as u16);
+        let src = topo.node_at(0, y);
+        let dst = topo.node_at(1, y);
+        sim.chip_mut(src)
+            .apply_control(ControlCommand::SetConnection {
+                incoming: conn,
+                outgoing: conn,
+                delay: DELAY,
+                out_mask: Port::Dir(Direction::XPlus).mask(),
+            })
+            .unwrap();
+        sim.chip_mut(dst)
+            .apply_control(ControlCommand::SetConnection {
+                incoming: conn,
+                outgoing: conn,
+                delay: DELAY,
+                out_mask: Port::Local.mask(),
+            })
+            .unwrap();
+        let channel = EstablishedChannel {
+            id: u64::from(conn.0),
+            ingress: conn,
+            depth: 2,
+            guaranteed: 2 * DELAY,
+            hops: vec![
+                Hop {
+                    node: src,
+                    conn,
+                    out_conn: conn,
+                    delay: DELAY,
+                    out_mask: Port::Dir(Direction::XPlus).mask(),
+                    buffers: 2,
+                },
+                Hop {
+                    node: dst,
+                    conn,
+                    out_conn: conn,
+                    delay: DELAY,
+                    out_mask: Port::Local.mask(),
+                    buffers: 2,
+                },
+            ],
+            request: ChannelRequest::unicast(
+                src,
+                dst,
+                TrafficSpec::periodic(PERIOD, 18),
+                2 * DELAY,
+            ),
+        };
+        let sender = ChannelSender::new(
+            &channel,
+            sim.chip(src).clock(),
+            config.slot_bytes,
+            config.tc_data_bytes(),
+        );
+        sim.add_source(
+            src,
+            Box::new(PeriodicTcSource::new(
+                sender,
+                u64::from(PERIOD),
+                0,
+                config.slot_bytes,
+                vec![0xA0 + i as u8; config.tc_data_bytes()],
+            )),
+        );
+    }
+
+    for node in topo.nodes() {
+        sim.add_source(
+            node,
+            Box::new(
+                RandomBeSource::new(
+                    topo.clone(),
+                    TrafficPattern::Uniform,
+                    0.05,
+                    SizeDist::Fixed(16),
+                    0xC0FF_EE00 ^ u64::from(node.0),
+                )
+                .with_max_queue(8),
+            ),
+        );
+    }
+    sim
+}
+
+#[test]
+fn parallel_mesh_stepping_is_deterministic() {
+    let cycles = 4_000;
+    let config = RouterConfig::default();
+
+    let mut serial = build(1);
+    serial.run(cycles);
+
+    let mut parallel = build(4);
+    assert_eq!(parallel.parallelism(), 4);
+    parallel.run_parallel(cycles);
+
+    // Byte-identical delivery logs at every node: same packets, same
+    // payload bytes, same delivery cycles, same order.
+    let mut tc_total = 0;
+    let mut be_total = 0;
+    for node in serial.topology().nodes() {
+        let (s, p) = (serial.log(node), parallel.log(node));
+        assert_eq!(s.tc, p.tc, "TC deliveries diverged at {node}");
+        assert_eq!(s.be, p.be, "BE deliveries diverged at {node}");
+        tc_total += s.tc.len();
+        be_total += s.be.len();
+    }
+    // 4000 cycles = 200 slots = 25 messages per period-8 channel.
+    assert!(tc_total >= 4 * 20, "TC load too light to trust: {tc_total}");
+    assert!(be_total > 500, "BE load too light to trust: {be_total}");
+
+    // Identical network reports, occupancy time series included. The
+    // report has float fields without `PartialEq` across the board, so
+    // compare the exhaustive debug rendering.
+    let s = format!("{:?}", NetworkReport::capture(&serial, config.slot_bytes));
+    let p = format!("{:?}", NetworkReport::capture(&parallel, config.slot_bytes));
+    assert_eq!(s, p, "network reports diverged between serial and parallel runs");
+}

@@ -64,7 +64,7 @@ fn rogue_injections_are_contained() {
                 io.inject_tc.push_back(TcPacket {
                     conn: ConnectionId(rng.gen_range(0..256)),
                     arrival: clock.wrap(rng.gen_range(0..100_000)),
-                    payload: vec![0xEE; payload_len],
+                    payload: vec![0xEE; payload_len].into(),
                     trace: PacketTrace::default(),
                 });
             }

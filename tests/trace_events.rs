@@ -80,7 +80,7 @@ fn delivered_tc_packets_leave_complete_chains() {
     sim.run(20_000);
 
     // Stitch per-packet chains from the trace by (src, seq) provenance.
-    let ring = ring.borrow();
+    let ring = ring.lock().unwrap();
     assert_eq!(ring.dropped(), 0, "ring must be big enough for the whole run");
     let mut chains: BTreeMap<(NodeId, u64), Vec<TraceRecord>> = BTreeMap::new();
     for rec in ring.records() {

@@ -72,7 +72,7 @@ fn tc_header_fields_fit_the_one_byte_wire_fields_on_the_paper_chip() {
             let p = TcPacket {
                 conn: ConnectionId(conn),
                 arrival: clock.wrap(slot),
-                payload: vec![0; 18],
+                payload: vec![0; 18].into(),
                 trace: PacketTrace::default(),
             };
             let wire = p.to_wire().expect("paper-chip headers always encode");
