@@ -321,6 +321,23 @@ impl Chip for FifoSfRouter {
             self.credits[port.index()] = bytes;
         }
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // In-progress injections, receptions, transmissions, and queued
+        // packets all make (or may make) progress every cycle. Partial
+        // best-effort reassembly waits on the next link byte, so it is not
+        // an event source.
+        let active = self.tc_inject_remaining.is_some()
+            || self.be_inject.is_some()
+            || self.tc_rx.iter().any(Option::is_some)
+            || self.tx.iter().any(Option::is_some)
+            || self.queues.iter().any(|q| !q.is_empty());
+        if active {
+            return Some(now + 1);
+        }
+        // Only the hop-latency pipeline remains: its FIFO head gates.
+        self.pending.front().map(|(ready, _)| (*ready).max(now + 1))
+    }
 }
 
 #[cfg(test)]

@@ -304,6 +304,38 @@ impl Chip for PriorityVcRouter {
             out.credits = bytes;
         }
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let active = self.tc_inject_remaining.is_some()
+            || self.be_inject.is_some()
+            || self.inputs.iter().any(InputPort::tc_rx_active)
+            || self.outputs.iter().any(|out| out.tc_tx.is_some())
+            || self.queues.iter().any(|q| !q.is_empty());
+        if active {
+            return Some(now + 1);
+        }
+        let mut earliest: Option<Cycle> = None;
+        let mut merge = |at: Cycle| {
+            let at = at.max(now + 1);
+            earliest = Some(earliest.map_or(at, |e: Cycle| e.min(at)));
+        };
+        for input in &self.inputs {
+            if let Some(ready) = input.next_tc_ready() {
+                merge(ready);
+            }
+            if let Some(head) = input.be_head() {
+                let out = &self.outputs[head.out.index()];
+                if head.ready_at > now {
+                    merge(head.ready_at);
+                } else if out.infinite_credit || out.credits > 0 {
+                    // Ready and sendable next cycle; a credit-starved byte
+                    // stays frozen until an external credit arrives.
+                    return Some(now + 1);
+                }
+            }
+        }
+        earliest
+    }
 }
 
 #[cfg(test)]

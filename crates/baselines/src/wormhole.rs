@@ -192,6 +192,27 @@ impl Chip for WormholeRouter {
             out.credits = bytes;
         }
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.be_inject.is_some() {
+            return Some(now + 1);
+        }
+        let mut earliest: Option<Cycle> = None;
+        for input in &self.inputs {
+            if let Some(head) = input.be_head() {
+                let out = &self.outputs[head.out.index()];
+                if head.ready_at > now {
+                    let at = head.ready_at;
+                    earliest = Some(earliest.map_or(at, |e: Cycle| e.min(at)));
+                } else if out.infinite_credit || out.credits > 0 {
+                    // Ready and sendable next cycle; a credit-starved byte
+                    // stays frozen until an external credit arrives.
+                    return Some(now + 1);
+                }
+            }
+        }
+        earliest
+    }
 }
 
 #[cfg(test)]

@@ -216,6 +216,59 @@ fn run_mesh(name: &str, workers: usize, cycles: u64, iters: usize) -> BenchResul
     }
 }
 
+/// The sparse mesh (four long-period one-hop TC channels, ≲1% injection —
+/// see [`rtr_bench::leaping::periodic_mesh`]) driven either by plain
+/// stepping or the event-driven leaping fast path — the stepped/leaping
+/// pair is the headline speedup comparison.
+fn run_sparse_mesh(name: &str, leaping: bool, cycles: u64, iters: usize) -> BenchResult {
+    let nodes = 64u64;
+    let (min_s, mean_s) = time_runs(
+        iters,
+        || rtr_bench::leaping::periodic_mesh(64),
+        |mut sim| {
+            if leaping {
+                sim.run_leaping(cycles);
+            } else {
+                sim.run(cycles);
+            }
+            sim.ticks_executed()
+        },
+    );
+    BenchResult {
+        name: name.to_string(),
+        iters,
+        min_s,
+        mean_s,
+        metric: (nodes * cycles) as f64 / min_s,
+        unit: "node-cycles/s",
+    }
+}
+
+/// A completely idle mesh leaped end to end — the O(events) floor of the
+/// fast path (almost all wall-clock here is simulator bookkeeping).
+fn run_idle_leap(cycles: u64, iters: usize) -> BenchResult {
+    let nodes = 64u64;
+    let (min_s, mean_s) = time_runs(
+        iters,
+        || {
+            Simulator::build(Topology::mesh(8, 8), |_| RealTimeRouter::new(RouterConfig::default()))
+                .unwrap()
+        },
+        |mut sim: Simulator<RealTimeRouter>| {
+            sim.run_leaping(cycles);
+            sim.ticks_executed()
+        },
+    );
+    BenchResult {
+        name: "mesh_8x8_idle_leaping".to_string(),
+        iters,
+        min_s,
+        mean_s,
+        metric: (nodes * cycles) as f64 / min_s,
+        unit: "node-cycles/s",
+    }
+}
+
 fn render_json(results: &[BenchResult], smoke: bool) -> String {
     // The vendored serde stub has no real serialisation, so the JSON is
     // written by hand; the format is flat on purpose.
@@ -275,6 +328,13 @@ fn main() {
     results.push(run_mesh("mesh_8x8_serial", 1, mesh_cycles, mesh_iters));
     eprintln!("8x8 mesh stepping, 4 workers...");
     results.push(run_mesh("mesh_8x8_parallel4", 4, mesh_cycles, mesh_iters));
+    let (leap_cycles, idle_cycles) = if smoke { (2_000, 20_000) } else { (100_000, 1_000_000) };
+    eprintln!("8x8 sparse mesh ({leap_cycles} cycles), stepped...");
+    results.push(run_sparse_mesh("mesh_8x8_sparse_stepped", false, leap_cycles, mesh_iters));
+    eprintln!("8x8 sparse mesh ({leap_cycles} cycles), leaping...");
+    results.push(run_sparse_mesh("mesh_8x8_sparse_leaping", true, leap_cycles, mesh_iters));
+    eprintln!("8x8 idle mesh ({idle_cycles} cycles), leaping...");
+    results.push(run_idle_leap(idle_cycles, mesh_iters));
 
     let json = render_json(&results, smoke);
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

@@ -1,0 +1,50 @@
+//! Prints the event-driven leaping sweep: stepped vs leaping wall-clock
+//! at ~1%, ~10%, and ~50% injection (see `EXPERIMENTS.md`, "Event-driven
+//! leaping").
+//!
+//! Usage:
+//!
+//! ```text
+//! leaping_sweep [--cycles N] [--iters N]
+//! ```
+
+fn main() {
+    let mut cycles = 100_000u64;
+    let mut iters = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |what: &str| {
+            args.next().and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| {
+                eprintln!("{what} needs a number");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--cycles" => cycles = grab("--cycles"),
+            "--iters" => iters = grab("--iters") as usize,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: leaping_sweep [--cycles N] [--iters N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("event-driven leaping sweep: 8x8 mesh, {cycles} cycles, best of {iters}");
+    println!(
+        "{:>12} {:>10} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "period", "~inject", "stepped", "leaping", "speedup", "stepped-ticks", "leaping-ticks"
+    );
+    for point in rtr_bench::leaping::run(cycles, iters) {
+        println!(
+            "{:>10}sl {:>9.1}% {:>11.4}s {:>11.4}s {:>8.1}x {:>14} {:>14}",
+            point.period_slots,
+            100.0 / point.period_slots as f64,
+            point.stepped_s,
+            point.leaping_s,
+            point.speedup(),
+            point.stepped_ticks,
+            point.leaping_ticks,
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Event-driven leaping sweep: stepped vs leaping wall-clock across
+//! injection rates.
+//!
+//! Builds an 8×8 mesh carrying four one-hop periodic TC channels whose
+//! period sets the offered load (a period of `p` slots puts roughly `1/p`
+//! of each source link's cycles under traffic), then runs the identical
+//! workload through [`Simulator::run`] and [`Simulator::run_leaping`] and
+//! reports the wall-clock ratio. The results back the "Event-driven
+//! leaping" section of `EXPERIMENTS.md`; `bench_runner` records the
+//! sparse point in `BENCH_2.json`.
+
+use std::time::Instant;
+
+use rtr_channels::establish::{EstablishedChannel, Hop};
+use rtr_channels::sender::ChannelSender;
+use rtr_channels::spec::{ChannelRequest, TrafficSpec};
+use rtr_core::control::ControlCommand;
+use rtr_core::RealTimeRouter;
+use rtr_mesh::{Simulator, Topology};
+use rtr_types::config::RouterConfig;
+use rtr_types::ids::{ConnectionId, Direction, Port};
+use rtr_workloads::tc::PeriodicTcSource;
+
+/// One row of the sweep: a single period (injection rate) measured both
+/// ways over the same simulated span.
+#[derive(Debug, Clone, Copy)]
+pub struct LeapingPoint {
+    /// Channel period in slots; injection fraction ≈ `1 / period`.
+    pub period_slots: u64,
+    /// Simulated cycles covered by both runs.
+    pub cycles: u64,
+    /// Wall-clock seconds for the plain stepped run (best of iters).
+    pub stepped_s: f64,
+    /// Wall-clock seconds for the leaping run (best of iters).
+    pub leaping_s: f64,
+    /// Chip ticks executed by the stepped run.
+    pub stepped_ticks: u64,
+    /// Chip ticks executed by the leaping run.
+    pub leaping_ticks: u64,
+}
+
+impl LeapingPoint {
+    /// Wall-clock speedup of leaping over stepping.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.stepped_s / self.leaping_s
+    }
+}
+
+/// Builds the sweep's mesh: four one-hop channels with the given period.
+#[must_use]
+pub fn periodic_mesh(period_slots: u64) -> Simulator<RealTimeRouter> {
+    const DELAY: u32 = 6;
+    let config = RouterConfig::default();
+    let topo = Topology::mesh(8, 8);
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    for (i, y) in [0u16, 2, 5, 7].into_iter().enumerate() {
+        let conn = ConnectionId(10 + i as u16);
+        let src = topo.node_at(0, y);
+        let dst = topo.node_at(1, y);
+        sim.chip_mut(src)
+            .apply_control(ControlCommand::SetConnection {
+                incoming: conn,
+                outgoing: conn,
+                delay: DELAY,
+                out_mask: Port::Dir(Direction::XPlus).mask(),
+            })
+            .unwrap();
+        sim.chip_mut(dst)
+            .apply_control(ControlCommand::SetConnection {
+                incoming: conn,
+                outgoing: conn,
+                delay: DELAY,
+                out_mask: Port::Local.mask(),
+            })
+            .unwrap();
+        let channel = EstablishedChannel {
+            id: u64::from(conn.0),
+            ingress: conn,
+            depth: 2,
+            guaranteed: 2 * DELAY,
+            hops: vec![
+                Hop {
+                    node: src,
+                    conn,
+                    out_conn: conn,
+                    delay: DELAY,
+                    out_mask: Port::Dir(Direction::XPlus).mask(),
+                    buffers: 2,
+                },
+                Hop {
+                    node: dst,
+                    conn,
+                    out_conn: conn,
+                    delay: DELAY,
+                    out_mask: Port::Local.mask(),
+                    buffers: 2,
+                },
+            ],
+            request: ChannelRequest::unicast(
+                src,
+                dst,
+                TrafficSpec::periodic(period_slots as u32, 18),
+                2 * DELAY,
+            ),
+        };
+        let sender = ChannelSender::new(
+            &channel,
+            sim.chip(src).clock(),
+            config.slot_bytes,
+            config.tc_data_bytes(),
+        );
+        sim.add_source(
+            src,
+            Box::new(PeriodicTcSource::new(
+                sender,
+                period_slots,
+                0,
+                config.slot_bytes,
+                vec![0xA0 + i as u8; config.tc_data_bytes()],
+            )),
+        );
+    }
+    sim
+}
+
+/// Measures one period both ways (best wall-clock of `iters` runs each)
+/// and asserts the two runs delivered identically along the way.
+#[must_use]
+pub fn measure(period_slots: u64, cycles: u64, iters: usize) -> LeapingPoint {
+    let mut stepped_s = f64::INFINITY;
+    let mut leaping_s = f64::INFINITY;
+    let mut stepped_ticks = 0;
+    let mut leaping_ticks = 0;
+    let mut stepped_delivered = 0;
+    let mut leaping_delivered = 0;
+    for _ in 0..iters {
+        let mut sim = periodic_mesh(period_slots);
+        let start = Instant::now();
+        sim.run(cycles);
+        stepped_s = stepped_s.min(start.elapsed().as_secs_f64());
+        stepped_ticks = sim.ticks_executed();
+        stepped_delivered = sim.topology().nodes().map(|n| sim.log(n).tc.len()).sum();
+
+        let mut sim = periodic_mesh(period_slots);
+        let start = Instant::now();
+        sim.run_leaping(cycles);
+        leaping_s = leaping_s.min(start.elapsed().as_secs_f64());
+        leaping_ticks = sim.ticks_executed();
+        leaping_delivered = sim.topology().nodes().map(|n| sim.log(n).tc.len()).sum();
+    }
+    assert_eq!(
+        stepped_delivered, leaping_delivered,
+        "stepped and leaping runs must deliver identically"
+    );
+    LeapingPoint { period_slots, cycles, stepped_s, leaping_s, stepped_ticks, leaping_ticks }
+}
+
+/// Runs the default sweep: ~1%, ~10%, and ~50% injection.
+#[must_use]
+pub fn run(cycles: u64, iters: usize) -> Vec<LeapingPoint> {
+    [64, 10, 2].into_iter().map(|period| measure(period, cycles, iters)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_points_cover_the_same_span_and_agree() {
+        let point = measure(64, 2_000, 1);
+        assert_eq!(point.cycles, 2_000);
+        assert!(
+            point.leaping_ticks < point.stepped_ticks,
+            "sparse load must leap: {} vs {}",
+            point.leaping_ticks,
+            point.stepped_ticks
+        );
+        assert_eq!(point.stepped_ticks, 64 * 2_000);
+    }
+}

@@ -61,6 +61,16 @@ impl ArrivalTracker {
     pub fn last(&self) -> Option<Slot> {
         self.last
     }
+
+    /// The logical arrival time [`ArrivalTracker::next`] would return at
+    /// slot `t`, without registering a message.
+    #[must_use]
+    pub fn peek_next(&self, t: Slot) -> Slot {
+        match self.last {
+            None => t,
+            Some(prev) => (prev + u64::from(self.i_min)).max(t),
+        }
+    }
 }
 
 /// A token-bucket conformance checker for the linear bounded arrival

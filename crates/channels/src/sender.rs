@@ -113,6 +113,16 @@ impl ChannelSender {
     pub fn last_logical_arrival(&self) -> Option<u64> {
         self.tracker.last()
     }
+
+    /// The logical arrival slot the next message would be stamped with if
+    /// generated while real time is at slot `t` — the §2 recurrence
+    /// `max(ℓ_prev + I_min, t)` — without mutating the tracker.
+    /// Event-driven traffic sources use this to predict their next
+    /// injection cycle.
+    #[must_use]
+    pub fn peek_next_arrival(&self, t: u64) -> u64 {
+        self.tracker.peek_next(t)
+    }
 }
 
 /// A sender gated by the host-side LBAP policer (§2): non-conforming

@@ -219,6 +219,35 @@ impl InputPort {
     pub fn pop_be(&mut self) -> RoutedByte {
         self.be_fifo.pop_front().expect("popping an empty flit buffer")
     }
+
+    /// Whether a time-constrained packet is mid-arrival on this port. While
+    /// true the port expects a continuation symbol every cycle, so the chip
+    /// can never be quiescent.
+    #[must_use]
+    pub fn tc_rx_active(&self) -> bool {
+        self.tc_rx.is_some()
+    }
+
+    /// The cycle at which the oldest packet in the arrival pipeline becomes
+    /// schedulable, if any.
+    #[must_use]
+    pub fn next_tc_ready(&self) -> Option<Cycle> {
+        self.tc_pending.front().map(|(ready_at, _)| *ready_at)
+    }
+
+    /// The cycle at which the head flit-buffer byte becomes forwardable, if
+    /// any. A held header byte (an x-offset waiting for its y-offset) is
+    /// frozen until the next link byte arrives, so it is not an event source.
+    #[must_use]
+    pub fn next_be_ready(&self) -> Option<Cycle> {
+        self.be_fifo.front().map(|b| b.ready_at)
+    }
+
+    /// The head byte of the flit buffer, regardless of readiness.
+    #[must_use]
+    pub fn be_head(&self) -> Option<&RoutedByte> {
+        self.be_fifo.front()
+    }
 }
 
 #[cfg(test)]

@@ -155,6 +155,16 @@ impl OutputPort {
     pub fn invalidate_selection(&mut self) {
         self.cached = None;
     }
+
+    /// Whether the pipeline last observed a candidate for this port. The
+    /// event-driven fast path must not skip cycles while this flag disagrees
+    /// with the scheduler's live backlog: the empty↔non-empty transition is
+    /// what charges (or resets) the pipeline-refill latency, and it is
+    /// recorded the first time the port recomputes after the change.
+    #[must_use]
+    pub fn had_candidate(&self) -> bool {
+        self.had_candidate
+    }
 }
 
 #[cfg(test)]

@@ -831,6 +831,90 @@ impl Chip for RealTimeRouter {
         }
         Some(g)
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Anything that makes progress every cycle forces a tick next cycle.
+        if self.tc_inject_remaining.is_some() || self.be_inject.is_some() {
+            return Some(now + 1);
+        }
+        if self.inputs.iter().any(InputPort::tc_rx_active) {
+            return Some(now + 1);
+        }
+        if self.outputs.iter().any(|out| out.tc_tx.is_some()) {
+            return Some(now + 1);
+        }
+
+        let mut earliest: Option<Cycle> = None;
+        let mut merge = |at: Cycle| {
+            let at = at.max(now + 1);
+            earliest = Some(earliest.map_or(at, |e: Cycle| e.min(at)));
+        };
+
+        for (idx, out) in self.outputs.iter().enumerate() {
+            // The empty↔non-empty transition of a port's candidate set is
+            // what charges (or resets) the comparator tree's pipeline-refill
+            // latency, and it is recorded the first time the port recomputes
+            // after the change — so the chip must keep ticking until every
+            // port has observed its current backlog state.
+            if out.had_candidate() != (self.sched.backlog_for(Port::from_index(idx)) > 0) {
+                return Some(now + 1);
+            }
+            if let Some(pending) = &out.pending_cut {
+                merge(pending.start_at);
+            }
+        }
+
+        for input in &self.inputs {
+            if let Some(ready) = input.next_tc_ready() {
+                merge(ready);
+            }
+            if let Some(head) = input.be_head() {
+                if head.ready_at > now {
+                    merge(head.ready_at);
+                } else if self.outputs[head.out.index()].has_credit() {
+                    // Ready and sendable: it goes out next cycle. A ready
+                    // byte with no downstream credit is frozen until an
+                    // external credit arrives, so it is not an event source.
+                    return Some(now + 1);
+                }
+            }
+        }
+
+        // Buffered time-constrained packets wake the chip when they become
+        // transmittable: on-time (or late) packets resolve through the EDF
+        // grant pipeline by stepping; early packets sleep until they enter a
+        // subscribed output's horizon window.
+        let t = self.scheduler_time(now);
+        let slot_bytes = self.config.slot_bytes as u64;
+        for (_, leaf) in self.sched.iter() {
+            if !self.clock.is_early(leaf.l, t) {
+                return Some(now + 1);
+            }
+            for port in rtr_types::ids::ports_in_mask(leaf.port_mask) {
+                let horizon = self.outputs[port.index()].horizon;
+                let delta =
+                    u64::from(self.clock.until(leaf.l, t)).saturating_sub(u64::from(horizon));
+                if delta == 0 {
+                    return Some(now + 1);
+                }
+                // The scheduler slot advances exactly when `now` crosses a
+                // multiple of `slot_bytes`, so the packet enters the horizon
+                // at the cycle beginning slot `now / slot_bytes + delta`.
+                merge((now / slot_bytes + delta) * slot_bytes);
+            }
+        }
+
+        earliest
+    }
+
+    fn skip_quiet(&mut self, from: Cycle, to: Cycle) {
+        // Every quiescent cycle ends with all five outputs taking an idle
+        // path in `drive_output`, so account the skipped span as idle time.
+        let skipped = to - from;
+        for idle in &mut self.stats.idle_cycles {
+            *idle += skipped;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -71,6 +71,21 @@ impl Link {
     pub fn in_flight(&self) -> usize {
         self.data.len()
     }
+
+    /// The cycle of the next delivery this link owes (front data symbol or
+    /// front credit batch, whichever is earlier); `None` when the wire is
+    /// empty in both directions. [`Link::recv`] insists on being called at
+    /// the exact arrival cycle, so the simulator's leaping mode must never
+    /// jump past this.
+    #[must_use]
+    pub fn next_event(&self) -> Option<Cycle> {
+        let data = self.data.front().map(|(t, _)| *t);
+        let credit = self.credits.front().map(|(t, _)| *t);
+        match (data, credit) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -150,6 +150,10 @@ pub struct Simulator<C: Chip> {
     /// node's input port `dir` (for credit returns).
     feeders: Vec<[Option<(NodeId, Direction)>; 4]>,
     usage: Vec<[LinkUsage; 4]>,
+    /// Running maximum of any single link's total symbol count; divided by
+    /// the elapsed cycles it yields [`Simulator::peak_link_utilization`]
+    /// without rescanning `usage`.
+    max_link_total: u64,
     sources: Vec<(NodeId, Box<dyn TrafficSource>)>,
     tap: Option<LinkTap>,
     /// Sample chip gauges every N cycles (None = sampling off).
@@ -157,6 +161,8 @@ pub struct Simulator<C: Chip> {
     gauge_samples: OccupancyHistory,
     /// Worker threads for [`Simulator::step_parallel`] (1 = serial).
     workers: usize,
+    /// Chip ticks actually executed (leaped cycles execute none).
+    ticks_executed: u64,
     now: Cycle,
 }
 
@@ -224,11 +230,13 @@ impl<C: Chip> Simulator<C> {
             links,
             feeders,
             usage: vec![[LinkUsage::default(); 4]; n],
+            max_link_total: 0,
             sources: Vec::new(),
             tap: None,
             gauge_every: None,
             gauge_samples: OccupancyHistory::default(),
             workers: 1,
+            ticks_executed: 0,
             now: 0,
             topo,
         })
@@ -339,10 +347,23 @@ impl<C: Chip> Simulator<C> {
         self.usage[node.index()][dir_index(dir)]
     }
 
-    /// The busiest link's utilisation so far (symbols per cycle).
+    /// The busiest link's utilisation so far (symbols per cycle). Served
+    /// from a running maximum maintained as symbols are collected — every
+    /// link divides by the same elapsed-cycle count, so the busiest link is
+    /// simply the one with the most symbols and report generation never
+    /// rescans the per-link counters.
     #[must_use]
     pub fn peak_link_utilization(&self) -> f64 {
-        self.usage.iter().flatten().map(|u| u.utilization(self.now.max(1))).fold(0.0, f64::max)
+        self.max_link_total as f64 / self.now.max(1) as f64
+    }
+
+    /// Chip ticks executed so far (the tick-loop work actually performed).
+    /// Plain stepping executes `nodes × cycles` ticks; the event-driven
+    /// [`Simulator::run_leaping`] executes none for leaped cycles, so this
+    /// counter is how tests pin the O(events) claim.
+    #[must_use]
+    pub fn ticks_executed(&self) -> u64 {
+        self.ticks_executed
     }
 
     /// Advances the network by one cycle.
@@ -352,6 +373,7 @@ impl<C: Chip> Simulator<C> {
         for (chip, io) in self.chips.iter_mut().zip(self.ios.iter_mut()) {
             chip.tick(now, io);
         }
+        self.ticks_executed += self.chips.len() as u64;
         self.phase_post(now);
     }
 
@@ -408,6 +430,8 @@ impl<C: Chip> Simulator<C> {
                     } else {
                         usage.be_symbols += 1;
                     }
+                    self.max_link_total =
+                        self.max_link_total.max(usage.tc_symbols + usage.be_symbols);
                     if let Some(tap) = &mut self.tap {
                         tap(now, NodeId(node as u16), dir, &symbol);
                     }
@@ -450,6 +474,104 @@ impl<C: Chip> Simulator<C> {
         for _ in 0..cycles {
             self.step();
         }
+    }
+
+    /// Runs for `cycles` cycles on the event-driven fast path: whenever a
+    /// cycle ends with every component provably quiescent, simulated time
+    /// leaps directly to the earliest next event instead of stepping
+    /// through the silent span one cycle at a time.
+    ///
+    /// The result is **bit-identical** to [`Simulator::run`] over the same
+    /// span — delivery logs, statistics, link-usage counters, gauge samples
+    /// (synthesized for leaped cycles), and trace timestamps all match —
+    /// because a leap is only taken when every chip, link, and traffic
+    /// source reports (via [`Chip::next_event`], [`Link::next_event`], and
+    /// [`TrafficSource::next_event`]) that nothing can change before the
+    /// target cycle. See the `leaping_equivalence` integration test.
+    ///
+    /// The payoff is on sparse loads: an idle span of any length costs
+    /// O(nodes) bookkeeping instead of O(nodes × cycles) chip ticks (see
+    /// [`Simulator::ticks_executed`]).
+    ///
+    /// [`TrafficSource::next_event`]: crate::source::TrafficSource::next_event
+    /// [`Link::next_event`]: crate::link::Link::next_event
+    pub fn run_leaping(&mut self, cycles: Cycle) {
+        let end = self.now + cycles;
+        while self.now < end {
+            self.step();
+            if self.now >= end {
+                break;
+            }
+            if let Some(target) = self.quiet_until(end) {
+                self.leap_to(target);
+            }
+        }
+    }
+
+    /// If the network is provably quiescent at `self.now` (the cycle just
+    /// stepped was `self.now - 1`), returns the earliest cycle at which
+    /// anything can happen, clamped to `end`. Returns `None` when some
+    /// component needs the very next cycle (or an event is already due),
+    /// i.e. no leap is possible.
+    fn quiet_until(&self, end: Cycle) -> Option<Cycle> {
+        // Packets queued for injection live in simulator-owned ChipIo
+        // queues the chips drain over time; any backlog keeps stepping.
+        if self.ios.iter().any(|io| !io.inject_tc.is_empty() || !io.inject_be.is_empty()) {
+            return None;
+        }
+        let last = self.now - 1;
+        let mut target = end;
+        let mut merge = |at: Cycle| {
+            if at <= last + 1 {
+                return false;
+            }
+            target = target.min(at);
+            true
+        };
+        for (_, source) in &self.sources {
+            if let Some(at) = source.next_event(last) {
+                if !merge(at) {
+                    return None;
+                }
+            }
+        }
+        for chip in &self.chips {
+            if let Some(at) = chip.next_event(last) {
+                if !merge(at) {
+                    return None;
+                }
+            }
+        }
+        for links in &self.links {
+            for link in links.iter().flatten() {
+                if let Some(at) = link.next_event() {
+                    if !merge(at) {
+                        return None;
+                    }
+                }
+            }
+        }
+        (target > self.now).then_some(target)
+    }
+
+    /// Jumps simulated time from `self.now` to `target`, performing the
+    /// bookkeeping the skipped cycles would have: synthesized gauge samples
+    /// (every gauge is constant while the network is quiescent) and the
+    /// chips' own skipped-span accounting via [`Chip::skip_quiet`].
+    fn leap_to(&mut self, target: Cycle) {
+        let from = self.now;
+        debug_assert!(target > from, "leap must move forward");
+        if let Some(every) = self.gauge_every {
+            let mut at = from.next_multiple_of(every);
+            while at < target {
+                self.gauge_samples.record(at, &self.chips);
+                at += every;
+            }
+        }
+        for chip in &mut self.chips {
+            chip.skip_quiet(from, target);
+        }
+        self.now = target;
     }
 
     /// Runs until `predicate` returns true (checked after each cycle) or
@@ -503,11 +625,19 @@ impl<C: Chip + Send> Simulator<C> {
                 }
             }
         });
+        self.ticks_executed += self.chips.len() as u64;
         self.phase_post(now);
     }
 
-    /// Runs for `cycles` cycles using [`Simulator::step_parallel`].
+    /// Runs for `cycles` cycles using [`Simulator::step_parallel`]. The
+    /// serial-dispatch decision is hoisted out of the loop: with one worker
+    /// (or one chip) this is exactly [`Simulator::run`], with no per-cycle
+    /// branch or thread-scope overhead.
     pub fn run_parallel(&mut self, cycles: Cycle) {
+        if self.workers <= 1 || self.chips.len() <= 1 {
+            self.run(cycles);
+            return;
+        }
         for _ in 0..cycles {
             self.step_parallel();
         }
@@ -741,6 +871,50 @@ mod tests {
         serial.run(500);
         parallel.run_parallel(500);
         assert_eq!(serial.log(dst).be, parallel.log(dst).be);
+    }
+
+    #[test]
+    fn leaping_over_an_idle_mesh_costs_o_events_ticks() {
+        // A fully idle network simulated for a million cycles must leap the
+        // whole span: the clock reaches the end, but only O(events) chip
+        // ticks actually execute (here: the single warm-up step per leap
+        // attempt, not nodes × cycles).
+        let mut sim = two_node_sim();
+        sim.run_leaping(1_000_000);
+        assert_eq!(sim.now(), 1_000_000);
+        assert!(
+            sim.ticks_executed() <= 8,
+            "idle mesh ticked {} times, expected O(events)",
+            sim.ticks_executed()
+        );
+        // A stepped control pays the full bill.
+        let mut stepped = two_node_sim();
+        stepped.run(1_000);
+        assert_eq!(stepped.ticks_executed(), 2 * 1_000);
+    }
+
+    #[test]
+    fn leaping_matches_stepping_on_a_one_hop_transfer() {
+        let mut stepped = two_node_sim();
+        let mut leaping = two_node_sim();
+        let dst = stepped.topology().node_at(1, 0);
+        for sim in [&mut stepped, &mut leaping] {
+            sim.enable_gauge_sampling(25);
+            sim.inject_be(NodeId(0), BePacket::new(1, 0, vec![0x5A; 40], PacketTrace::default()));
+        }
+        stepped.run(2000);
+        leaping.run_leaping(2000);
+        assert_eq!(stepped.now(), leaping.now());
+        assert_eq!(stepped.log(dst).be, leaping.log(dst).be);
+        assert_eq!(stepped.gauge_samples().cycles(), leaping.gauge_samples().cycles());
+        assert!(
+            leaping.ticks_executed() < stepped.ticks_executed(),
+            "the quiet tail after delivery must be leaped"
+        );
+        assert_eq!(
+            format!("{:?}", stepped.chip(dst).stats()),
+            format!("{:?}", leaping.chip(dst).stats())
+        );
     }
 
     #[test]

@@ -14,6 +14,18 @@ pub trait TrafficSource {
     /// Runs before the node's chip ticks at `now`; may inspect the queues
     /// and push injections.
     fn pre_cycle(&mut self, now: Cycle, node: NodeId, io: &mut ChipIo);
+
+    /// The earliest cycle strictly after `now` at which this source may
+    /// inject (or otherwise change state), assuming it last ran at `now`.
+    /// `None` means the source is exhausted and will never inject again.
+    ///
+    /// The simulator's leaping mode skips cycles only when every source's
+    /// next event is in the future; sources that consult a random-number
+    /// generator every cycle must keep the conservative default
+    /// `Some(now + 1)` so their random stream is drawn cycle by cycle.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now + 1)
+    }
 }
 
 /// Wraps a closure as a traffic source.

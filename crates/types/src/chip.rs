@@ -111,6 +111,30 @@ pub trait Chip {
     fn gauges(&self) -> Option<ChipGauges> {
         None
     }
+
+    /// The earliest cycle strictly after `now` at which this chip must be
+    /// ticked again, assuming it last ticked at `now` and receives **no**
+    /// further link arrivals, credits, or injections. `None` means the chip
+    /// is fully drained and never needs another tick on its own.
+    ///
+    /// This is the event-driven fast path's contract: the simulator may skip
+    /// every cycle in `(now, next_event)` without ticking the chip, provided
+    /// all external inputs are also quiet, and the chip's observable state
+    /// (counters patched via [`Chip::skip_quiet`] aside) must be identical
+    /// to having ticked through them. Conservative answers are always safe —
+    /// the default `Some(now + 1)` simply disables leaping for this chip.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now + 1)
+    }
+
+    /// Informs the chip that the cycles `from..to` were provably quiet and
+    /// were skipped rather than ticked. Implementations that keep per-cycle
+    /// counters (e.g. idle-cycle statistics) account the skipped span here
+    /// so leaped runs report identical statistics to stepped runs. The
+    /// default does nothing.
+    fn skip_quiet(&mut self, from: Cycle, to: Cycle) {
+        let _ = (from, to);
+    }
 }
 
 #[cfg(test)]

@@ -176,6 +176,14 @@ impl TrafficSource for RandomBeSource {
         io.inject_be.push_back(BePacket::new(x, y, payload, trace));
         self.sequence += 1;
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // A Bernoulli source draws its RNG every cycle, so skipping cycles
+        // would desynchronise the random stream — unless the rate is zero,
+        // in which case every draw rejects and the skipped draws are
+        // unobservable.
+        (self.rate > 0.0).then_some(now + 1)
+    }
 }
 
 #[cfg(test)]

@@ -111,6 +111,12 @@ impl TrafficSource for ReplaySource {
             self.next += 1;
         }
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // The schedule is known exactly: the next unplayed event's cycle,
+        // or nothing once the trace is exhausted.
+        self.trace.events.get(self.next).map(|event| event.cycle().max(now + 1))
+    }
 }
 
 #[cfg(test)]

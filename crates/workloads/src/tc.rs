@@ -5,7 +5,7 @@ use rtr_mesh::source::TrafficSource;
 use rtr_types::chip::ChipIo;
 use rtr_types::ids::NodeId;
 use rtr_types::packet::Payload;
-use rtr_types::time::{cycle_to_slot, Cycle};
+use rtr_types::time::{cycle_to_slot, slot_to_cycle, Cycle};
 
 /// A connection with a *continual backlog* of traffic — the regime of the
 /// paper's Figure 7 ("each connection has a continual backlog of traffic").
@@ -75,6 +75,15 @@ impl TrafficSource for BackloggedTcSource {
             }
             self.injected += 1;
         }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // The next message fires when real time reaches slot
+        // `next ℓ0 − lead`; until then the source is silent.
+        let t = cycle_to_slot(now, self.slot_bytes);
+        let lead = u64::from(self.lead_messages) * u64::from(self.i_min);
+        let fire_slot = self.sender.peek_next_arrival(t).saturating_sub(lead);
+        Some(slot_to_cycle(fire_slot, self.slot_bytes).max(now + 1))
     }
 }
 
@@ -147,6 +156,14 @@ impl TrafficSource for PeriodicTcSource {
             self.sent += 1;
         }
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.limit.is_some_and(|l| self.sent >= l) {
+            return None;
+        }
+        let due = self.phase_slots + self.sent * self.period_slots;
+        Some(next_slot_fire(due, now, self.slot_bytes))
+    }
 }
 
 /// A bursty (but contract-conforming) sender: every `burst_period_slots` it
@@ -205,6 +222,23 @@ impl TrafficSource for BurstyTcSource {
             }
             self.bursts += 1;
         }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let due = self.bursts * self.burst_period_slots;
+        Some(next_slot_fire(due, now, self.slot_bytes))
+    }
+}
+
+/// First cycle strictly after `now` at which a slot-aligned source whose
+/// next message is due in slot `due` will fire: the start of slot `due`, or
+/// the next slot boundary if that is already past.
+fn next_slot_fire(due: u64, now: Cycle, slot_bytes: usize) -> Cycle {
+    let due_cycle = slot_to_cycle(due, slot_bytes);
+    if due_cycle > now {
+        due_cycle
+    } else {
+        (now / slot_bytes as u64 + 1) * slot_bytes as u64
     }
 }
 
