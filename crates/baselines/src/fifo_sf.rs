@@ -9,7 +9,9 @@
 use std::collections::VecDeque;
 
 use rtr_core::conn_table::{ConnEntry, ConnectionTable, TableError};
-use rtr_types::chip::{Chip, ChipIo};
+use std::cell::Cell;
+
+use rtr_types::chip::{Chip, ChipIo, WakeStats};
 use rtr_types::clock::SlotClock;
 use rtr_types::config::RouterConfig;
 use rtr_types::error::ConfigError;
@@ -72,6 +74,9 @@ pub struct FifoSfRouter {
     tc_inject_remaining: Option<usize>,
     be_inject: Option<(Vec<u8>, usize, PacketTrace)>,
     stats: FifoSfStats,
+    /// `next_event` poll counters (`Cell`: polling takes `&self`).
+    wake_polls: Cell<u64>,
+    wake_short: Cell<u64>,
 }
 
 impl FifoSfRouter {
@@ -99,6 +104,8 @@ impl FifoSfRouter {
             tc_inject_remaining: None,
             be_inject: None,
             stats: FifoSfStats::default(),
+            wake_polls: Cell::new(0),
+            wake_short: Cell::new(0),
             config,
         })
     }
@@ -323,6 +330,7 @@ impl Chip for FifoSfRouter {
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.wake_polls.set(self.wake_polls.get() + 1);
         // In-progress injections, receptions, transmissions, and queued
         // packets all make (or may make) progress every cycle. Partial
         // best-effort reassembly waits on the next link byte, so it is not
@@ -333,10 +341,23 @@ impl Chip for FifoSfRouter {
             || self.tx.iter().any(Option::is_some)
             || self.queues.iter().any(|q| !q.is_empty());
         if active {
+            self.wake_short.set(self.wake_short.get() + 1);
             return Some(now + 1);
         }
         // Only the hop-latency pipeline remains: its FIFO head gates.
-        self.pending.front().map(|(ready, _)| (*ready).max(now + 1))
+        let wake = self.pending.front().map(|(ready, _)| (*ready).max(now + 1));
+        if wake == Some(now + 1) {
+            self.wake_short.set(self.wake_short.get() + 1);
+        }
+        wake
+    }
+
+    fn wake_stats(&self) -> Option<WakeStats> {
+        Some(WakeStats {
+            polls: self.wake_polls.get(),
+            short_polls: self.wake_short.get(),
+            ..Default::default()
+        })
     }
 }
 

@@ -14,7 +14,9 @@ use std::collections::VecDeque;
 use rtr_core::conn_table::{ConnEntry, ConnectionTable, TableError};
 use rtr_core::memory::{PacketMemory, SlotAddr};
 use rtr_core::ports::input::InputPort;
-use rtr_types::chip::{Chip, ChipIo};
+use std::cell::Cell;
+
+use rtr_types::chip::{Chip, ChipIo, WakeStats};
 use rtr_types::clock::SlotClock;
 use rtr_types::config::RouterConfig;
 use rtr_types::error::ConfigError;
@@ -65,6 +67,9 @@ pub struct PriorityVcRouter {
     rx_buf: Vec<u8>,
     rx_trace: Option<PacketTrace>,
     stats: PriorityVcStats,
+    /// `next_event` poll counters (`Cell`: polling takes `&self`).
+    wake_polls: Cell<u64>,
+    wake_short: Cell<u64>,
 }
 
 impl PriorityVcRouter {
@@ -101,6 +106,8 @@ impl PriorityVcRouter {
             rx_buf: Vec::new(),
             rx_trace: None,
             stats: PriorityVcStats::default(),
+            wake_polls: Cell::new(0),
+            wake_short: Cell::new(0),
             config,
         })
     }
@@ -306,12 +313,14 @@ impl Chip for PriorityVcRouter {
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.wake_polls.set(self.wake_polls.get() + 1);
         let active = self.tc_inject_remaining.is_some()
             || self.be_inject.is_some()
             || self.inputs.iter().any(InputPort::tc_rx_active)
             || self.outputs.iter().any(|out| out.tc_tx.is_some())
             || self.queues.iter().any(|q| !q.is_empty());
         if active {
+            self.wake_short.set(self.wake_short.get() + 1);
             return Some(now + 1);
         }
         let mut earliest: Option<Cycle> = None;
@@ -330,11 +339,23 @@ impl Chip for PriorityVcRouter {
                 } else if out.infinite_credit || out.credits > 0 {
                     // Ready and sendable next cycle; a credit-starved byte
                     // stays frozen until an external credit arrives.
+                    self.wake_short.set(self.wake_short.get() + 1);
                     return Some(now + 1);
                 }
             }
         }
+        if earliest == Some(now + 1) {
+            self.wake_short.set(self.wake_short.get() + 1);
+        }
         earliest
+    }
+
+    fn wake_stats(&self) -> Option<WakeStats> {
+        Some(WakeStats {
+            polls: self.wake_polls.get(),
+            short_polls: self.wake_short.get(),
+            ..Default::default()
+        })
     }
 }
 

@@ -7,7 +7,9 @@
 //! exactly what the baseline-comparison experiments measure.
 
 use rtr_core::ports::input::InputPort;
-use rtr_types::chip::{Chip, ChipIo};
+use std::cell::Cell;
+
+use rtr_types::chip::{Chip, ChipIo, WakeStats};
 use rtr_types::config::RouterConfig;
 use rtr_types::error::ConfigError;
 use rtr_types::flit::{BeByte, LinkSymbol};
@@ -47,6 +49,9 @@ pub struct WormholeRouter {
     rx_buf: Vec<u8>,
     rx_trace: Option<PacketTrace>,
     stats: WormholeStats,
+    /// `next_event` poll counters (`Cell`: polling takes `&self`).
+    wake_polls: Cell<u64>,
+    wake_short: Cell<u64>,
 }
 
 impl WormholeRouter {
@@ -74,6 +79,8 @@ impl WormholeRouter {
             rx_buf: Vec::new(),
             rx_trace: None,
             stats: WormholeStats::default(),
+            wake_polls: Cell::new(0),
+            wake_short: Cell::new(0),
             config,
         })
     }
@@ -194,7 +201,9 @@ impl Chip for WormholeRouter {
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.wake_polls.set(self.wake_polls.get() + 1);
         if self.be_inject.is_some() {
+            self.wake_short.set(self.wake_short.get() + 1);
             return Some(now + 1);
         }
         let mut earliest: Option<Cycle> = None;
@@ -207,11 +216,23 @@ impl Chip for WormholeRouter {
                 } else if out.infinite_credit || out.credits > 0 {
                     // Ready and sendable next cycle; a credit-starved byte
                     // stays frozen until an external credit arrives.
+                    self.wake_short.set(self.wake_short.get() + 1);
                     return Some(now + 1);
                 }
             }
         }
+        if earliest == Some(now + 1) {
+            self.wake_short.set(self.wake_short.get() + 1);
+        }
         earliest
+    }
+
+    fn wake_stats(&self) -> Option<WakeStats> {
+        Some(WakeStats {
+            polls: self.wake_polls.get(),
+            short_polls: self.wake_short.get(),
+            ..Default::default()
+        })
     }
 }
 

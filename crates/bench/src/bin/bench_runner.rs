@@ -1,10 +1,12 @@
 //! `rtr-bench` runner: the recorded wall-clock benchmark suite.
 //!
-//! Runs the three performance-critical scenarios — single-router cycle
-//! throughput, scheduler selection cost across occupancies, and full-mesh
-//! stepping (serial and parallel) — with fixed seeds and hand-rolled
-//! timing, then writes the results as JSON so a run can be committed next
-//! to the code it measured (`BENCH_1.json`).
+//! Runs the performance-critical scenarios — single-router cycle
+//! throughput, scheduler selection cost across occupancies, full-mesh
+//! stepping (serial and parallel), and the sparse leaping suite (8×8 and
+//! 32×32, event-queue vs quiescence-scan) — with fixed seeds and
+//! hand-rolled timing, then writes the results as JSON so a run can be
+//! committed next to the code it measured (`BENCH_3.json`; earlier
+//! revisions live in `BENCH_1.json` and `BENCH_2.json`).
 //!
 //! Usage:
 //!
@@ -23,7 +25,7 @@ use rtr_core::memory::SlotAddr;
 use rtr_core::sched::leaf::Leaf;
 use rtr_core::sched::tree::ComparatorTree;
 use rtr_core::RealTimeRouter;
-use rtr_mesh::{Simulator, Topology};
+use rtr_mesh::{Quiescence, Simulator, Topology};
 use rtr_types::chip::{Chip, ChipIo};
 use rtr_types::clock::SlotClock;
 use rtr_types::config::RouterConfig;
@@ -216,20 +218,45 @@ fn run_mesh(name: &str, workers: usize, cycles: u64, iters: usize) -> BenchResul
     }
 }
 
-/// The sparse mesh (four long-period one-hop TC channels, ≲1% injection —
-/// see [`rtr_bench::leaping::periodic_mesh`]) driven either by plain
-/// stepping or the event-driven leaping fast path — the stepped/leaping
-/// pair is the headline speedup comparison.
-fn run_sparse_mesh(name: &str, leaping: bool, cycles: u64, iters: usize) -> BenchResult {
-    let nodes = 64u64;
+/// How a sparse-mesh scenario advances simulated time.
+#[derive(Clone, Copy)]
+enum Drive {
+    /// Plain cycle stepping.
+    Stepped,
+    /// Leaping with the calendar-queue event core (the default).
+    LeapQueue,
+    /// Leaping with the original O(components) quiescence scan — kept so
+    /// the pop-vs-scan cost difference stays measured.
+    LeapScan,
+}
+
+/// A sparse mesh (four long-period one-hop TC channels — see
+/// [`rtr_bench::leaping::periodic_mesh_sized`]) driven by one of the
+/// [`Drive`] modes; the stepped/leaping pairs are the headline speedup
+/// comparisons, and the queue/scan pair is the event-core cost comparison.
+fn run_sparse_mesh(
+    name: &str,
+    width: u16,
+    height: u16,
+    period_slots: u64,
+    drive: Drive,
+    cycles: u64,
+    iters: usize,
+) -> BenchResult {
+    let nodes = u64::from(width) * u64::from(height);
     let (min_s, mean_s) = time_runs(
         iters,
-        || rtr_bench::leaping::periodic_mesh(64),
+        || {
+            let mut sim = rtr_bench::leaping::periodic_mesh_sized(width, height, period_slots);
+            if let Drive::LeapScan = drive {
+                sim.set_quiescence(Quiescence::Scan);
+            }
+            sim
+        },
         |mut sim| {
-            if leaping {
-                sim.run_leaping(cycles);
-            } else {
-                sim.run(cycles);
+            match drive {
+                Drive::Stepped => sim.run(cycles),
+                Drive::LeapQueue | Drive::LeapScan => sim.run_leaping(cycles),
             }
             sim.ticks_executed()
         },
@@ -241,6 +268,28 @@ fn run_sparse_mesh(name: &str, leaping: bool, cycles: u64, iters: usize) -> Benc
         mean_s,
         metric: (nodes * cycles) as f64 / min_s,
         unit: "node-cycles/s",
+    }
+}
+
+/// Construction cost of the 32×32 sparse mesh — topology wiring, 1024
+/// router chips, link/feeder tables, and source hookup. Kept measured so
+/// big-mesh setup stays cheap enough to amortise over a sweep.
+fn run_mesh_build(iters: usize) -> BenchResult {
+    let (min_s, mean_s) = time_runs(
+        iters,
+        || (),
+        |()| {
+            let sim = rtr_bench::leaping::periodic_mesh_sized(32, 32, 1024);
+            sim.topology().len() as u64
+        },
+    );
+    BenchResult {
+        name: "mesh_32x32_build".to_string(),
+        iters,
+        min_s,
+        mean_s,
+        metric: min_s * 1e3,
+        unit: "ms/build",
     }
 }
 
@@ -292,7 +341,7 @@ fn render_json(results: &[BenchResult], smoke: bool) -> String {
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_1.json");
+    let mut out_path = String::from("BENCH_3.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -330,11 +379,74 @@ fn main() {
     results.push(run_mesh("mesh_8x8_parallel4", 4, mesh_cycles, mesh_iters));
     let (leap_cycles, idle_cycles) = if smoke { (2_000, 20_000) } else { (100_000, 1_000_000) };
     eprintln!("8x8 sparse mesh ({leap_cycles} cycles), stepped...");
-    results.push(run_sparse_mesh("mesh_8x8_sparse_stepped", false, leap_cycles, mesh_iters));
-    eprintln!("8x8 sparse mesh ({leap_cycles} cycles), leaping...");
-    results.push(run_sparse_mesh("mesh_8x8_sparse_leaping", true, leap_cycles, mesh_iters));
+    results.push(run_sparse_mesh(
+        "mesh_8x8_sparse_stepped",
+        8,
+        8,
+        64,
+        Drive::Stepped,
+        leap_cycles,
+        mesh_iters,
+    ));
+    eprintln!("8x8 sparse mesh ({leap_cycles} cycles), leaping (event queue)...");
+    results.push(run_sparse_mesh(
+        "mesh_8x8_sparse_leaping",
+        8,
+        8,
+        64,
+        Drive::LeapQueue,
+        leap_cycles,
+        mesh_iters,
+    ));
+    eprintln!("8x8 sparse mesh ({leap_cycles} cycles), leaping (quiescence scan)...");
+    results.push(run_sparse_mesh(
+        "mesh_8x8_sparse_leaping_scan",
+        8,
+        8,
+        64,
+        Drive::LeapScan,
+        leap_cycles,
+        mesh_iters,
+    ));
     eprintln!("8x8 idle mesh ({idle_cycles} cycles), leaping...");
     results.push(run_idle_leap(idle_cycles, mesh_iters));
+    eprintln!("32x32 sparse mesh construction...");
+    results.push(run_mesh_build(mesh_iters));
+    // 0.1% injection: period-1024 channels on the 1024-node mesh. The
+    // stepped reference covers fewer cycles (1024 nodes make stepping
+    // ~16× the 8×8 cost) — rates are per node-cycle, so they compare.
+    let (sparse32_cycles, sparse32_stepped_cycles, sparse32_iters) =
+        if smoke { (2_000, 500, 2) } else { (100_000, 25_000, 3.min(mesh_iters)) };
+    eprintln!("32x32 sparse mesh ({sparse32_stepped_cycles} cycles), stepped...");
+    results.push(run_sparse_mesh(
+        "mesh_32x32_sparse_stepped",
+        32,
+        32,
+        1024,
+        Drive::Stepped,
+        sparse32_stepped_cycles,
+        sparse32_iters,
+    ));
+    eprintln!("32x32 sparse mesh ({sparse32_cycles} cycles), leaping (event queue)...");
+    results.push(run_sparse_mesh(
+        "mesh_32x32_sparse_leaping",
+        32,
+        32,
+        1024,
+        Drive::LeapQueue,
+        sparse32_cycles,
+        sparse32_iters,
+    ));
+    eprintln!("32x32 sparse mesh ({sparse32_cycles} cycles), leaping (quiescence scan)...");
+    results.push(run_sparse_mesh(
+        "mesh_32x32_sparse_leaping_scan",
+        32,
+        32,
+        1024,
+        Drive::LeapScan,
+        sparse32_cycles,
+        sparse32_iters,
+    ));
 
     let json = render_json(&results, smoke);
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

@@ -32,12 +32,21 @@ fn main() {
 
     println!("event-driven leaping sweep: 8x8 mesh, {cycles} cycles, best of {iters}");
     println!(
-        "{:>12} {:>10} {:>12} {:>12} {:>9} {:>14} {:>14}",
-        "period", "~inject", "stepped", "leaping", "speedup", "stepped-ticks", "leaping-ticks"
+        "{:>12} {:>10} {:>12} {:>12} {:>9} {:>14} {:>14} {:>10} {:>11} {:>12}",
+        "period",
+        "~inject",
+        "stepped",
+        "leaping",
+        "speedup",
+        "stepped-ticks",
+        "leaping-ticks",
+        "short-poll",
+        "guard-only",
+        "guard-cycles"
     );
     for point in rtr_bench::leaping::run(cycles, iters) {
         println!(
-            "{:>10}sl {:>9.1}% {:>11.4}s {:>11.4}s {:>8.1}x {:>14} {:>14}",
+            "{:>10}sl {:>9.1}% {:>11.4}s {:>11.4}s {:>8.1}x {:>14} {:>14} {:>9.1}% {:>11} {:>12}",
             point.period_slots,
             100.0 / point.period_slots as f64,
             point.stepped_s,
@@ -45,6 +54,9 @@ fn main() {
             point.speedup(),
             point.stepped_ticks,
             point.leaping_ticks,
+            100.0 * point.short_poll_rate(),
+            point.wake.sync_guard_only,
+            point.wake.sync_guard_foregone,
         );
     }
 }

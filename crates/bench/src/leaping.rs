@@ -5,9 +5,10 @@
 //! period sets the offered load (a period of `p` slots puts roughly `1/p`
 //! of each source link's cycles under traffic), then runs the identical
 //! workload through [`Simulator::run`] and [`Simulator::run_leaping`] and
-//! reports the wall-clock ratio. The results back the "Event-driven
-//! leaping" section of `EXPERIMENTS.md`; `bench_runner` records the
-//! sparse point in `BENCH_2.json`.
+//! reports the wall-clock ratio, alongside the wake-precision counters of
+//! the leaping run. The results back the "Event-driven leaping" and
+//! "Event core" sections of `EXPERIMENTS.md`; `bench_runner` records the
+//! sparse points (8×8 and 32×32) in `BENCH_3.json`.
 
 use std::time::Instant;
 
@@ -17,6 +18,7 @@ use rtr_channels::spec::{ChannelRequest, TrafficSpec};
 use rtr_core::control::ControlCommand;
 use rtr_core::RealTimeRouter;
 use rtr_mesh::{Simulator, Topology};
+use rtr_types::chip::WakeStats;
 use rtr_types::config::RouterConfig;
 use rtr_types::ids::{ConnectionId, Direction, Port};
 use rtr_workloads::tc::PeriodicTcSource;
@@ -37,6 +39,10 @@ pub struct LeapingPoint {
     pub stepped_ticks: u64,
     /// Chip ticks executed by the leaping run.
     pub leaping_ticks: u64,
+    /// Aggregated `next_event` wake-precision counters from the leaping
+    /// run — the measure of how much leapable time the chips' conservative
+    /// wake predictions forego (ROADMAP's "shave the conservatism" item).
+    pub wake: WakeStats,
 }
 
 impl LeapingPoint {
@@ -45,16 +51,45 @@ impl LeapingPoint {
     pub fn speedup(&self) -> f64 {
         self.stepped_s / self.leaping_s
     }
+
+    /// Fraction of wake polls that answered "next cycle" (`now + 1`) —
+    /// each one pins the simulator to plain stepping for a cycle.
+    #[must_use]
+    pub fn short_poll_rate(&self) -> f64 {
+        if self.wake.polls == 0 {
+            return 0.0;
+        }
+        self.wake.short_polls as f64 / self.wake.polls as f64
+    }
 }
 
 /// Builds the sweep's mesh: four one-hop channels with the given period.
 #[must_use]
 pub fn periodic_mesh(period_slots: u64) -> Simulator<RealTimeRouter> {
+    periodic_mesh_sized(8, 8, period_slots)
+}
+
+/// Builds a `width × height` sweep mesh with four one-hop periodic TC
+/// channels on rows spread across the height (rows 0, h/4, 5h/8, and h−1 —
+/// for an 8-row mesh exactly the historical rows 0, 2, 5, 7, so `BENCH_2`
+/// numbers stay comparable).
+///
+/// # Panics
+///
+/// Panics if the mesh is narrower than 2 columns or shorter than 4 rows.
+#[must_use]
+pub fn periodic_mesh_sized(
+    width: u16,
+    height: u16,
+    period_slots: u64,
+) -> Simulator<RealTimeRouter> {
     const DELAY: u32 = 6;
+    assert!(width >= 2 && height >= 4, "sweep mesh needs at least 2 columns and 4 rows");
     let config = RouterConfig::default();
-    let topo = Topology::mesh(8, 8);
+    let topo = Topology::mesh(width, height);
     let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
-    for (i, y) in [0u16, 2, 5, 7].into_iter().enumerate() {
+    let rows = [0, height / 4, height * 5 / 8, height - 1];
+    for (i, y) in rows.into_iter().enumerate() {
         let conn = ConnectionId(10 + i as u16);
         let src = topo.node_at(0, y);
         let dst = topo.node_at(1, y);
@@ -134,6 +169,7 @@ pub fn measure(period_slots: u64, cycles: u64, iters: usize) -> LeapingPoint {
     let mut leaping_ticks = 0;
     let mut stepped_delivered = 0;
     let mut leaping_delivered = 0;
+    let mut wake = WakeStats::default();
     for _ in 0..iters {
         let mut sim = periodic_mesh(period_slots);
         let start = Instant::now();
@@ -148,12 +184,13 @@ pub fn measure(period_slots: u64, cycles: u64, iters: usize) -> LeapingPoint {
         leaping_s = leaping_s.min(start.elapsed().as_secs_f64());
         leaping_ticks = sim.ticks_executed();
         leaping_delivered = sim.topology().nodes().map(|n| sim.log(n).tc.len()).sum();
+        wake = sim.wake_precision().unwrap_or_default();
     }
     assert_eq!(
         stepped_delivered, leaping_delivered,
         "stepped and leaping runs must deliver identically"
     );
-    LeapingPoint { period_slots, cycles, stepped_s, leaping_s, stepped_ticks, leaping_ticks }
+    LeapingPoint { period_slots, cycles, stepped_s, leaping_s, stepped_ticks, leaping_ticks, wake }
 }
 
 /// Runs the default sweep: ~1%, ~10%, and ~50% injection.

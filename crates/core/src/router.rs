@@ -17,7 +17,9 @@
 //! best-effort byte goes; otherwise an early selection within the horizon
 //! goes; otherwise the link idles.
 
-use rtr_types::chip::{Chip, ChipIo};
+use std::cell::Cell;
+
+use rtr_types::chip::{Chip, ChipIo, WakeStats};
 use rtr_types::clock::{LogicalTime, SlotClock};
 use rtr_types::config::RouterConfig;
 use rtr_types::error::ConfigError;
@@ -58,6 +60,27 @@ macro_rules! trace_event {
     ($self:ident, $now:expr, $event:expr) => {};
 }
 
+/// Interior-mutable wake-precision counters (see [`WakeStats`]): the
+/// accounting happens inside [`Chip::next_event`], which takes `&self`.
+#[derive(Debug, Default)]
+struct WakeTelemetry {
+    polls: Cell<u64>,
+    short_polls: Cell<u64>,
+    sync_guard_only: Cell<u64>,
+    sync_guard_foregone: Cell<u64>,
+}
+
+impl WakeTelemetry {
+    fn snapshot(&self) -> WakeStats {
+        WakeStats {
+            polls: self.polls.get(),
+            short_polls: self.short_polls.get(),
+            sync_guard_only: self.sync_guard_only.get(),
+            sync_guard_foregone: self.sync_guard_foregone.get(),
+        }
+    }
+}
+
 /// The single-chip real-time router.
 #[derive(Debug)]
 pub struct RealTimeRouter {
@@ -85,6 +108,11 @@ pub struct RealTimeRouter {
     rx_be_buf: Vec<u8>,
     rx_be_trace: Option<PacketTrace>,
     stats: RouterStats,
+    /// Wake-precision telemetry for [`Chip::next_event`] answers. `Cell`s
+    /// because polling takes `&self`; kept out of [`RouterStats`] so the
+    /// stepped-vs-leaping statistics comparisons (which poll at different
+    /// rates) stay byte-identical.
+    wake: WakeTelemetry,
     /// Event sink for cycle-accurate tracing (None = tracing off).
     #[cfg(feature = "trace")]
     trace_sink: Option<SharedTraceSink>,
@@ -128,6 +156,7 @@ impl RealTimeRouter {
             rx_be_buf: Vec::new(),
             rx_be_trace: None,
             stats: RouterStats::default(),
+            wake: WakeTelemetry::default(),
             #[cfg(feature = "trace")]
             trace_sink: None,
             #[cfg(feature = "trace")]
@@ -833,15 +862,21 @@ impl Chip for RealTimeRouter {
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.wake.polls.set(self.wake.polls.get() + 1);
+        let short = || {
+            self.wake.short_polls.set(self.wake.short_polls.get() + 1);
+            Some(now + 1)
+        };
+
         // Anything that makes progress every cycle forces a tick next cycle.
         if self.tc_inject_remaining.is_some() || self.be_inject.is_some() {
-            return Some(now + 1);
+            return short();
         }
         if self.inputs.iter().any(InputPort::tc_rx_active) {
-            return Some(now + 1);
+            return short();
         }
         if self.outputs.iter().any(|out| out.tc_tx.is_some()) {
-            return Some(now + 1);
+            return short();
         }
 
         let mut earliest: Option<Cycle> = None;
@@ -850,14 +885,18 @@ impl Chip for RealTimeRouter {
             earliest = Some(earliest.map_or(at, |e: Cycle| e.min(at)));
         };
 
+        // The empty↔non-empty transition of a port's candidate set is what
+        // charges (or resets) the comparator tree's pipeline-refill latency,
+        // and it is recorded the first time the port recomputes after the
+        // change — so the chip must keep ticking until every port has
+        // observed its current backlog state. Unlike the short answers
+        // above, this guard is pure bookkeeping conservatism, so instead of
+        // bailing out here the poll keeps computing the wake it *would*
+        // have reported and charges the difference to the telemetry.
+        let mut sync_guard = false;
         for (idx, out) in self.outputs.iter().enumerate() {
-            // The empty↔non-empty transition of a port's candidate set is
-            // what charges (or resets) the comparator tree's pipeline-refill
-            // latency, and it is recorded the first time the port recomputes
-            // after the change — so the chip must keep ticking until every
-            // port has observed its current backlog state.
             if out.had_candidate() != (self.sched.backlog_for(Port::from_index(idx)) > 0) {
-                return Some(now + 1);
+                sync_guard = true;
             }
             if let Some(pending) = &out.pending_cut {
                 merge(pending.start_at);
@@ -875,7 +914,7 @@ impl Chip for RealTimeRouter {
                     // Ready and sendable: it goes out next cycle. A ready
                     // byte with no downstream credit is frozen until an
                     // external credit arrives, so it is not an event source.
-                    return Some(now + 1);
+                    return short();
                 }
             }
         }
@@ -888,14 +927,14 @@ impl Chip for RealTimeRouter {
         let slot_bytes = self.config.slot_bytes as u64;
         for (_, leaf) in self.sched.iter() {
             if !self.clock.is_early(leaf.l, t) {
-                return Some(now + 1);
+                return short();
             }
             for port in rtr_types::ids::ports_in_mask(leaf.port_mask) {
                 let horizon = self.outputs[port.index()].horizon;
                 let delta =
                     u64::from(self.clock.until(leaf.l, t)).saturating_sub(u64::from(horizon));
                 if delta == 0 {
-                    return Some(now + 1);
+                    return short();
                 }
                 // The scheduler slot advances exactly when `now` crosses a
                 // multiple of `slot_bytes`, so the packet enters the horizon
@@ -904,6 +943,18 @@ impl Chip for RealTimeRouter {
             }
         }
 
+        if sync_guard {
+            // The guard was the only blocker: every other wake source
+            // allowed `earliest` (or silence). Record the foregone leap.
+            self.wake.sync_guard_only.set(self.wake.sync_guard_only.get() + 1);
+            let foregone = earliest.map_or(0, |e| e - (now + 1));
+            self.wake.sync_guard_foregone.set(self.wake.sync_guard_foregone.get() + foregone);
+            return short();
+        }
+
+        if earliest == Some(now + 1) {
+            return short();
+        }
         earliest
     }
 
@@ -914,6 +965,10 @@ impl Chip for RealTimeRouter {
         for idle in &mut self.stats.idle_cycles {
             *idle += skipped;
         }
+    }
+
+    fn wake_stats(&self) -> Option<WakeStats> {
+        Some(self.wake.snapshot())
     }
 }
 

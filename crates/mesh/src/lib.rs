@@ -42,7 +42,7 @@ pub mod stats;
 pub mod topology;
 
 pub use netstats::{ConnSlackReport, Histogram, NetworkReport, OccupancySummary};
-pub use sim::{LinkUsage, OccupancyHistory, OccupancySample, Simulator};
+pub use sim::{LinkUsage, OccupancyHistory, OccupancySample, Quiescence, Simulator};
 pub use source::TrafficSource;
 pub use stats::DeliveryLog;
 pub use topology::Topology;

@@ -9,7 +9,8 @@
 //! The simulation is fully deterministic: node order is fixed, all queues
 //! are FIFO, and sources that need randomness own their seeded generators.
 
-use rtr_types::chip::{Chip, ChipGauges, ChipIo};
+use rtr_events::{QueueStats, WakeHandle, WakeQueue};
+use rtr_types::chip::{Chip, ChipGauges, ChipIo, WakeStats};
 use rtr_types::flit::LinkSymbol;
 use rtr_types::ids::{Direction, NodeId, Port};
 use rtr_types::packet::{BePacket, TcPacket};
@@ -138,6 +139,74 @@ impl<'a> Iterator for OccupancyIter<'a> {
     }
 }
 
+/// How [`Simulator::run_leaping`] proves that a cycle boundary is
+/// quiescent (see [`Simulator::set_quiescence`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Quiescence {
+    /// Consult the calendar-queue event core: components register their
+    /// next-event cycle once and the simulator pops the minimum, so a
+    /// stepped cycle costs O(dirty components) wake bookkeeping and a leap
+    /// decision costs O(1).
+    #[default]
+    EventQueue,
+    /// Re-poll every chip, link, and traffic source after each stepped
+    /// cycle (the original scan). Kept for pop-vs-scan benchmarking and
+    /// for agreement tests against the event core.
+    Scan,
+}
+
+/// The simulator's half of the calendar-queue event core: the wake queue
+/// itself plus the per-step dirty set of components whose registered wake
+/// must be recomputed after the cycle runs.
+///
+/// Handle layout (for `n` nodes): chips occupy `0..n` (by node index),
+/// links `n..5n` (`n + node·4 + direction`), traffic sources `5n..`
+/// (by registration order). The core is rebuilt from scratch whenever the
+/// world changes shape or is mutated behind its back (see
+/// `Simulator::events_stale`).
+#[derive(Debug)]
+struct EventCore {
+    queue: WakeQueue,
+    /// Handles marked dirty during the step in progress, in marking order
+    /// (deduplicated via `stamp`).
+    dirty: Vec<u32>,
+    /// Per-handle cycle of the most recent dirty mark.
+    stamp: Vec<Cycle>,
+    /// Scratch buffer for the handles popped due at the start of a step.
+    due: Vec<WakeHandle>,
+    /// Poll every component at the end of the next step (the core was just
+    /// built and knows no wakes yet).
+    prime: bool,
+}
+
+impl EventCore {
+    fn new(handles: usize) -> Self {
+        let mut queue = WakeQueue::with_capacity(handles);
+        for _ in 0..handles {
+            queue.register();
+        }
+        EventCore {
+            queue,
+            // Worst case every handle goes dirty in one step; reserving up
+            // front keeps big-mesh steps free of mid-cycle growth.
+            dirty: Vec::with_capacity(handles),
+            stamp: vec![Cycle::MAX; handles],
+            due: Vec::with_capacity(handles),
+            prime: true,
+        }
+    }
+
+    /// Marks a handle for re-polling at the end of the step simulating
+    /// `now`. Steps have distinct `now`s, so the stamp deduplicates marks
+    /// within a step without any per-step reset.
+    fn mark(&mut self, handle: usize, now: Cycle) {
+        if self.stamp[handle] != now {
+            self.stamp[handle] = now;
+            self.dirty.push(handle as u32);
+        }
+    }
+}
+
 /// The network simulator, generic over the router chip model.
 pub struct Simulator<C: Chip> {
     topo: Topology,
@@ -163,6 +232,15 @@ pub struct Simulator<C: Chip> {
     workers: usize,
     /// Chip ticks actually executed (leaped cycles execute none).
     ticks_executed: u64,
+    /// The calendar-queue event core behind the leaping paths.
+    events: EventCore,
+    /// The event core no longer reflects the world: the plain stepped
+    /// paths mutate chips without wake bookkeeping (keeping them at zero
+    /// event-core overhead), as do external mutators like
+    /// [`Simulator::chip_mut`]. The next leaping call re-primes.
+    events_stale: bool,
+    /// Quiescence-proof strategy for the leaping paths.
+    quiescence: Quiescence,
     now: Cycle,
 }
 
@@ -237,6 +315,9 @@ impl<C: Chip> Simulator<C> {
             gauge_samples: OccupancyHistory::default(),
             workers: 1,
             ticks_executed: 0,
+            events: EventCore::new(0),
+            events_stale: true,
+            quiescence: Quiescence::default(),
             now: 0,
             topo,
         })
@@ -263,6 +344,7 @@ impl<C: Chip> Simulator<C> {
     /// Mutable access to the chip at a node (e.g. for control-interface
     /// writes during channel establishment).
     pub fn chip_mut(&mut self, node: NodeId) -> &mut C {
+        self.events_stale = true;
         &mut self.chips[node.index()]
     }
 
@@ -275,16 +357,19 @@ impl<C: Chip> Simulator<C> {
     /// Registers a traffic source at a node (several per node are allowed;
     /// they run in registration order).
     pub fn add_source(&mut self, node: NodeId, source: Box<dyn TrafficSource>) {
+        self.events_stale = true;
         self.sources.push((node, source));
     }
 
     /// Queues a time-constrained packet for injection at a node.
     pub fn inject_tc(&mut self, node: NodeId, packet: TcPacket) {
+        self.events_stale = true;
         self.ios[node.index()].inject_tc.push_back(packet);
     }
 
     /// Queues a best-effort packet for injection at a node.
     pub fn inject_be(&mut self, node: NodeId, packet: BePacket) {
+        self.events_stale = true;
         self.ios[node.index()].inject_be.push_back(packet);
     }
 
@@ -341,6 +426,41 @@ impl<C: Chip> Simulator<C> {
         self.workers
     }
 
+    /// Chooses how the leaping paths prove quiescence (default:
+    /// [`Quiescence::EventQueue`]). Both strategies are bit-identical in
+    /// simulation results; [`Quiescence::Scan`] exists so the calendar
+    /// queue's pop cost can be benchmarked against the full re-poll it
+    /// replaced, and for agreement tests.
+    pub fn set_quiescence(&mut self, mode: Quiescence) {
+        self.quiescence = mode;
+    }
+
+    /// The configured quiescence-proof strategy.
+    #[must_use]
+    pub fn quiescence(&self) -> Quiescence {
+        self.quiescence
+    }
+
+    /// Operation counters of the calendar-queue event core, or `None` when
+    /// the core is stale (no leaping call since the last world mutation).
+    #[must_use]
+    pub fn event_core_stats(&self) -> Option<QueueStats> {
+        (!self.events_stale).then(|| self.events.queue.stats())
+    }
+
+    /// The merged wake-precision telemetry of every chip that keeps any
+    /// (see [`rtr_types::chip::WakeStats`]), or `None` when no chip does.
+    #[must_use]
+    pub fn wake_precision(&self) -> Option<WakeStats> {
+        let mut merged: Option<WakeStats> = None;
+        for chip in &self.chips {
+            if let Some(stats) = chip.wake_stats() {
+                merged.get_or_insert_with(WakeStats::default).merge(&stats);
+            }
+        }
+        merged
+    }
+
     /// Traffic carried so far by the link leaving `node` in `dir`.
     #[must_use]
     pub fn link_usage(&self, node: NodeId, dir: Direction) -> LinkUsage {
@@ -368,39 +488,60 @@ impl<C: Chip> Simulator<C> {
 
     /// Advances the network by one cycle.
     pub fn step(&mut self) {
-        let now = self.phase_pre();
+        // The plain stepped path does no wake bookkeeping (keeping it at
+        // zero event-core overhead), so any wakes registered earlier no
+        // longer describe the world.
+        self.events_stale = true;
+        let now = self.phase_pre::<false>();
         // 3. Chips tick.
         for (chip, io) in self.chips.iter_mut().zip(self.ios.iter_mut()) {
             chip.tick(now, io);
         }
         self.ticks_executed += self.chips.len() as u64;
-        self.phase_post(now);
+        self.phase_post::<false>(now);
     }
 
     /// Pre-tick phases of one cycle: link arrivals and traffic sources.
     /// Returns the cycle being simulated.
-    fn phase_pre(&mut self) -> Cycle {
+    ///
+    /// With `EV` set, additionally feeds the event core's dirty set:
+    /// chips receiving symbols, credits, or holding pending injections —
+    /// and links whose queues were popped — get their wakes recomputed at
+    /// the end of the step. `EV = false` compiles the bookkeeping out.
+    fn phase_pre<const EV: bool>(&mut self) -> Cycle {
         let now = self.now;
+        let n = self.chips.len();
         for io in &mut self.ios {
             io.begin_cycle();
         }
 
         // 1. Link arrivals (data forward, credits backward).
-        for node in 0..self.chips.len() {
+        for node in 0..n {
             for dir in Direction::ALL {
-                let Some(link) = self.links[node][dir_index(dir)].as_mut() else {
+                let di = dir_index(dir);
+                let Some(link) = self.links[node][di].as_mut() else {
                     continue;
                 };
-                if let Some(symbol) = link.recv(now) {
+                let symbol = link.recv(now);
+                let credits = link.recv_credit(now);
+                if EV && (symbol.is_some() || credits > 0) {
+                    self.events.mark(n + node * 4 + di, now);
+                }
+                if let Some(symbol) = symbol {
                     let end = self
                         .topo
                         .link_end(NodeId(node as u16), dir)
                         .expect("live link without wiring");
                     self.ios[end.node.index()].rx[Port::Dir(end.dir).index()] = Some(symbol);
+                    if EV {
+                        self.events.mark(end.node.index(), now);
+                    }
                 }
-                let credits = link.recv_credit(now);
                 if credits > 0 {
                     self.ios[node].credit_in[Port::Dir(dir).index()] += credits;
+                    if EV {
+                        self.events.mark(node, now);
+                    }
                 }
             }
         }
@@ -409,14 +550,28 @@ impl<C: Chip> Simulator<C> {
         for (node, source) in &mut self.sources {
             source.pre_cycle(now, *node, &mut self.ios[node.index()]);
         }
+
+        // 3. Chips with pending injections may start draining them this
+        // tick (the injection queues live outside the chips, so their
+        // `next_event` cannot account for them).
+        if EV {
+            for node in 0..n {
+                let io = &self.ios[node];
+                if !io.inject_tc.is_empty() || !io.inject_be.is_empty() {
+                    self.events.mark(node, now);
+                }
+            }
+        }
         now
     }
 
     /// Post-tick phases of one cycle: symbol/credit collection, delivery
-    /// draining, gauge sampling, and the clock advance.
-    fn phase_post(&mut self, now: Cycle) {
+    /// draining, gauge sampling, and the clock advance. With `EV` set,
+    /// links that carried a new symbol or credit batch are marked dirty.
+    fn phase_post<const EV: bool>(&mut self, now: Cycle) {
+        let n = self.chips.len();
         // 4. Collect driven symbols and returned credits.
-        for node in 0..self.chips.len() {
+        for node in 0..n {
             debug_assert!(
                 self.ios[node].tx[Port::Local.index()].is_none(),
                 "chips must deliver locally, not drive the local port"
@@ -439,6 +594,9 @@ impl<C: Chip> Simulator<C> {
                         .as_mut()
                         .expect("symbol driven on an unwired link")
                         .send(now, symbol);
+                    if EV {
+                        self.events.mark(n + node * 4 + dir_index(dir), now);
+                    }
                 }
                 let credits = self.ios[node].credit_out[idx];
                 if credits > 0 {
@@ -449,6 +607,9 @@ impl<C: Chip> Simulator<C> {
                         .as_mut()
                         .expect("feeder link missing")
                         .send_credit(now, credits);
+                    if EV {
+                        self.events.mark(n + feeder.index() * 4 + dir_index(feeder_dir), now);
+                    }
                 }
             }
         }
@@ -476,36 +637,87 @@ impl<C: Chip> Simulator<C> {
         }
     }
 
-    /// Runs for `cycles` cycles on the event-driven fast path: whenever a
-    /// cycle ends with every component provably quiescent, simulated time
-    /// leaps directly to the earliest next event instead of stepping
-    /// through the silent span one cycle at a time.
-    ///
-    /// The result is **bit-identical** to [`Simulator::run`] over the same
-    /// span — delivery logs, statistics, link-usage counters, gauge samples
-    /// (synthesized for leaped cycles), and trace timestamps all match —
-    /// because a leap is only taken when every chip, link, and traffic
-    /// source reports (via [`Chip::next_event`], [`Link::next_event`], and
-    /// [`TrafficSource::next_event`]) that nothing can change before the
-    /// target cycle. See the `leaping_equivalence` integration test.
-    ///
-    /// The payoff is on sparse loads: an idle span of any length costs
-    /// O(nodes) bookkeeping instead of O(nodes × cycles) chip ticks (see
-    /// [`Simulator::ticks_executed`]).
-    ///
-    /// [`TrafficSource::next_event`]: crate::source::TrafficSource::next_event
-    /// [`Link::next_event`]: crate::link::Link::next_event
-    pub fn run_leaping(&mut self, cycles: Cycle) {
-        let end = self.now + cycles;
-        while self.now < end {
-            self.step();
-            if self.now >= end {
-                break;
-            }
-            if let Some(target) = self.quiet_until(end) {
-                self.leap_to(target);
-            }
+    /// Rebuilds the event core from scratch if any plain-stepped cycle or
+    /// external mutation ran since the last event-driven step. The rebuilt
+    /// queue is primed: the next [`Simulator::step_ev`] re-polls every
+    /// component once, after which only dirty components are re-polled.
+    fn ensure_events(&mut self) {
+        if self.events_stale {
+            self.events = EventCore::new(self.chips.len() * 5 + self.sources.len());
+            self.events_stale = false;
         }
+    }
+
+    /// Advances the network by one cycle on the event-core path: pops due
+    /// wakes, runs the cycle with dirty-set bookkeeping enabled, then
+    /// re-polls exactly the components whose state could have changed.
+    fn step_ev(&mut self) {
+        self.ensure_events();
+        let now = self.now;
+        self.events.dirty.clear();
+        let mut due = std::mem::take(&mut self.events.due);
+        due.clear();
+        self.events.queue.pop_due(now, &mut due);
+        for &h in &due {
+            self.events.mark(h.index(), now);
+        }
+        self.events.due = due;
+        self.phase_pre::<true>();
+        for (chip, io) in self.chips.iter_mut().zip(self.ios.iter_mut()) {
+            chip.tick(now, io);
+        }
+        self.ticks_executed += self.chips.len() as u64;
+        self.phase_post::<true>(now);
+        self.repoll_dirty(now);
+    }
+
+    /// Re-registers the wakes of every dirty component (or of everything,
+    /// right after a rebuild) at the end of the cycle `now`.
+    fn repoll_dirty(&mut self, now: Cycle) {
+        if std::mem::take(&mut self.events.prime) {
+            for h in 0..self.events.queue.handles() {
+                self.repoll(h, now);
+            }
+        } else {
+            let dirty = std::mem::take(&mut self.events.dirty);
+            for &h in &dirty {
+                self.repoll(h as usize, now);
+            }
+            self.events.dirty = dirty;
+        }
+    }
+
+    /// Polls one component's `next_event` and files (or clears) its wake.
+    /// Handle layout for `n` chips: `0..n` are chips by node index,
+    /// `n..5n` are links (`n + node*4 + direction`), `5n..` are traffic
+    /// sources in registration order.
+    fn repoll(&mut self, handle: usize, now: Cycle) {
+        let n = self.chips.len();
+        let at = if handle < n {
+            self.chips[handle].next_event(now)
+        } else if handle < 5 * n {
+            let li = handle - n;
+            self.links[li / 4][li % 4].as_ref().and_then(Link::next_event)
+        } else {
+            let (_, source) = &self.sources[handle - 5 * n];
+            source.next_event(now)
+        };
+        match at {
+            Some(at) => self.events.queue.set_wake(WakeHandle(handle as u32), at.max(now + 1)),
+            None => self.events.queue.clear_wake(WakeHandle(handle as u32)),
+        }
+    }
+
+    /// Event-queue counterpart of [`Simulator::quiet_until`]: reads the
+    /// minimum registered wake in O(1) instead of re-polling every
+    /// component. The injection-backlog check stays a scan — those queues
+    /// live outside the chips, so no wake describes them.
+    fn events_quiet_target(&mut self, end: Cycle) -> Option<Cycle> {
+        if self.ios.iter().any(|io| !io.inject_tc.is_empty() || !io.inject_be.is_empty()) {
+            return None;
+        }
+        let target = self.events.queue.next_wake().map_or(end, |w| w.min(end));
+        (target > self.now).then_some(target)
     }
 
     /// If the network is provably quiescent at `self.now` (the cycle just
@@ -605,7 +817,8 @@ impl<C: Chip + Send> Simulator<C> {
             self.step();
             return;
         }
-        let now = self.phase_pre();
+        self.events_stale = true;
+        let now = self.phase_pre::<false>();
         // 3. Chips tick, one contiguous chunk of nodes per worker; the
         // first chunk runs on the calling thread to save one spawn.
         let chunk = self.chips.len().div_ceil(self.workers);
@@ -626,7 +839,102 @@ impl<C: Chip + Send> Simulator<C> {
             }
         });
         self.ticks_executed += self.chips.len() as u64;
-        self.phase_post(now);
+        self.phase_post::<false>(now);
+    }
+
+    /// Event-core counterpart of [`Simulator::step_parallel`]: chips tick
+    /// on worker threads, and each worker also re-polls `next_event` for
+    /// the dirty chips in its chunk into a per-worker buffer. The buffers
+    /// are merged into the wake queue at the barrier in chunk order, so
+    /// registration order — and therefore the queue's internal state — is
+    /// deterministic regardless of thread scheduling. Links and sources
+    /// are re-polled serially afterwards (their state lives on the
+    /// coordinating thread).
+    fn step_parallel_ev(&mut self) {
+        self.ensure_events();
+        let now = self.now;
+        self.events.dirty.clear();
+        let mut due = std::mem::take(&mut self.events.due);
+        due.clear();
+        self.events.queue.pop_due(now, &mut due);
+        for &h in &due {
+            self.events.mark(h.index(), now);
+        }
+        self.events.due = due;
+        self.phase_pre::<true>();
+
+        let n = self.chips.len();
+        let chunk = n.div_ceil(self.workers);
+        let prime = std::mem::take(&mut self.events.prime);
+        // Chip handles each worker must re-poll, bucketed by chunk.
+        let mut poll: Vec<Vec<u32>> = vec![Vec::new(); n.div_ceil(chunk)];
+        if prime {
+            for h in 0..n {
+                poll[h / chunk].push(h as u32);
+            }
+        } else {
+            for &h in &self.events.dirty {
+                if (h as usize) < n {
+                    poll[h as usize / chunk].push(h);
+                }
+            }
+        }
+        let buffers: Vec<Vec<(u32, Option<Cycle>)>> = std::thread::scope(|scope| {
+            let mut chunks = self
+                .chips
+                .chunks_mut(chunk)
+                .zip(self.ios.chunks_mut(chunk))
+                .zip(poll.iter())
+                .enumerate();
+            let local = chunks.next();
+            let mut joins = Vec::new();
+            for (ci, ((chips, ios), list)) in chunks {
+                let base = ci * chunk;
+                joins.push(scope.spawn(move || {
+                    for (chip, io) in chips.iter_mut().zip(ios.iter_mut()) {
+                        chip.tick(now, io);
+                    }
+                    list.iter()
+                        .map(|&h| (h, chips[h as usize - base].next_event(now)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            let mut out = Vec::with_capacity(joins.len() + 1);
+            if let Some((_, ((chips, ios), list))) = local {
+                for (chip, io) in chips.iter_mut().zip(ios.iter_mut()) {
+                    chip.tick(now, io);
+                }
+                out.push(list.iter().map(|&h| (h, chips[h as usize].next_event(now))).collect());
+            }
+            for join in joins {
+                out.push(join.join().expect("worker thread panicked"));
+            }
+            out
+        });
+        for buffer in buffers {
+            for (h, at) in buffer {
+                match at {
+                    Some(at) => self.events.queue.set_wake(WakeHandle(h), at.max(now + 1)),
+                    None => self.events.queue.clear_wake(WakeHandle(h)),
+                }
+            }
+        }
+        self.ticks_executed += n as u64;
+        self.phase_post::<true>(now);
+        // Links and sources: serial re-poll of the non-chip handles.
+        if prime {
+            for h in n..self.events.queue.handles() {
+                self.repoll(h, now);
+            }
+        } else {
+            let dirty = std::mem::take(&mut self.events.dirty);
+            for &h in &dirty {
+                if h as usize >= n {
+                    self.repoll(h as usize, now);
+                }
+            }
+            self.events.dirty = dirty;
+        }
     }
 
     /// Runs for `cycles` cycles using [`Simulator::step_parallel`]. The
@@ -641,6 +949,139 @@ impl<C: Chip + Send> Simulator<C> {
         for _ in 0..cycles {
             self.step_parallel();
         }
+    }
+
+    /// Runs for `cycles` cycles on the event-driven fast path: whenever a
+    /// cycle ends with every component provably quiescent, simulated time
+    /// leaps directly to the earliest next event instead of stepping
+    /// through the silent span one cycle at a time.
+    ///
+    /// The result is **bit-identical** to [`Simulator::run`] over the same
+    /// span — delivery logs, statistics, link-usage counters, gauge samples
+    /// (synthesized for leaped cycles), and trace timestamps all match —
+    /// because a leap is only taken when every chip, link, and traffic
+    /// source reports (via [`Chip::next_event`], [`Link::next_event`], and
+    /// [`TrafficSource::next_event`]) that nothing can change before the
+    /// target cycle. See the `leaping_equivalence` and `event_core`
+    /// integration tests.
+    ///
+    /// In the default [`Quiescence::EventQueue`] mode the quiescence check
+    /// pops the minimum of a calendar queue of registered wakes — O(1) per
+    /// cycle plus O(dirty) re-registrations — instead of re-polling every
+    /// component. With [`Quiescence::Scan`] the original O(components)
+    /// full scan runs instead (kept for benchmarking the difference and
+    /// cross-checking agreement). When worker threads are configured (see
+    /// [`Simulator::set_parallelism`]), event-queue stepping composes with
+    /// parallel chip ticking: workers drain their chunk's wake re-polls
+    /// into per-worker buffers merged deterministically at the barrier.
+    ///
+    /// The payoff is on sparse loads: an idle span of any length costs
+    /// O(nodes) bookkeeping instead of O(nodes × cycles) chip ticks (see
+    /// [`Simulator::ticks_executed`]).
+    ///
+    /// [`TrafficSource::next_event`]: crate::source::TrafficSource::next_event
+    /// [`Link::next_event`]: crate::link::Link::next_event
+    pub fn run_leaping(&mut self, cycles: Cycle) {
+        let end = self.now + cycles;
+        match self.quiescence {
+            Quiescence::Scan => {
+                while self.now < end {
+                    self.step();
+                    if self.now >= end {
+                        break;
+                    }
+                    if let Some(target) = self.quiet_until(end) {
+                        self.leap_to(target);
+                    }
+                }
+            }
+            Quiescence::EventQueue => {
+                let parallel = self.workers > 1 && self.chips.len() > 1;
+                while self.now < end {
+                    if parallel {
+                        self.step_parallel_ev();
+                    } else {
+                        self.step_ev();
+                    }
+                    if self.now >= end {
+                        break;
+                    }
+                    if let Some(target) = self.events_quiet_target(end) {
+                        self.leap_to(target);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until `predicate` returns true or `max_cycles` elapse, on the
+    /// leaping fast path; returns whether the predicate fired.
+    ///
+    /// The budget and predicate semantics are **identical** to
+    /// [`Simulator::run_until`]: the predicate is evaluated at every cycle
+    /// boundary — including each boundary inside a quiet span — and the
+    /// run stops at the exact same cycle with the same return value. A
+    /// quiet span is walked boundary-by-boundary without ticking chips
+    /// (recording gauge samples where due), so a predicate that becomes
+    /// true mid-leap fires at its true cycle rather than at the span's
+    /// end.
+    ///
+    /// One caveat, inherent to leaping: chip-internal per-cycle counters
+    /// (e.g. idle-cycle tallies via [`Chip::skip_quiet`]) are settled when
+    /// the span ends, *after* the firing boundary's predicate evaluation.
+    /// Predicates over simulator-owned state (`now`, delivery logs,
+    /// reports) see exactly what stepped execution shows them.
+    pub fn run_until_leaping(
+        &mut self,
+        max_cycles: Cycle,
+        mut predicate: impl FnMut(&Self) -> bool,
+    ) -> bool {
+        let end = self.now + max_cycles;
+        let parallel =
+            self.quiescence == Quiescence::EventQueue && self.workers > 1 && self.chips.len() > 1;
+        while self.now < end {
+            match self.quiescence {
+                Quiescence::Scan => self.step(),
+                Quiescence::EventQueue if parallel => self.step_parallel_ev(),
+                Quiescence::EventQueue => self.step_ev(),
+            }
+            if predicate(self) {
+                return true;
+            }
+            if self.now >= end {
+                break;
+            }
+            let target = match self.quiescence {
+                Quiescence::Scan => self.quiet_until(end),
+                Quiescence::EventQueue => self.events_quiet_target(end),
+            };
+            let Some(target) = target else { continue };
+            // Walk the quiet span boundary-by-boundary without ticking:
+            // every gauge boundary records, every cycle boundary gets its
+            // predicate evaluation, exactly as stepped execution would.
+            let from = self.now;
+            let mut fired = false;
+            while self.now < target {
+                if let Some(every) = self.gauge_every {
+                    if self.now.is_multiple_of(every) {
+                        self.gauge_samples.record(self.now, &self.chips);
+                    }
+                }
+                self.now += 1;
+                if predicate(self) {
+                    fired = true;
+                    break;
+                }
+            }
+            let to = self.now;
+            for chip in &mut self.chips {
+                chip.skip_quiet(from, to);
+            }
+            if fired {
+                return true;
+            }
+        }
+        false
     }
 }
 

@@ -85,6 +85,40 @@ pub struct ChipGauges {
     pub be_buffered: [usize; PORT_COUNT],
 }
 
+/// Wake-precision counters of a chip's [`Chip::next_event`] predictions.
+///
+/// `next_event` is allowed to be conservative — answering `now + 1` always
+/// preserves correctness — but every unnecessary short answer forecloses a
+/// leap the event core could otherwise have taken. Chips that can tell the
+/// difference report how often (and why) they fell back to `now + 1` so the
+/// next conservatism worth shaving is measurable instead of guessed at.
+/// All values are cumulative counters since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WakeStats {
+    /// Total `next_event` polls answered.
+    pub polls: u64,
+    /// Polls answered `now + 1` (no leap possible past this chip).
+    pub short_polls: u64,
+    /// Short polls where the grant-pipeline sync guard (`had_candidate`
+    /// disagreeing with the scheduler backlog) was the **only** reason for
+    /// the short answer — every other wake source allowed a longer leap.
+    pub sync_guard_only: u64,
+    /// Cycles of leaping foregone to `sync_guard_only` polls: the summed
+    /// distance from `now + 1` to the wake the chip would have reported
+    /// with the guard satisfied.
+    pub sync_guard_foregone: u64,
+}
+
+impl WakeStats {
+    /// Accumulates another chip's counters into this one.
+    pub fn merge(&mut self, other: &WakeStats) {
+        self.polls += other.polls;
+        self.short_polls += other.short_polls;
+        self.sync_guard_only += other.sync_guard_only;
+        self.sync_guard_foregone += other.sync_guard_foregone;
+    }
+}
+
 /// A router chip model that can sit at a node of the mesh simulator.
 ///
 /// The simulator calls [`Chip::tick`] exactly once per cycle, in increasing
@@ -134,6 +168,13 @@ pub trait Chip {
     /// default does nothing.
     fn skip_quiet(&mut self, from: Cycle, to: Cycle) {
         let _ = (from, to);
+    }
+
+    /// Wake-precision telemetry for this chip's [`Chip::next_event`]
+    /// answers, if it keeps any. The default (`None`) opts the chip out of
+    /// the wake-precision report.
+    fn wake_stats(&self) -> Option<WakeStats> {
+        None
     }
 }
 

@@ -4,6 +4,7 @@
 //! integration tests can depend on a single package:
 //!
 //! * [`types`] — shared vocabulary (clock, keys, packets, config),
+//! * [`events`] — the calendar-queue wake list behind time leaping,
 //! * [`core`] — the real-time router chip model,
 //! * [`mesh`] — the cycle-stepped network simulator,
 //! * [`channels`] — real-time channel admission and establishment,
@@ -20,6 +21,7 @@
 pub use rtr_baselines as baselines;
 pub use rtr_channels as channels;
 pub use rtr_core as core;
+pub use rtr_events as events;
 pub use rtr_hwcost as hwcost;
 pub use rtr_mesh as mesh;
 pub use rtr_types as types;

@@ -1,0 +1,322 @@
+//! Integration: the calendar-queue event core is bit-identical to stepping.
+//!
+//! PR 4 proved scan-based leaping equivalent to plain stepping; this suite
+//! proves the same for the registered-wake event core that replaced the
+//! O(components) quiescence scan — across **three** execution modes now:
+//! plain stepping, serial event-queue leaping, and 4-worker parallel
+//! event-queue leaping (workers drain wake re-polls into per-worker buffers
+//! merged at the barrier). Every scenario diffs delivery logs byte-for-byte
+//! and the full `Debug` rendering of [`NetworkReport`]. A separate test
+//! pins the queue and the scan to identical observables, and the mid-leap
+//! predicate test locks [`Simulator::run_until_leaping`] to stepped
+//! `run_until` semantics. The wake-queue unit tests (stale-wake
+//! invalidation, same-cycle re-registration, wheel rollover) exercise the
+//! public `events` API directly.
+
+use realtime_router::channels::establish::{EstablishedChannel, Hop};
+use realtime_router::channels::sender::ChannelSender;
+use realtime_router::channels::spec::{ChannelRequest, TrafficSpec};
+use realtime_router::core::{ControlCommand, RealTimeRouter};
+use realtime_router::events::{WakeHandle, WakeQueue};
+use realtime_router::mesh::{NetworkReport, Quiescence, Simulator, Topology};
+use realtime_router::types::config::RouterConfig;
+use realtime_router::types::ids::{ConnectionId, Direction, Port};
+use realtime_router::workloads::be::{RandomBeSource, SizeDist};
+use realtime_router::workloads::patterns::TrafficPattern;
+use realtime_router::workloads::tc::PeriodicTcSource;
+
+const DELAY: u32 = 6;
+
+/// Adds a one-hop periodic TC channel from `(0, y)` to `(1, y)`.
+fn add_channel(sim: &mut Simulator<RealTimeRouter>, y: u16, index: usize, period_slots: u64) {
+    let config = RouterConfig::default();
+    let topo = sim.topology().clone();
+    let conn = ConnectionId(10 + index as u16);
+    let src = topo.node_at(0, y);
+    let dst = topo.node_at(1, y);
+    sim.chip_mut(src)
+        .apply_control(ControlCommand::SetConnection {
+            incoming: conn,
+            outgoing: conn,
+            delay: DELAY,
+            out_mask: Port::Dir(Direction::XPlus).mask(),
+        })
+        .unwrap();
+    sim.chip_mut(dst)
+        .apply_control(ControlCommand::SetConnection {
+            incoming: conn,
+            outgoing: conn,
+            delay: DELAY,
+            out_mask: Port::Local.mask(),
+        })
+        .unwrap();
+    let channel = EstablishedChannel {
+        id: u64::from(conn.0),
+        ingress: conn,
+        depth: 2,
+        guaranteed: 2 * DELAY,
+        hops: vec![
+            Hop {
+                node: src,
+                conn,
+                out_conn: conn,
+                delay: DELAY,
+                out_mask: Port::Dir(Direction::XPlus).mask(),
+                buffers: 2,
+            },
+            Hop {
+                node: dst,
+                conn,
+                out_conn: conn,
+                delay: DELAY,
+                out_mask: Port::Local.mask(),
+                buffers: 2,
+            },
+        ],
+        request: ChannelRequest::unicast(
+            src,
+            dst,
+            TrafficSpec::periodic(period_slots as u32, 18),
+            2 * DELAY,
+        ),
+    };
+    let sender = ChannelSender::new(
+        &channel,
+        sim.chip(src).clock(),
+        config.slot_bytes,
+        config.tc_data_bytes(),
+    );
+    sim.add_source(
+        src,
+        Box::new(PeriodicTcSource::new(
+            sender,
+            period_slots,
+            0,
+            config.slot_bytes,
+            vec![0xA0 + index as u8, config.tc_data_bytes() as u8]
+                .into_iter()
+                .cycle()
+                .take(config.tc_data_bytes())
+                .collect(),
+        )),
+    );
+}
+
+/// Adds a seeded Bernoulli BE source at every node.
+fn add_be_background(sim: &mut Simulator<RealTimeRouter>, rate: f64) {
+    let topo = sim.topology().clone();
+    for node in topo.nodes() {
+        sim.add_source(
+            node,
+            Box::new(
+                RandomBeSource::new(
+                    topo.clone(),
+                    TrafficPattern::Uniform,
+                    rate,
+                    SizeDist::Fixed(16),
+                    0xC0FF_EE00 ^ u64::from(node.0),
+                )
+                .with_max_queue(8),
+            ),
+        );
+    }
+}
+
+/// Builds an 8×8 mesh with four periodic channels and optional BE load.
+fn build_mesh(tc_period_slots: u64, be_rate: f64) -> Simulator<RealTimeRouter> {
+    let config = RouterConfig::default();
+    let mut sim =
+        Simulator::build(Topology::mesh(8, 8), |_| RealTimeRouter::new(config.clone())).unwrap();
+    sim.enable_gauge_sampling(50);
+    for (i, y) in [0u16, 2, 5, 7].into_iter().enumerate() {
+        add_channel(&mut sim, y, i, tc_period_slots);
+    }
+    if be_rate > 0.0 {
+        add_be_background(&mut sim, be_rate);
+    }
+    sim
+}
+
+/// Full observable fingerprint of a finished run: every node's delivery
+/// log plus the `Debug` rendering of the captured [`NetworkReport`].
+fn fingerprint(sim: &Simulator<RealTimeRouter>) -> String {
+    let config = RouterConfig::default();
+    let mut out = String::new();
+    for node in sim.topology().nodes() {
+        let log = sim.log(node);
+        out.push_str(&format!("{node}: tc={:?} be={:?}\n", log.tc, log.be));
+    }
+    out.push_str(&format!("{:?}", NetworkReport::capture(sim, config.slot_bytes)));
+    out
+}
+
+/// Runs one scenario stepped, serial event-queue leaping, and 4-worker
+/// parallel event-queue leaping, and asserts byte-identical observables.
+/// Returns `(stepped, serial_leaping)` for follow-up assertions.
+fn assert_three_way(
+    mut build: impl FnMut() -> Simulator<RealTimeRouter>,
+    cycles: u64,
+) -> (Simulator<RealTimeRouter>, Simulator<RealTimeRouter>) {
+    let mut stepped = build();
+    stepped.run(cycles);
+    let mut serial = build();
+    serial.run_leaping(cycles);
+    let mut parallel = build();
+    parallel.set_parallelism(4);
+    parallel.run_leaping(cycles);
+
+    assert_eq!(stepped.now(), serial.now(), "serial leaping covered a different span");
+    assert_eq!(stepped.now(), parallel.now(), "parallel leaping covered a different span");
+    let f_stepped = fingerprint(&stepped);
+    assert_eq!(f_stepped, fingerprint(&serial), "stepped vs serial event-queue leaping");
+    assert_eq!(f_stepped, fingerprint(&parallel), "stepped vs 4-worker event-queue leaping");
+    (stepped, serial)
+}
+
+/// Sparse load: long-period channels, no best-effort traffic. The event
+/// queue must leap most cycles and stay byte-identical in all three modes.
+#[test]
+fn event_core_equivalence_sparse_load() {
+    let (stepped, leaping) = assert_three_way(|| build_mesh(64, 0.0), 20_000);
+    let tc_total: usize = stepped.topology().nodes().map(|n| stepped.log(n).tc.len()).sum();
+    assert!(tc_total >= 40, "sparse TC load too light to trust: {tc_total}");
+    assert!(
+        leaping.ticks_executed() * 2 < stepped.ticks_executed(),
+        "sparse load must leap most cycles: {} vs {} ticks",
+        leaping.ticks_executed(),
+        stepped.ticks_executed()
+    );
+}
+
+/// Mixed load: period-8 channels plus 5% Bernoulli BE background. Random
+/// sources draw every cycle, so the queue degrades to stepping — with the
+/// dirty-set re-poll machinery armed every cycle and zero divergence.
+#[test]
+fn event_core_equivalence_mixed_load() {
+    let (stepped, leaping) = assert_three_way(|| build_mesh(8, 0.05), 4_000);
+    let be_total: usize = stepped.topology().nodes().map(|n| stepped.log(n).be.len()).sum();
+    assert!(be_total > 500, "mixed BE load too light to trust: {be_total}");
+    assert_eq!(
+        leaping.ticks_executed(),
+        stepped.ticks_executed(),
+        "random BE sources draw every cycle, so no cycle is provably quiet"
+    );
+}
+
+/// Saturating load: period-8 channels plus 35% Bernoulli BE background —
+/// heavy contention and credit stalls with the event core armed throughout.
+#[test]
+fn event_core_equivalence_saturating_load() {
+    let (stepped, _) = assert_three_way(|| build_mesh(8, 0.35), 3_000);
+    let be_total: usize = stepped.topology().nodes().map(|n| stepped.log(n).be.len()).sum();
+    assert!(be_total > 1_000, "saturating BE load too light to trust: {be_total}");
+}
+
+/// The event queue and the original O(components) scan must agree exactly:
+/// same deliveries, same report, same tick count (both modes leap the same
+/// spans, since a registered wake is exactly what the scan would re-poll).
+#[test]
+fn event_queue_agrees_with_scan_mode() {
+    let cycles = 20_000;
+    let mut queued = build_mesh(64, 0.0);
+    assert_eq!(queued.quiescence(), Quiescence::EventQueue, "event queue must be the default");
+    queued.run_leaping(cycles);
+    let mut scanned = build_mesh(64, 0.0);
+    scanned.set_quiescence(Quiescence::Scan);
+    scanned.run_leaping(cycles);
+    assert_eq!(fingerprint(&queued), fingerprint(&scanned));
+    assert_eq!(
+        queued.ticks_executed(),
+        scanned.ticks_executed(),
+        "queue and scan must identify the same quiet spans"
+    );
+    let stats = queued.event_core_stats().expect("event core must be live after leaping");
+    assert!(stats.fired > 0, "wakes must actually fire: {stats:?}");
+}
+
+/// A predicate that becomes true in the middle of a leapable quiet span
+/// must stop `run_until_leaping` at exactly the cycle stepped `run_until`
+/// stops at — not at the span's end — with identical logs either way.
+#[test]
+fn run_until_predicate_fires_mid_leap() {
+    // In the sparse mesh, cycle 1_000 sits inside a long quiet span
+    // (period-64 channels fire every 1_280 cycles).
+    let target = 1_000;
+    let budget = 20_000;
+    let mut stepped = build_mesh(64, 0.0);
+    let hit_stepped = stepped.run_until(budget, |s| s.now() >= target);
+    let mut leaping = build_mesh(64, 0.0);
+    let hit_leaping = leaping.run_until_leaping(budget, |s| s.now() >= target);
+    assert_eq!(hit_stepped, hit_leaping, "predicate outcome diverged");
+    assert!(hit_leaping, "the predicate must fire within the budget");
+    assert_eq!(stepped.now(), leaping.now(), "mid-leap predicate must stop at its true cycle");
+    assert_eq!(leaping.now(), target, "s.now() >= {target} first holds at cycle {target}");
+    assert_eq!(fingerprint(&stepped), fingerprint(&leaping));
+    assert!(
+        leaping.ticks_executed() < stepped.ticks_executed(),
+        "the quiet prefix must still be leaped"
+    );
+}
+
+/// Budget semantics must match stepped `run_until` exactly when the
+/// predicate never fires: same `false` result, same final cycle.
+#[test]
+fn run_until_budget_exhaustion_matches_stepped() {
+    let budget = 5_000;
+    let mut stepped = build_mesh(64, 0.0);
+    assert!(!stepped.run_until(budget, |_| false));
+    let mut leaping = build_mesh(64, 0.0);
+    assert!(!leaping.run_until_leaping(budget, |_| false));
+    assert_eq!(stepped.now(), leaping.now(), "budget must bound both runs identically");
+    assert_eq!(fingerprint(&stepped), fingerprint(&leaping));
+}
+
+/// Stale wakes never fire: re-registering at a later cycle invalidates the
+/// earlier wheel entry lazily, and only the live wake pops.
+#[test]
+fn stale_wakes_are_invalidated() {
+    let mut q = WakeQueue::new();
+    let h = q.register();
+    q.set_wake(h, 10);
+    q.set_wake(h, 500); // the entry filed for cycle 10 is now stale
+    let mut due = Vec::new();
+    q.pop_due(10, &mut due);
+    assert!(due.is_empty(), "stale wake at 10 must not fire: {due:?}");
+    q.pop_due(500, &mut due);
+    assert_eq!(due, vec![h]);
+    assert_eq!(q.stats().stale_discarded, 1);
+}
+
+/// Re-registering the *same* cycle is idempotent: one firing, no
+/// duplicate wheel entries.
+#[test]
+fn same_cycle_reregistration_is_idempotent() {
+    let mut q = WakeQueue::new();
+    let h = q.register();
+    q.set_wake(h, 42);
+    q.set_wake(h, 42);
+    q.set_wake(h, 42);
+    let mut due = Vec::new();
+    q.pop_due(100, &mut due);
+    assert_eq!(due, vec![h], "exactly one firing");
+    assert_eq!(q.stats().filed, 1, "same-cycle re-registration must not re-file");
+}
+
+/// The wheel survives horizons and wakes near `Cycle::MAX`: top-level
+/// slots cover the full 64-bit range without overflow.
+#[test]
+fn wheel_rollover_near_cycle_max() {
+    let mut q = WakeQueue::new();
+    let a = q.register();
+    let b = q.register();
+    q.pop_due(u64::MAX - 4_000, &mut Vec::new());
+    q.set_wake(a, u64::MAX - 1);
+    q.set_wake(b, u64::MAX);
+    assert_eq!(q.next_wake(), Some(u64::MAX - 1));
+    let mut due = Vec::new();
+    q.pop_due(u64::MAX - 2, &mut due);
+    assert!(due.is_empty());
+    q.pop_due(u64::MAX, &mut due);
+    assert_eq!(due, vec![a, b], "both extreme wakes fire, sorted by handle");
+    assert_eq!(WakeHandle(0), a);
+}
