@@ -359,6 +359,12 @@ impl Chip for FifoSfRouter {
             ..Default::default()
         })
     }
+
+    fn counters(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        emit("fifo_sf.transmitted", self.stats.transmitted.iter().sum());
+        emit("fifo_sf.delivered", self.stats.delivered);
+        emit("fifo_sf.dropped", self.stats.dropped);
+    }
 }
 
 #[cfg(test)]

@@ -357,6 +357,14 @@ impl Chip for PriorityVcRouter {
             ..Default::default()
         })
     }
+
+    fn counters(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        emit("priority_vc.tc_transmitted", self.stats.tc_transmitted.iter().sum());
+        emit("priority_vc.tc_delivered", self.stats.tc_delivered);
+        emit("priority_vc.tc_dropped", self.stats.tc_dropped);
+        emit("priority_vc.be_bytes", self.stats.be_bytes.iter().sum());
+        emit("priority_vc.be_delivered", self.stats.be_delivered);
+    }
 }
 
 #[cfg(test)]

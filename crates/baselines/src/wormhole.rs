@@ -234,6 +234,12 @@ impl Chip for WormholeRouter {
             ..Default::default()
         })
     }
+
+    fn counters(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        emit("wormhole.bytes", self.stats.bytes.iter().sum());
+        emit("wormhole.delivered", self.stats.delivered);
+        emit("wormhole.tc_rejected", self.stats.tc_rejected);
+    }
 }
 
 #[cfg(test)]

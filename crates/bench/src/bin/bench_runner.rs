@@ -5,17 +5,26 @@
 //! stepping (serial and parallel), and the sparse leaping suite (8×8 and
 //! 32×32, event-queue vs quiescence-scan) — with fixed seeds and
 //! hand-rolled timing, then writes the results as JSON so a run can be
-//! committed next to the code it measured (`BENCH_3.json`; earlier
-//! revisions live in `BENCH_1.json` and `BENCH_2.json`).
+//! committed next to the code it measured (`BENCH_4.json`; earlier
+//! revisions live in `BENCH_1.json` through `BENCH_3.json`).
+//!
+//! Built with `--features metrics`, rows additionally embed counter and
+//! phase-profile columns from the unified metrics registry (wake polls,
+//! stale re-polls, wheel cascades, key computations, barrier share), a
+//! metrics-on-vs-off overhead pair for the mixed-load router cycle, and
+//! phase-attribution rows for the 8×8 mesh (serial and 4-worker).
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_runner [--smoke] [--out <path>]
+//! bench_runner [--smoke] [--out <path>] [--flight-sample <path>]
 //! ```
 //!
 //! `--smoke` shrinks iteration counts so CI can exercise the whole
 //! pipeline in seconds; committed numbers come from a full run.
+//! `--flight-sample` additionally forces a conservation violation on a
+//! throwaway router and writes the resulting flight-recorder JSONL dump
+//! to the given path (needs `--features metrics` to be non-trivial).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -26,6 +35,7 @@ use rtr_core::sched::leaf::Leaf;
 use rtr_core::sched::tree::ComparatorTree;
 use rtr_core::RealTimeRouter;
 use rtr_mesh::{Quiescence, Simulator, Topology};
+use rtr_metrics::MetricsRegistry;
 use rtr_types::chip::{Chip, ChipIo};
 use rtr_types::clock::SlotClock;
 use rtr_types::config::RouterConfig;
@@ -42,6 +52,9 @@ struct BenchResult {
     /// Scenario-specific throughput figure.
     metric: f64,
     unit: &'static str,
+    /// Extra JSON members spliced verbatim into the row (already encoded,
+    /// no surrounding braces), e.g. registry counters or phase shares.
+    extra: Option<String>,
 }
 
 /// Times `iters` runs of `work` over fresh untimed `setup` state (after
@@ -121,6 +134,161 @@ fn run_router_cycle(name: &str, tc_packets: u64, iters: usize) -> BenchResult {
         mean_s,
         metric: CYCLES as f64 / min_s,
         unit: "cycles/s",
+        extra: None,
+    }
+}
+
+/// The mixed-load router cycle with live metrics collection: a registry
+/// counter bumped every cycle plus an end-of-run absorb of the router's
+/// counters — the same pattern the simulator uses. Paired with the plain
+/// `router_1000_cycles_mixed_load` row, the two quantify the registry's
+/// runtime overhead (the acceptance bar is within 5%). Without the
+/// `metrics` feature the registry is a zero-sized no-op and the pair
+/// should be statistically identical.
+fn run_router_cycle_metrics(tc_packets: u64, iters: usize) -> BenchResult {
+    const CYCLES: u64 = 1000;
+    let registry = MetricsRegistry::new();
+    let cycles_ctr = registry.counter("bench.cycles");
+    let (min_s, mean_s) = time_runs(
+        iters,
+        || loaded_router(tc_packets),
+        |(mut router, mut io)| {
+            for now in 0..CYCLES {
+                io.begin_cycle();
+                io.credit_in[1] = 1;
+                router.tick(now, &mut io);
+                registry.inc(cycles_ctr, 1);
+                io.tx = Default::default();
+                io.credit_out = [0; 5];
+            }
+            router.counters(&mut |name, value| registry.absorb_counter(name, value));
+            router.stats().tc_transmitted[1]
+        },
+    );
+    let snapshot = registry.snapshot();
+    let mut extra = String::from("\"metrics\": \"on\"");
+    for name in ["router.tc_transmitted", "router.tc_retired", "sched.key_computations"] {
+        if let Some(value) = snapshot.counter(name) {
+            let _ = write!(extra, ", \"{name}\": {value}");
+        }
+    }
+    BenchResult {
+        name: "router_1000_cycles_mixed_load_metrics".to_string(),
+        iters,
+        min_s,
+        mean_s,
+        metric: CYCLES as f64 / min_s,
+        unit: "cycles/s",
+        extra: Some(extra),
+    }
+}
+
+/// Counter columns embedded next to a leaping row's timings: wake
+/// precision, event-core queue activity, stale re-polls, and scheduler
+/// key computations, all read back through the metrics registry. Empty
+/// without the `metrics` feature.
+fn registry_columns(sim: &Simulator<RealTimeRouter>) -> Option<String> {
+    let snapshot = sim.metrics_snapshot();
+    if snapshot.is_empty() {
+        return None;
+    }
+    let mut extra = String::from("\"counters\": {");
+    let mut first = true;
+    for name in [
+        "wake.polls",
+        "wake.short_polls",
+        "wake.sync_guard_only",
+        "wake.sync_guard_foregone",
+        "queue.filed",
+        "queue.fired",
+        "queue.cascaded",
+        "queue.stale_discarded",
+        "sim.stale_repolls",
+        "sim.leaps",
+        "sim.ticks_executed",
+        "sched.key_computations",
+    ] {
+        if let Some(value) = snapshot.counter(name) {
+            let comma = if first { "" } else { ", " };
+            let _ = write!(extra, "{comma}\"{name}\": {value}");
+            first = false;
+        }
+    }
+    extra.push('}');
+    Some(extra)
+}
+
+/// One profiled run of the 8×8 best-effort mesh: enables the phase
+/// profiler, runs once, and reports each phase's share of the measured
+/// wall-clock plus the dominant phase by name — the row that attributes
+/// the serial-vs-parallel stepping gap (thread spawn + barrier cost).
+/// The `metric` is the dominant phase's share. Without the `metrics`
+/// feature the profiler records nothing and the row reports "none".
+fn run_mesh_phases(name: &str, workers: usize, cycles: u64) -> BenchResult {
+    let mut sim = loaded_mesh(workers);
+    sim.phase_profiler().set_enabled(true);
+    let start = Instant::now();
+    sim.run_parallel(cycles);
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(sim.now());
+    let report = sim.phase_profiler().report();
+    let total_ns: u64 = report.iter().map(|l| l.ns).sum();
+    let mut extra = String::from("\"phases\": {");
+    let mut first = true;
+    for line in &report {
+        if line.calls == 0 {
+            continue;
+        }
+        let comma = if first { "" } else { ", " };
+        let share = line.ns as f64 / total_ns.max(1) as f64;
+        let _ = write!(extra, "{comma}\"{}\": {share:.4}", line.phase.name());
+        first = false;
+    }
+    let (dominant, share) = sim
+        .phase_profiler()
+        .dominant()
+        .map_or(("none", 0.0), |(phase, share)| (phase.name(), share));
+    let _ = write!(extra, "}}, \"dominant\": \"{dominant}\"");
+    BenchResult {
+        name: name.to_string(),
+        iters: 1,
+        min_s: elapsed,
+        mean_s: elapsed,
+        metric: share,
+        unit: "dominant-share",
+        extra: Some(extra),
+    }
+}
+
+/// Forces a conservation violation on a two-node mesh with an armed
+/// flight recorder, so a sample JSONL dump (recent trace events plus a
+/// full metrics snapshot) lands at `path`. A no-op dump (header only)
+/// without the `metrics` feature.
+fn write_flight_sample(path: &str) {
+    let mut sim =
+        Simulator::build(Topology::mesh(2, 1), |_| RealTimeRouter::new(RouterConfig::default()))
+            .unwrap();
+    sim.arm_flight_recorder(64, path);
+    sim.inject_be(
+        rtr_types::ids::NodeId(0),
+        BePacket::new(1, 0, vec![0x55; 40], PacketTrace::default()),
+    );
+    sim.run(300);
+    // Corrupt one counter so the arrived = routed ledger fails.
+    sim.chip_mut(rtr_types::ids::NodeId(0)).stats_mut().tc_arrived += 1;
+    match sim.check_conservation() {
+        Err(violation) => eprintln!("flight sample: induced violation: {violation}"),
+        Ok(()) => eprintln!("flight sample: conservation unexpectedly clean (metrics off?)"),
+    }
+    if sim.flight_recorder().and_then(|r| r.dumped()).is_some() {
+        eprintln!("wrote flight-recorder sample to {path}");
+    } else {
+        // Still leave a marker file so CI artifact upload has something.
+        let _ = std::fs::write(
+            path,
+            "{\"flight\": \"unavailable\", \"reason\": \"metrics feature disabled\"}\n",
+        );
+        eprintln!("flight recorder inactive (metrics feature off); wrote placeholder {path}");
     }
 }
 
@@ -169,6 +337,7 @@ fn run_scheduler_select(fill: usize, iters: usize) -> BenchResult {
         mean_s,
         metric: min_s / READS_PER_ITER as f64 * 1e9,
         unit: "ns/select",
+        extra: None,
     }
 }
 
@@ -215,6 +384,7 @@ fn run_mesh(name: &str, workers: usize, cycles: u64, iters: usize) -> BenchResul
         mean_s,
         metric: (nodes * cycles) as f64 / min_s,
         unit: "node-cycles/s",
+        extra: None,
     }
 }
 
@@ -261,6 +431,16 @@ fn run_sparse_mesh(
             sim.ticks_executed()
         },
     );
+    // One extra untimed run on the event-queue drive to read the registry
+    // counter columns (the timed runs stay measurement-only).
+    let extra = match drive {
+        Drive::LeapQueue => {
+            let mut sim = rtr_bench::leaping::periodic_mesh_sized(width, height, period_slots);
+            sim.run_leaping(cycles);
+            registry_columns(&sim)
+        }
+        Drive::Stepped | Drive::LeapScan => None,
+    };
     BenchResult {
         name: name.to_string(),
         iters,
@@ -268,6 +448,7 @@ fn run_sparse_mesh(
         mean_s,
         metric: (nodes * cycles) as f64 / min_s,
         unit: "node-cycles/s",
+        extra,
     }
 }
 
@@ -290,6 +471,7 @@ fn run_mesh_build(iters: usize) -> BenchResult {
         mean_s,
         metric: min_s * 1e3,
         unit: "ms/build",
+        extra: None,
     }
 }
 
@@ -315,6 +497,7 @@ fn run_idle_leap(cycles: u64, iters: usize) -> BenchResult {
         mean_s,
         metric: (nodes * cycles) as f64 / min_s,
         unit: "node-cycles/s",
+        extra: None,
     }
 }
 
@@ -328,10 +511,11 @@ fn render_json(results: &[BenchResult], smoke: bool) -> String {
     let _ = writeln!(out, "  \"benches\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
+        let extra = r.extra.as_ref().map(|e| format!(", {e}")).unwrap_or_default();
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"iters\": {}, \"min_s\": {:.9}, \"mean_s\": {:.9}, \
-             \"metric\": {:.1}, \"unit\": \"{}\"}}{comma}",
+             \"metric\": {:.1}, \"unit\": \"{}\"{extra}}}{comma}",
             r.name, r.iters, r.min_s, r.mean_s, r.metric, r.unit
         );
     }
@@ -341,7 +525,8 @@ fn render_json(results: &[BenchResult], smoke: bool) -> String {
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_3.json");
+    let mut out_path = String::from("BENCH_4.json");
+    let mut flight_sample: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -353,12 +538,24 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--flight-sample" => match args.next() {
+                Some(p) => flight_sample = Some(p),
+                None => {
+                    eprintln!("--flight-sample needs a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_runner [--smoke] [--out <path>]");
+                eprintln!("usage: bench_runner [--smoke] [--out <path>] [--flight-sample <path>]");
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(path) = &flight_sample {
+        eprintln!("writing flight-recorder sample...");
+        write_flight_sample(path);
     }
 
     let (router_iters, sched_iters, mesh_iters, mesh_cycles) =
@@ -367,6 +564,8 @@ fn main() {
     let mut results = Vec::new();
     eprintln!("router cycle throughput (1000 cycles, mixed TC/BE load)...");
     results.push(run_router_cycle("router_1000_cycles_mixed_load", 64, router_iters));
+    eprintln!("router cycle throughput, same load, metrics collection on...");
+    results.push(run_router_cycle_metrics(64, router_iters));
     eprintln!("router cycle throughput at full 256-slot occupancy...");
     results.push(run_router_cycle("router_1000_cycles_occ256", 256, router_iters));
     for fill in [16usize, 64, 128, 256] {
@@ -377,6 +576,10 @@ fn main() {
     results.push(run_mesh("mesh_8x8_serial", 1, mesh_cycles, mesh_iters));
     eprintln!("8x8 mesh stepping, 4 workers...");
     results.push(run_mesh("mesh_8x8_parallel4", 4, mesh_cycles, mesh_iters));
+    eprintln!("8x8 mesh phase attribution, serial...");
+    results.push(run_mesh_phases("mesh_8x8_serial_phases", 1, mesh_cycles));
+    eprintln!("8x8 mesh phase attribution, 4 workers...");
+    results.push(run_mesh_phases("mesh_8x8_parallel4_phases", 4, mesh_cycles));
     let (leap_cycles, idle_cycles) = if smoke { (2_000, 20_000) } else { (100_000, 1_000_000) };
     eprintln!("8x8 sparse mesh ({leap_cycles} cycles), stepped...");
     results.push(run_sparse_mesh(

@@ -10,13 +10,17 @@
 //! cargo run --release -p rtr-bench --bin network_console -- \
 //!     [side=4] [channels=12] [be_rate=0.1] [cycles=100000] \
 //!     [scheduler=tree|banded:<shift>] [vct=0|1] [seed=42] \
-//!     [sample=<N>] [trace=<path>]
+//!     [sample=<N>] [trace=<path>] [metrics=<path>] [metrics_every=<N>]
 //! ```
 //!
 //! `sample=N` snapshots packet-memory/scheduler/queue gauges every N cycles
 //! and prints an occupancy summary. `trace=<path>` streams the cycle-level
 //! packet lifecycle as JSONL (requires building with `--features trace`;
-//! replay it with the `trace_dump` bin).
+//! replay it with the `trace_dump` bin). `metrics=<path>` writes the
+//! unified metrics registry as JSONL — one line per counter/gauge/histogram
+//! at the end of the run, or every `metrics_every=N` cycles when given
+//! (requires `--features metrics` for non-empty output; `trace_dump`
+//! summarises the file).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +48,8 @@ usage: network_console [key=value ...]
   seed=N                 RNG seed                    (default 42)
   sample=N               gauge-sample every N cycles (default 0 = off)
   trace=PATH             write JSONL packet trace (needs --features trace)
+  metrics=PATH           write metrics-registry JSONL (needs --features metrics)
+  metrics_every=N        snapshot metrics every N cycles (default 0 = end only)
 
 Bare values are read positionally: side channels be_rate cycles scheduler
 vct seed.";
@@ -59,6 +65,8 @@ struct Options {
     seed: u64,
     sample: u64,
     trace: Option<String>,
+    metrics: Option<String>,
+    metrics_every: u64,
 }
 
 impl Default for Options {
@@ -73,6 +81,8 @@ impl Default for Options {
             seed: 42,
             sample: 0,
             trace: None,
+            metrics: None,
+            metrics_every: 0,
         }
     }
 }
@@ -128,6 +138,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "seed" => opts.seed = parse_num(&key, value)?,
             "sample" => opts.sample = parse_num(&key, value)?,
             "trace" => opts.trace = Some(value.to_string()),
+            "metrics" => opts.metrics = Some(value.to_string()),
+            "metrics_every" => opts.metrics_every = parse_num(&key, value)?,
             _ => return Err(format!("unknown key `{key}`")),
         }
     }
@@ -253,7 +265,31 @@ fn main() {
         }
     }
 
-    sim.run(cycles);
+    let mut metrics_file = opts.metrics.as_deref().map(|path| {
+        std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create metrics file {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    if let Some(file) = metrics_file.as_mut() {
+        use std::io::Write as _;
+        if !sim.metrics_registry().enabled() {
+            eprintln!("note: metrics registry inactive; rebuild with --features metrics for data");
+        }
+        // Run in snapshot-sized chunks so the JSONL stream carries one
+        // full registry snapshot per boundary (cycle-stamped lines).
+        let every = if opts.metrics_every > 0 { opts.metrics_every } else { cycles };
+        let mut done = 0;
+        while done < cycles {
+            let span = every.min(cycles - done);
+            sim.run(span);
+            done += span;
+            file.write_all(sim.metrics_snapshot().to_jsonl(sim.now()).as_bytes())
+                .expect("write metrics JSONL");
+        }
+    } else {
+        sim.run(cycles);
+    }
 
     println!();
     println!("reserved links (top 8, densest first):");

@@ -1,9 +1,13 @@
 //! Replays a JSONL trace (written by `network_console trace=<path>` or any
 //! [`rtr_types::trace::JsonlSink`]) into human-readable per-connection
-//! timelines plus a slack summary.
+//! timelines plus a slack summary. Metric lines (`network_console
+//! metrics=<path>`) and flight-recorder dumps share the same flat-JSONL
+//! shape, so the tool reads those too: metric lines become a `metrics_dump`
+//! summary and flight events a post-mortem timeline, interleaved or alone.
 //!
-//! The JSONL codec lives in `rtr-types` and needs no feature flags, so this
-//! tool always builds — only *recording* a trace needs `--features trace`.
+//! The JSONL codecs live in `rtr-types`/`rtr-metrics` and need no feature
+//! flags, so this tool always builds — only *recording* needs
+//! `--features trace` (packet traces) or `--features metrics` (snapshots).
 //!
 //! ```text
 //! cargo run --release -p rtr-bench --bin trace_dump -- <trace.jsonl> \
@@ -15,6 +19,7 @@
 
 use std::collections::BTreeMap;
 
+use rtr_metrics::{MetricLine, MetricValue};
 use rtr_types::trace::{parse_jsonl, TraceEvent, TraceRecord};
 
 const USAGE: &str = "\
@@ -109,9 +114,45 @@ fn main() {
 
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-    let records = parse_jsonl(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+
+    // Partition observability lines (metric snapshots, flight-recorder
+    // headers and events) out of the stream before trace parsing, so one
+    // tool reads console traces, metrics files, and flight dumps alike.
+    let mut metric_lines: Vec<MetricLine> = Vec::new();
+    let mut flight_header: Option<String> = None;
+    let mut flight_events: Vec<String> = Vec::new();
+    let mut trace_text = String::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(metric) = MetricLine::parse(trimmed) {
+            metric_lines.push(metric);
+        } else if trimmed.contains("\"flight\": \"dump\"") {
+            flight_header = Some(trimmed.to_string());
+        } else if trimmed.contains("\"ev\": \"") {
+            flight_events.push(trimmed.to_string());
+        } else {
+            trace_text.push_str(trimmed);
+            trace_text.push('\n');
+        }
+    }
+
+    if let Some(header) = &flight_header {
+        println!("flight-recorder dump: {header}");
+        for event in &flight_events {
+            println!("  {event}");
+        }
+    }
+    print_metrics_dump(&metric_lines);
+
+    let records =
+        parse_jsonl(&trace_text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
     if records.is_empty() {
-        println!("{path}: empty trace");
+        if flight_header.is_none() && metric_lines.is_empty() && flight_events.is_empty() {
+            println!("{path}: empty trace");
+        }
         return;
     }
 
@@ -211,6 +252,41 @@ fn main() {
                     describe(&rec.event)
                 );
             }
+        }
+    }
+}
+
+/// The `metrics_dump` summary: the final registry snapshot in the file,
+/// counters/gauges one per line, histograms as count/mean/max. Earlier
+/// snapshots (from `metrics_every=N` streaming) are only counted.
+fn print_metrics_dump(lines: &[MetricLine]) {
+    if lines.is_empty() {
+        return;
+    }
+    let last_cycle = lines.iter().map(|m| m.cycle).max().unwrap();
+    let snapshots = {
+        let mut cycles: Vec<u64> = lines.iter().map(|m| m.cycle).collect();
+        cycles.sort_unstable();
+        cycles.dedup();
+        cycles.len()
+    };
+    println!();
+    println!(
+        "metrics_dump: {} metrics at cycle {last_cycle}{}",
+        lines.iter().filter(|m| m.cycle == last_cycle).count(),
+        if snapshots > 1 { format!(" (last of {snapshots} snapshots)") } else { String::new() }
+    );
+    for metric in lines.iter().filter(|m| m.cycle == last_cycle) {
+        match &metric.value {
+            MetricValue::Counter(v) => println!("  {:<34} {v}", metric.name),
+            MetricValue::Gauge(v) => println!("  {:<34} {v}  (gauge)", metric.name),
+            MetricValue::Histogram(h) => println!(
+                "  {:<34} count {}  mean {:.1}  max {}",
+                metric.name,
+                h.count,
+                h.mean(),
+                h.max
+            ),
         }
     }
 }

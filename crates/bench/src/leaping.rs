@@ -42,6 +42,8 @@ pub struct LeapingPoint {
     /// Aggregated `next_event` wake-precision counters from the leaping
     /// run — the measure of how much leapable time the chips' conservative
     /// wake predictions forego (ROADMAP's "shave the conservatism" item).
+    /// Sourced from the unified metrics registry (`wake.*` counters), so
+    /// the fields are zero unless the `metrics` feature is enabled.
     pub wake: WakeStats,
 }
 
@@ -184,7 +186,16 @@ pub fn measure(period_slots: u64, cycles: u64, iters: usize) -> LeapingPoint {
         leaping_s = leaping_s.min(start.elapsed().as_secs_f64());
         leaping_ticks = sim.ticks_executed();
         leaping_delivered = sim.topology().nodes().map(|n| sim.log(n).tc.len()).sum();
-        wake = sim.wake_precision().unwrap_or_default();
+        // Read the wake counters back through the metrics registry rather
+        // than the chips directly: the sweep exercises the same export
+        // surface bench_runner embeds in its JSON.
+        let snapshot = sim.metrics_snapshot();
+        wake = WakeStats {
+            polls: snapshot.counter("wake.polls").unwrap_or(0),
+            short_polls: snapshot.counter("wake.short_polls").unwrap_or(0),
+            sync_guard_only: snapshot.counter("wake.sync_guard_only").unwrap_or(0),
+            sync_guard_foregone: snapshot.counter("wake.sync_guard_foregone").unwrap_or(0),
+        };
     }
     assert_eq!(
         stepped_delivered, leaping_delivered,

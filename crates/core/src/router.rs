@@ -183,6 +183,15 @@ impl RealTimeRouter {
         &self.stats
     }
 
+    /// Mutable statistics counters, for fault injection: tests (and the
+    /// flight-recorder demo) corrupt a counter to force a conservation
+    /// violation. Not for datapath use — the router maintains its own
+    /// ledger.
+    #[doc(hidden)]
+    pub fn stats_mut(&mut self) -> &mut RouterStats {
+        &mut self.stats
+    }
+
     /// Checks the packet-conservation invariants (see
     /// [`RouterStats::check_conservation`]) against the live memory
     /// occupancy. Call between cycles.
@@ -969,6 +978,15 @@ impl Chip for RealTimeRouter {
 
     fn wake_stats(&self) -> Option<WakeStats> {
         Some(self.wake.snapshot())
+    }
+
+    fn counters(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        self.stats.emit_counters(emit);
+        emit("sched.key_computations", self.sched.key_computations());
+    }
+
+    fn check_conservation(&self) -> Result<(), String> {
+        RealTimeRouter::check_conservation(self)
     }
 }
 

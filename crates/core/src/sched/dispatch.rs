@@ -240,6 +240,17 @@ impl Scheduler {
     pub fn backlog_for(&self, port: Port) -> usize {
         self.as_dyn().backlog_for(port)
     }
+
+    /// Sorting-key computations performed so far — the comparator tree's
+    /// work counter. Implementations without selection caching (banded,
+    /// oracle) don't count key work and report zero.
+    #[must_use]
+    pub fn key_computations(&self) -> u64 {
+        match self {
+            Scheduler::Tree(t) => t.key_computations(),
+            Scheduler::Banded(_) | Scheduler::Oracle(_) => 0,
+        }
+    }
 }
 
 #[cfg(test)]

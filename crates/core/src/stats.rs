@@ -108,6 +108,30 @@ impl RouterStats {
     pub fn tc_conn_bytes(&self, port_index: usize, conn: ConnectionId) -> u64 {
         self.tc_bytes_by_conn.get(&(port_index, conn)).copied().unwrap_or(0)
     }
+
+    /// Emits every scalar counter under the `router.` namespace, port
+    /// arrays summed — the [`rtr_types::chip::Chip::counters`] contribution
+    /// of a router carrying these stats. Every value here is drive-mode
+    /// independent, so stepped and leaping runs emit identical totals.
+    pub fn emit_counters(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        emit("router.tc_injected", self.tc_injected);
+        emit("router.tc_arrived", self.tc_arrived);
+        emit("router.tc_dropped_no_buffer", self.tc_dropped_no_buffer);
+        emit("router.tc_dropped_no_conn", self.tc_dropped_no_conn);
+        emit("router.tc_malformed", self.tc_malformed);
+        emit("router.tc_transmitted", self.tc_transmitted.iter().sum());
+        emit("router.tc_early_transmitted", self.tc_early_transmitted.iter().sum());
+        emit("router.tc_cut_through", self.tc_cut_through);
+        emit("router.tc_buffered", self.tc_buffered);
+        emit("router.tc_retired", self.tc_retired);
+        emit("router.tc_delivered", self.tc_delivered);
+        emit("router.tc_bytes", self.tc_bytes.iter().sum());
+        emit("router.be_bytes", self.be_bytes.iter().sum());
+        emit("router.be_delivered", self.be_delivered);
+        emit("router.be_malformed", self.be_malformed);
+        emit("router.idle_cycles", self.idle_cycles.iter().sum());
+        emit("router.aliased_keys", self.aliased_keys);
+    }
 }
 
 impl std::fmt::Display for RouterStats {

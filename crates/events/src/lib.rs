@@ -67,6 +67,17 @@ pub struct QueueStats {
     pub cascaded: u64,
 }
 
+impl QueueStats {
+    /// Emits every counter under the `queue.` namespace — the shape the
+    /// simulator's unified metrics registry absorbs.
+    pub fn emit_counters(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        emit("queue.filed", self.filed);
+        emit("queue.fired", self.fired);
+        emit("queue.stale_discarded", self.stale_discarded);
+        emit("queue.cascaded", self.cascaded);
+    }
+}
+
 /// A deterministic hierarchical-timing-wheel wake list.
 ///
 /// Invariants (checked by the unit and property tests):

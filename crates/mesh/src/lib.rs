@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod link;
+pub(crate) mod metrics;
 pub mod netstats;
 pub mod sim;
 pub mod source;

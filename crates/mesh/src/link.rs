@@ -72,6 +72,12 @@ impl Link {
         self.data.len()
     }
 
+    /// Credit batches currently on the reverse wire.
+    #[must_use]
+    pub fn credits_in_flight(&self) -> usize {
+        self.credits.len()
+    }
+
     /// The cycle of the next delivery this link owes (front data symbol or
     /// front credit batch, whichever is earlier); `None` when the wire is
     /// empty in both directions. [`Link::recv`] insists on being called at

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use rtr_types::chip::{Chip, WakeStats};
+use rtr_types::chip::Chip;
 use rtr_types::ids::{ConnectionId, Direction, NodeId};
 use rtr_types::time::{cycle_to_slot, Cycle};
 
@@ -187,11 +187,6 @@ pub struct NetworkReport {
     pub occupancy: Option<OccupancySummary>,
     /// Per-link usage, densest first.
     pub links: Vec<(NodeId, Direction, LinkUsage)>,
-    /// Wake-precision telemetry aggregated over every chip (None unless
-    /// requested via [`NetworkReport::capture_with_wake`]; the plain
-    /// [`NetworkReport::capture`] leaves it out so reports stay comparable
-    /// across stepped and leaping executions, whose poll counts differ).
-    pub wake: Option<WakeStats>,
 }
 
 impl NetworkReport {
@@ -254,18 +249,7 @@ impl NetworkReport {
             slack,
             occupancy,
             links,
-            wake: None,
         }
-    }
-
-    /// Like [`NetworkReport::capture`], but additionally aggregates the
-    /// chips' `next_event` wake-precision counters (see
-    /// [`Simulator::wake_precision`]) into [`NetworkReport::wake`].
-    #[must_use]
-    pub fn capture_with_wake<C: Chip>(sim: &Simulator<C>, slot_bytes: usize) -> NetworkReport {
-        let mut report = Self::capture(sim, slot_bytes);
-        report.wake = sim.wake_precision();
-        report
     }
 
     fn summarise_occupancy<C: Chip>(sim: &Simulator<C>) -> Option<OccupancySummary> {

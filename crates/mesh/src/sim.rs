@@ -10,13 +10,18 @@
 //! are FIFO, and sources that need randomness own their seeded generators.
 
 use rtr_events::{QueueStats, WakeHandle, WakeQueue};
+use rtr_metrics::{
+    FlightEvent, FlightGuard, FlightRecorder, MetricsRegistry, MetricsSnapshot, Phase,
+    PhaseProfiler,
+};
 use rtr_types::chip::{Chip, ChipGauges, ChipIo, WakeStats};
 use rtr_types::flit::LinkSymbol;
 use rtr_types::ids::{Direction, NodeId, Port};
 use rtr_types::packet::{BePacket, TcPacket};
-use rtr_types::time::Cycle;
+use rtr_types::time::{cycle_to_slot, Cycle};
 
 use crate::link::Link;
+use crate::metrics::SimMetrics;
 use crate::source::TrafficSource;
 use crate::stats::DeliveryLog;
 use crate::topology::Topology;
@@ -241,6 +246,9 @@ pub struct Simulator<C: Chip> {
     events_stale: bool,
     /// Quiescence-proof strategy for the leaping paths.
     quiescence: Quiescence,
+    /// Metrics registry, phase profiler, and flight recorder (all
+    /// zero-sized no-ops without the `metrics` feature).
+    metrics: SimMetrics,
     now: Cycle,
 }
 
@@ -318,6 +326,7 @@ impl<C: Chip> Simulator<C> {
             events: EventCore::new(0),
             events_stale: true,
             quiescence: Quiescence::default(),
+            metrics: SimMetrics::new(),
             now: 0,
             topo,
         })
@@ -362,14 +371,18 @@ impl<C: Chip> Simulator<C> {
     }
 
     /// Queues a time-constrained packet for injection at a node.
+    ///
+    /// Injection does not invalidate a warm event core: the leaping paths
+    /// scan injection backlogs directly when proving quiescence, and the
+    /// event-driven step marks chips with pending injections dirty every
+    /// cycle, so no wake can go stale.
     pub fn inject_tc(&mut self, node: NodeId, packet: TcPacket) {
-        self.events_stale = true;
         self.ios[node.index()].inject_tc.push_back(packet);
     }
 
-    /// Queues a best-effort packet for injection at a node.
+    /// Queues a best-effort packet for injection at a node (see
+    /// [`Simulator::inject_tc`] on why this keeps the event core warm).
     pub fn inject_be(&mut self, node: NodeId, packet: BePacket) {
-        self.events_stale = true;
         self.ios[node.index()].inject_be.push_back(packet);
     }
 
@@ -461,6 +474,147 @@ impl<C: Chip> Simulator<C> {
         merged
     }
 
+    /// The unified metrics registry (counters, gauges, histograms). A
+    /// zero-sized no-op without the `metrics` feature; runtime-switchable
+    /// via [`rtr_metrics::MetricsRegistry::set_enabled`] with it.
+    #[must_use]
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics.registry
+    }
+
+    /// The drive-phase wall-clock profiler. Off by default even when
+    /// compiled in; enable with [`rtr_metrics::PhaseProfiler::set_enabled`].
+    #[must_use]
+    pub fn phase_profiler(&self) -> &PhaseProfiler {
+        &self.metrics.profiler
+    }
+
+    /// A snapshot of every registered metric, after absorbing the chips'
+    /// counters, wake-precision telemetry, event-core stats, tick counts,
+    /// and the profiler's phase report into the registry. Empty without
+    /// the `metrics` feature (or with the registry runtime-disabled).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.refresh_metrics();
+        self.metrics.registry.snapshot()
+    }
+
+    /// Folds every external counter source into the registry so a
+    /// subsequent snapshot is complete. Cheap and idempotent: absorbed
+    /// counters are overwritten, not accumulated.
+    fn refresh_metrics(&self) {
+        if !self.metrics.registry.enabled() {
+            return;
+        }
+        let registry = &self.metrics.registry;
+        // Chip counters, summed across nodes. Names repeat per chip, so a
+        // sorted map keeps both the sums and the registration order stable.
+        let mut totals: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for chip in &self.chips {
+            chip.counters(&mut |name, value| {
+                *totals.entry(name).or_insert(0) += value;
+            });
+        }
+        for (_, source) in &self.sources {
+            source.counters(&mut |name, value| {
+                *totals.entry(name).or_insert(0) += value;
+            });
+        }
+        for (name, value) in totals {
+            registry.absorb_counter(name, value);
+        }
+        let mut symbols = 0usize;
+        let mut credit_batches = 0usize;
+        for link in self.links.iter().flat_map(|l| l.iter().flatten()) {
+            symbols += link.in_flight();
+            credit_batches += link.credits_in_flight();
+        }
+        registry.set_gauge(registry.gauge("sim.link_symbols_in_flight"), symbols as i64);
+        registry.set_gauge(registry.gauge("sim.link_credits_in_flight"), credit_batches as i64);
+        if let Some(wake) = self.wake_precision() {
+            registry.absorb_counter("wake.polls", wake.polls);
+            registry.absorb_counter("wake.short_polls", wake.short_polls);
+            registry.absorb_counter("wake.sync_guard_only", wake.sync_guard_only);
+            registry.absorb_counter("wake.sync_guard_foregone", wake.sync_guard_foregone);
+        }
+        if let Some(queue) = self.event_core_stats() {
+            queue.emit_counters(&mut |name, value| registry.absorb_counter(name, value));
+        }
+        registry.absorb_counter("sim.ticks_executed", self.ticks_executed);
+        registry.absorb_counter("sim.cycles", self.now);
+        for line in self.metrics.profiler.report() {
+            if line.calls > 0 {
+                registry.absorb_counter(&format!("profile.{}.ns", line.phase.name()), line.ns);
+                registry
+                    .absorb_counter(&format!("profile.{}.calls", line.phase.name()), line.calls);
+            }
+        }
+    }
+
+    /// Arms a flight recorder keeping the last `cap` trace events in a
+    /// ring, dumped as JSONL to `path` on the first conservation failure,
+    /// missed deadline (see [`Simulator::watch_deadlines`]), or panic (see
+    /// [`Simulator::flight_guard`]). No-op without the `metrics` feature.
+    pub fn arm_flight_recorder(&mut self, cap: usize, path: impl Into<std::path::PathBuf>) {
+        self.metrics.arm_recorder(cap, path.into());
+    }
+
+    /// The armed flight recorder, if any.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.metrics.recorder()
+    }
+
+    /// Makes the armed flight recorder dump when a time-constrained packet
+    /// is delivered after its deadline (`slot_bytes` converts delivery
+    /// cycles to slot numbers, as in the delivery-log accounting).
+    pub fn watch_deadlines(&mut self, slot_bytes: usize) {
+        self.metrics.watch_deadlines(slot_bytes);
+    }
+
+    /// A guard that dumps the flight ring if the current thread panics
+    /// while it is alive (`None` when no recorder is armed). Take one at
+    /// the top of a test body to capture the moments before an assert.
+    #[must_use]
+    pub fn flight_guard(&self) -> Option<FlightGuard> {
+        let recorder = self.metrics.recorder()?;
+        Some(recorder.panic_guard(self.metrics_snapshot()))
+    }
+
+    /// Checks every chip's conservation ledger, dumping the flight ring
+    /// (when a recorder is armed) and returning the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending node and the chip's own ledger description.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for (node, chip) in self.chips.iter().enumerate() {
+            if let Err(violation) = chip.check_conservation() {
+                let message = format!("node {node}: {violation}");
+                if let Some(rec) = self.metrics.recorder() {
+                    rec.dump("conservation", &self.metrics_snapshot());
+                }
+                return Err(message);
+            }
+        }
+        Ok(())
+    }
+
+    /// Dumps the flight ring if a trigger was raised mid-step. Triggers
+    /// fire from places without `&self` access (e.g. the delivery drain);
+    /// the dump happens here, at the end of the step, where a full
+    /// metrics snapshot can accompany the events.
+    fn flush_flight_trigger(&self) {
+        let Some(reason) = self.metrics.recorder().and_then(FlightRecorder::take_trigger) else {
+            return;
+        };
+        let snapshot = self.metrics_snapshot();
+        if let Some(rec) = self.metrics.recorder() {
+            rec.dump(reason, &snapshot);
+        }
+    }
+
     /// Traffic carried so far by the link leaving `node` in `dir`.
     #[must_use]
     pub fn link_usage(&self, node: NodeId, dir: Direction) -> LinkUsage {
@@ -487,18 +641,31 @@ impl<C: Chip> Simulator<C> {
     }
 
     /// Advances the network by one cycle.
+    ///
+    /// While the event core is warm (a leaping call primed it and nothing
+    /// invalidated it since), this runs the bookkeeping step instead — the
+    /// results are bit-identical, and keeping the queue warm means a later
+    /// leaping call starts from live wakes instead of an O(components)
+    /// re-prime (counted by the `sim.stale_repolls` metric).
     pub fn step(&mut self) {
+        if !self.events_stale {
+            self.step_ev();
+            return;
+        }
         // The plain stepped path does no wake bookkeeping (keeping it at
-        // zero event-core overhead), so any wakes registered earlier no
-        // longer describe the world.
-        self.events_stale = true;
+        // zero event-core overhead); `events_stale` is already set.
+        let t = self.metrics.profiler.start();
         let now = self.phase_pre::<false>();
+        let t = self.metrics.profiler.lap(Phase::LinkPre, t);
         // 3. Chips tick.
         for (chip, io) in self.chips.iter_mut().zip(self.ios.iter_mut()) {
             chip.tick(now, io);
         }
         self.ticks_executed += self.chips.len() as u64;
+        let t = self.metrics.profiler.lap(Phase::SerialTick, t);
         self.phase_post::<false>(now);
+        self.metrics.profiler.stop(Phase::LinkPost, t);
+        self.flush_flight_trigger();
     }
 
     /// Pre-tick phases of one cycle: link arrivals and traffic sources.
@@ -614,7 +781,37 @@ impl<C: Chip> Simulator<C> {
             }
         }
 
-        // 5. Drain deliveries.
+        // 5. Drain deliveries — recording them in the flight ring when a
+        // recorder is armed, and raising a trigger on a missed deadline
+        // when a deadline watch is configured.
+        if let Some(rec) = self.metrics.recorder() {
+            let slot_bytes = self.metrics.deadline_slot_bytes();
+            for (node, io) in self.ios.iter().enumerate() {
+                for (cycle, p) in &io.delivered_tc {
+                    rec.record(FlightEvent {
+                        cycle: *cycle,
+                        kind: "deliver_tc",
+                        node: node as u32,
+                        a: u64::from(p.conn.0),
+                        b: p.trace.deadline,
+                    });
+                    if let Some(sb) = slot_bytes {
+                        if p.trace.deadline != 0 && cycle_to_slot(*cycle, sb) > p.trace.deadline {
+                            rec.trigger("deadline_miss");
+                        }
+                    }
+                }
+                for (cycle, p) in &io.delivered_be {
+                    rec.record(FlightEvent {
+                        cycle: *cycle,
+                        kind: "deliver_be",
+                        node: node as u32,
+                        a: p.payload.len() as u64,
+                        b: 0,
+                    });
+                }
+            }
+        }
         for (io, log) in self.ios.iter_mut().zip(self.logs.iter_mut()) {
             log.tc.append(&mut io.delivered_tc);
             log.be.append(&mut io.delivered_be);
@@ -654,6 +851,7 @@ impl<C: Chip> Simulator<C> {
     fn step_ev(&mut self) {
         self.ensure_events();
         let now = self.now;
+        let t = self.metrics.profiler.start();
         self.events.dirty.clear();
         let mut due = std::mem::take(&mut self.events.due);
         due.clear();
@@ -662,20 +860,28 @@ impl<C: Chip> Simulator<C> {
             self.events.mark(h.index(), now);
         }
         self.events.due = due;
+        let t = self.metrics.profiler.lap(Phase::WheelPop, t);
         self.phase_pre::<true>();
+        let t = self.metrics.profiler.lap(Phase::LinkPre, t);
         for (chip, io) in self.chips.iter_mut().zip(self.ios.iter_mut()) {
             chip.tick(now, io);
         }
         self.ticks_executed += self.chips.len() as u64;
+        let t = self.metrics.profiler.lap(Phase::SerialTick, t);
         self.phase_post::<true>(now);
+        let t = self.metrics.profiler.lap(Phase::LinkPost, t);
         self.repoll_dirty(now);
+        self.metrics.profiler.stop(Phase::Repoll, t);
+        self.flush_flight_trigger();
     }
 
     /// Re-registers the wakes of every dirty component (or of everything,
     /// right after a rebuild) at the end of the cycle `now`.
     fn repoll_dirty(&mut self, now: Cycle) {
         if std::mem::take(&mut self.events.prime) {
-            for h in 0..self.events.queue.handles() {
+            let handles = self.events.queue.handles();
+            self.metrics.registry.inc(self.metrics.ids.stale_repolls, handles as u64);
+            for h in 0..handles {
                 self.repoll(h, now);
             }
         } else {
@@ -773,6 +979,13 @@ impl<C: Chip> Simulator<C> {
     fn leap_to(&mut self, target: Cycle) {
         let from = self.now;
         debug_assert!(target > from, "leap must move forward");
+        let t = self.metrics.profiler.start();
+        self.metrics.registry.inc(self.metrics.ids.leaps, 1);
+        self.metrics.registry.inc(self.metrics.ids.leaped_cycles, target - from);
+        self.metrics.registry.observe(self.metrics.ids.leap_len, target - from);
+        if let Some(rec) = self.metrics.recorder() {
+            rec.record(FlightEvent { cycle: from, kind: "leap", node: 0, a: from, b: target });
+        }
         if let Some(every) = self.gauge_every {
             let mut at = from.next_multiple_of(every);
             while at < target {
@@ -784,6 +997,7 @@ impl<C: Chip> Simulator<C> {
             chip.skip_quiet(from, target);
         }
         self.now = target;
+        self.metrics.profiler.stop(Phase::LeapApply, t);
     }
 
     /// Runs until `predicate` returns true (checked after each cycle) or
@@ -817,12 +1031,19 @@ impl<C: Chip + Send> Simulator<C> {
             self.step();
             return;
         }
-        self.events_stale = true;
+        if !self.events_stale {
+            // Keep a warm event core warm, exactly as [`Simulator::step`].
+            self.step_parallel_ev();
+            return;
+        }
+        let t = self.metrics.profiler.start();
         let now = self.phase_pre::<false>();
+        let t = self.metrics.profiler.lap(Phase::LinkPre, t);
         // 3. Chips tick, one contiguous chunk of nodes per worker; the
         // first chunk runs on the calling thread to save one spawn.
         let chunk = self.chips.len().div_ceil(self.workers);
-        std::thread::scope(|scope| {
+        let prof = &self.metrics.profiler;
+        let t = std::thread::scope(|scope| {
             let mut chunks = self.chips.chunks_mut(chunk).zip(self.ios.chunks_mut(chunk));
             let local = chunks.next();
             for (chips, ios) in chunks {
@@ -832,14 +1053,21 @@ impl<C: Chip + Send> Simulator<C> {
                     }
                 });
             }
+            let t = prof.lap(Phase::ParSpawn, t);
             if let Some((chips, ios)) = local {
                 for (chip, io) in chips.iter_mut().zip(ios.iter_mut()) {
                     chip.tick(now, io);
                 }
             }
+            prof.lap(Phase::ParLocal, t)
+            // `thread::scope` joins the workers after this closure
+            // returns, so the next lap below is pure barrier wait.
         });
+        let t = self.metrics.profiler.lap(Phase::ParBarrier, t);
         self.ticks_executed += self.chips.len() as u64;
         self.phase_post::<false>(now);
+        self.metrics.profiler.stop(Phase::LinkPost, t);
+        self.flush_flight_trigger();
     }
 
     /// Event-core counterpart of [`Simulator::step_parallel`]: chips tick
@@ -853,6 +1081,7 @@ impl<C: Chip + Send> Simulator<C> {
     fn step_parallel_ev(&mut self) {
         self.ensure_events();
         let now = self.now;
+        let t = self.metrics.profiler.start();
         self.events.dirty.clear();
         let mut due = std::mem::take(&mut self.events.due);
         due.clear();
@@ -861,11 +1090,17 @@ impl<C: Chip + Send> Simulator<C> {
             self.events.mark(h.index(), now);
         }
         self.events.due = due;
+        let t = self.metrics.profiler.lap(Phase::WheelPop, t);
         self.phase_pre::<true>();
+        let t = self.metrics.profiler.lap(Phase::LinkPre, t);
 
         let n = self.chips.len();
         let chunk = n.div_ceil(self.workers);
         let prime = std::mem::take(&mut self.events.prime);
+        if prime {
+            let handles = self.events.queue.handles();
+            self.metrics.registry.inc(self.metrics.ids.stale_repolls, handles as u64);
+        }
         // Chip handles each worker must re-poll, bucketed by chunk.
         let mut poll: Vec<Vec<u32>> = vec![Vec::new(); n.div_ceil(chunk)];
         if prime {
@@ -879,7 +1114,9 @@ impl<C: Chip + Send> Simulator<C> {
                 }
             }
         }
-        let buffers: Vec<Vec<(u32, Option<Cycle>)>> = std::thread::scope(|scope| {
+        type WakeBuffer = Vec<(u32, Option<Cycle>)>;
+        let prof = &self.metrics.profiler;
+        let (buffers, t): (Vec<WakeBuffer>, _) = std::thread::scope(|scope| {
             let mut chunks = self
                 .chips
                 .chunks_mut(chunk)
@@ -899,6 +1136,7 @@ impl<C: Chip + Send> Simulator<C> {
                         .collect::<Vec<_>>()
                 }));
             }
+            let t = prof.lap(Phase::ParSpawn, t);
             let mut out = Vec::with_capacity(joins.len() + 1);
             if let Some((_, ((chips, ios), list))) = local {
                 for (chip, io) in chips.iter_mut().zip(ios.iter_mut()) {
@@ -906,11 +1144,15 @@ impl<C: Chip + Send> Simulator<C> {
                 }
                 out.push(list.iter().map(|&h| (h, chips[h as usize].next_event(now))).collect());
             }
+            let t = prof.lap(Phase::ParLocal, t);
+            // The joins below (and the implicit scope join) are the
+            // barrier: time until every worker buffer is in hand.
             for join in joins {
                 out.push(join.join().expect("worker thread panicked"));
             }
-            out
+            (out, t)
         });
+        let t = self.metrics.profiler.lap(Phase::ParBarrier, t);
         for buffer in buffers {
             for (h, at) in buffer {
                 match at {
@@ -919,8 +1161,10 @@ impl<C: Chip + Send> Simulator<C> {
                 }
             }
         }
+        let t = self.metrics.profiler.lap(Phase::Repoll, t);
         self.ticks_executed += n as u64;
         self.phase_post::<true>(now);
+        let t = self.metrics.profiler.lap(Phase::LinkPost, t);
         // Links and sources: serial re-poll of the non-chip handles.
         if prime {
             for h in n..self.events.queue.handles() {
@@ -935,6 +1179,8 @@ impl<C: Chip + Send> Simulator<C> {
             }
             self.events.dirty = dirty;
         }
+        self.metrics.profiler.stop(Phase::Repoll, t);
+        self.flush_flight_trigger();
     }
 
     /// Runs for `cycles` cycles using [`Simulator::step_parallel`]. The
@@ -990,7 +1236,10 @@ impl<C: Chip + Send> Simulator<C> {
                     if self.now >= end {
                         break;
                     }
-                    if let Some(target) = self.quiet_until(end) {
+                    let t = self.metrics.profiler.start();
+                    let target = self.quiet_until(end);
+                    self.metrics.profiler.stop(Phase::LeapPlan, t);
+                    if let Some(target) = target {
                         self.leap_to(target);
                     }
                 }
@@ -1006,7 +1255,10 @@ impl<C: Chip + Send> Simulator<C> {
                     if self.now >= end {
                         break;
                     }
-                    if let Some(target) = self.events_quiet_target(end) {
+                    let t = self.metrics.profiler.start();
+                    let target = self.events_quiet_target(end);
+                    self.metrics.profiler.stop(Phase::LeapPlan, t);
+                    if let Some(target) = target {
                         self.leap_to(target);
                     }
                 }
@@ -1051,15 +1303,18 @@ impl<C: Chip + Send> Simulator<C> {
             if self.now >= end {
                 break;
             }
+            let t = self.metrics.profiler.start();
             let target = match self.quiescence {
                 Quiescence::Scan => self.quiet_until(end),
                 Quiescence::EventQueue => self.events_quiet_target(end),
             };
+            self.metrics.profiler.stop(Phase::LeapPlan, t);
             let Some(target) = target else { continue };
             // Walk the quiet span boundary-by-boundary without ticking:
             // every gauge boundary records, every cycle boundary gets its
             // predicate evaluation, exactly as stepped execution would.
             let from = self.now;
+            let t = self.metrics.profiler.start();
             let mut fired = false;
             while self.now < target {
                 if let Some(every) = self.gauge_every {
@@ -1077,6 +1332,12 @@ impl<C: Chip + Send> Simulator<C> {
             for chip in &mut self.chips {
                 chip.skip_quiet(from, to);
             }
+            if to > from {
+                self.metrics.registry.inc(self.metrics.ids.leaps, 1);
+                self.metrics.registry.inc(self.metrics.ids.leaped_cycles, to - from);
+                self.metrics.registry.observe(self.metrics.ids.leap_len, to - from);
+            }
+            self.metrics.profiler.stop(Phase::LeapApply, t);
             if fired {
                 return true;
             }

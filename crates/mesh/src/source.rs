@@ -26,6 +26,15 @@ pub trait TrafficSource {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         Some(now + 1)
     }
+
+    /// Emits this source's counters into the simulator's metrics registry
+    /// (same contract as [`rtr_types::chip::Chip::counters`]: call `emit`
+    /// once per counter with a stable name; values from sources at
+    /// different nodes are summed under the same name). The default emits
+    /// nothing.
+    fn counters(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        let _ = emit;
+    }
 }
 
 /// Wraps a closure as a traffic source.

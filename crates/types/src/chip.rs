@@ -176,6 +176,36 @@ pub trait Chip {
     fn wake_stats(&self) -> Option<WakeStats> {
         None
     }
+
+    /// Contributes this chip's monotone counters to a metrics collection,
+    /// one `(name, value)` call per counter. Names are stable, namespaced
+    /// (e.g. `router.tc_arrived`, `sched.key_computations`), and identical
+    /// across the chips of one network so the simulator can sum them into a
+    /// unified [`MetricsRegistry`] snapshot. The default contributes
+    /// nothing.
+    ///
+    /// Counters emitted here must be *drive-mode independent*: a stepped
+    /// run and an event-leaping run of the same scenario must report
+    /// byte-identical totals (the metrics-equivalence suite enforces this),
+    /// so per-poll or per-wake bookkeeping belongs in
+    /// [`Chip::wake_stats`], not here.
+    ///
+    /// [`MetricsRegistry`]: https://docs.rs/rtr-metrics
+    fn counters(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        let _ = emit;
+    }
+
+    /// Checks the chip's internal conservation ledger (every packet
+    /// accounted for exactly once), if it keeps one. Called by the
+    /// simulator between cycles; a violation trips the flight recorder.
+    /// The default has no ledger and always passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    fn check_conservation(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,8 @@
 //!
 //! * [`types`] — shared vocabulary (clock, keys, packets, config),
 //! * [`events`] — the calendar-queue wake list behind time leaping,
+//! * [`metrics`] — the unified metrics registry, phase profiler, and
+//!   flight recorder (live with `--features metrics`, zero-sized without),
 //! * [`core`] — the real-time router chip model,
 //! * [`mesh`] — the cycle-stepped network simulator,
 //! * [`channels`] — real-time channel admission and establishment,
@@ -24,6 +26,7 @@ pub use rtr_core as core;
 pub use rtr_events as events;
 pub use rtr_hwcost as hwcost;
 pub use rtr_mesh as mesh;
+pub use rtr_metrics as metrics;
 pub use rtr_types as types;
 pub use rtr_workloads as workloads;
 

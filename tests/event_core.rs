@@ -9,9 +9,13 @@
 //! and the full `Debug` rendering of [`NetworkReport`]. A separate test
 //! pins the queue and the scan to identical observables, and the mid-leap
 //! predicate test locks [`Simulator::run_until_leaping`] to stepped
-//! `run_until` semantics. The wake-queue unit tests (stale-wake
-//! invalidation, same-cycle re-registration, wheel rollover) exercise the
-//! public `events` API directly.
+//! `run_until` semantics. The conservation test closes the per-node packet
+//! ledger under all four drive modes (stepped, serial leaping, parallel
+//! leaping, scan quiescence), and the warm-queue test pins the newer
+//! contract that plain `step` drives a primed event queue instead of
+//! staling it. The wake-queue unit tests (stale-wake invalidation,
+//! same-cycle re-registration, wheel rollover) exercise the public
+//! `events` API directly.
 
 use realtime_router::channels::establish::{EstablishedChannel, Hop};
 use realtime_router::channels::sender::ChannelSender;
@@ -269,6 +273,71 @@ fn run_until_budget_exhaustion_matches_stepped() {
     assert!(!leaping.run_until_leaping(budget, |_| false));
     assert_eq!(stepped.now(), leaping.now(), "budget must bound both runs identically");
     assert_eq!(fingerprint(&stepped), fingerprint(&leaping));
+}
+
+/// The per-node conservation ledger (arrived = buffered + delivered +
+/// dropped + forwarded, memory occupancy consistent) must close under every
+/// drive mode: plain stepping, serial event-queue leaping, 4-worker
+/// parallel leaping, and the legacy O(components) quiescence scan.
+#[test]
+fn conservation_holds_across_all_drive_modes() {
+    let cycles = 4_000;
+
+    let mut stepped = build_mesh(8, 0.05);
+    stepped.run(cycles);
+    stepped.check_conservation().expect("stepped run must conserve packets");
+
+    let mut serial = build_mesh(8, 0.05);
+    serial.run_leaping(cycles);
+    serial.check_conservation().expect("serial leaping run must conserve packets");
+
+    let mut parallel = build_mesh(8, 0.05);
+    parallel.set_parallelism(4);
+    parallel.run_leaping(cycles);
+    parallel.check_conservation().expect("parallel leaping run must conserve packets");
+
+    let mut scanned = build_mesh(8, 0.05);
+    scanned.set_quiescence(Quiescence::Scan);
+    scanned.run_leaping(cycles);
+    scanned.check_conservation().expect("scan-quiescence run must conserve packets");
+}
+
+/// Interleaving plain `run` between leaping runs must keep the event queue
+/// warm (no teardown, no re-poll storm) and stay byte-identical to a pure
+/// stepped run: plain `step` now drives the live queue instead of staling
+/// it, so only explicit mutation (`chip_mut`, `add_source`) forces a
+/// re-prime.
+#[test]
+fn plain_stepping_keeps_event_queue_warm() {
+    let mut cold = build_mesh(64, 0.0);
+    cold.run(2_000);
+    assert!(
+        cold.event_core_stats().is_none(),
+        "a never-leaped sim must not have built the event core"
+    );
+
+    let mut interleaved = build_mesh(64, 0.0);
+    interleaved.run_leaping(6_000);
+    assert!(interleaved.event_core_stats().is_some(), "leaping must build the queue");
+    interleaved.run(6_000); // plain stepped segment in the middle
+    assert!(
+        interleaved.event_core_stats().is_some(),
+        "plain stepping must keep the primed queue warm, not tear it down"
+    );
+    interleaved.run_leaping(8_000);
+
+    let mut stepped = build_mesh(64, 0.0);
+    stepped.run(20_000);
+    assert_eq!(stepped.now(), interleaved.now());
+    assert_eq!(
+        fingerprint(&stepped),
+        fingerprint(&interleaved),
+        "stepped vs leap/step/leap interleave"
+    );
+    assert!(
+        interleaved.ticks_executed() < stepped.ticks_executed(),
+        "the leaping segments must still skip quiet cycles"
+    );
 }
 
 /// Stale wakes never fire: re-registering at a later cycle invalidates the
