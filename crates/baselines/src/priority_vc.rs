@@ -350,6 +350,12 @@ impl Chip for PriorityVcRouter {
         earliest
     }
 
+    fn skip_quiet(&mut self, _from: Cycle, _to: Cycle) {
+        // Sparse ticking and leaps skip this chip's quiet cycles entirely;
+        // every counter here is event-based (delivered/dropped/bytes), so a
+        // skipped span needs no reconciliation.
+    }
+
     fn wake_stats(&self) -> Option<WakeStats> {
         Some(WakeStats {
             polls: self.wake_polls.get(),

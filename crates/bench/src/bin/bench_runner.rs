@@ -2,11 +2,12 @@
 //!
 //! Runs the performance-critical scenarios — single-router cycle
 //! throughput, scheduler selection cost across occupancies, full-mesh
-//! stepping (serial and parallel), and the sparse leaping suite (8×8 and
-//! 32×32, event-queue vs quiescence-scan) — with fixed seeds and
-//! hand-rolled timing, then writes the results as JSON so a run can be
-//! committed next to the code it measured (`BENCH_4.json`; earlier
-//! revisions live in `BENCH_1.json` through `BENCH_3.json`).
+//! stepping (serial and pool-parallel), the sparse leaping suite (8×8,
+//! 32×32, and 128×128; event-queue vs quiescence-scan), and mesh
+//! construction cost — with fixed seeds and hand-rolled timing, then
+//! writes the results as JSON so a run can be committed next to the code
+//! it measured (`BENCH_5.json`; earlier revisions live in `BENCH_1.json`
+//! through `BENCH_4.json`).
 //!
 //! Built with `--features metrics`, rows additionally embed counter and
 //! phase-profile columns from the unified metrics registry (wake polls,
@@ -60,19 +61,22 @@ struct BenchResult {
 /// Times `iters` runs of `work` over fresh untimed `setup` state (after
 /// one untimed warm-up), returning (min, mean) seconds per run — the
 /// `iter_batched` discipline of the Criterion benches, so numbers compare.
+/// State is passed by `&mut` and dropped after the clock stops, so
+/// teardown (e.g. joining a simulator's worker pool) is never measured.
 fn time_runs<S>(
     iters: usize,
     mut setup: impl FnMut() -> S,
-    mut work: impl FnMut(S) -> u64,
+    mut work: impl FnMut(&mut S) -> u64,
 ) -> (f64, f64) {
     let mut sink = 0u64;
-    sink = sink.wrapping_add(work(setup())); // warm-up
+    sink = sink.wrapping_add(work(&mut setup())); // warm-up
     let mut times = Vec::with_capacity(iters);
     for _ in 0..iters {
-        let state = setup();
+        let mut state = setup();
         let start = Instant::now();
-        sink = sink.wrapping_add(work(state));
+        sink = sink.wrapping_add(work(&mut state));
         times.push(start.elapsed().as_secs_f64());
+        drop(state);
     }
     // Keep the checksum alive so the work cannot be optimised away.
     std::hint::black_box(sink);
@@ -116,11 +120,11 @@ fn run_router_cycle(name: &str, tc_packets: u64, iters: usize) -> BenchResult {
     let (min_s, mean_s) = time_runs(
         iters,
         || loaded_router(tc_packets),
-        |(mut router, mut io)| {
+        |(router, io)| {
             for now in 0..CYCLES {
                 io.begin_cycle();
                 io.credit_in[1] = 1;
-                router.tick(now, &mut io);
+                router.tick(now, io);
                 io.tx = Default::default();
                 io.credit_out = [0; 5];
             }
@@ -152,11 +156,11 @@ fn run_router_cycle_metrics(tc_packets: u64, iters: usize) -> BenchResult {
     let (min_s, mean_s) = time_runs(
         iters,
         || loaded_router(tc_packets),
-        |(mut router, mut io)| {
+        |(router, io)| {
             for now in 0..CYCLES {
                 io.begin_cycle();
                 io.credit_in[1] = 1;
-                router.tick(now, &mut io);
+                router.tick(now, io);
                 registry.inc(cycles_ctr, 1);
                 io.tx = Default::default();
                 io.credit_out = [0; 5];
@@ -221,9 +225,10 @@ fn registry_columns(sim: &Simulator<RealTimeRouter>) -> Option<String> {
 /// One profiled run of the 8×8 best-effort mesh: enables the phase
 /// profiler, runs once, and reports each phase's share of the measured
 /// wall-clock plus the dominant phase by name — the row that attributes
-/// the serial-vs-parallel stepping gap (thread spawn + barrier cost).
-/// The `metric` is the dominant phase's share. Without the `metrics`
-/// feature the profiler records nothing and the row reports "none".
+/// the serial-vs-parallel stepping gap (pool hand-off and wait cost,
+/// formerly thread spawn + barrier). The `metric` is the dominant phase's
+/// share. Without the `metrics` feature the profiler records nothing and
+/// the row reports "none".
 fn run_mesh_phases(name: &str, workers: usize, cycles: u64) -> BenchResult {
     let mut sim = loaded_mesh(workers);
     sim.phase_profiler().set_enabled(true);
@@ -318,7 +323,7 @@ fn run_scheduler_select(fill: usize, iters: usize) -> BenchResult {
     let (min_s, mean_s) = time_runs(
         iters,
         || (),
-        |()| {
+        |&mut ()| {
             let mut acc = 0u64;
             for _ in 0..READS_PER_ITER / 5 {
                 for port in Port::ALL {
@@ -346,8 +351,10 @@ fn loaded_mesh(workers: usize) -> Simulator<RealTimeRouter> {
     use rtr_workloads::be::{RandomBeSource, SizeDist};
     use rtr_workloads::patterns::TrafficPattern;
     let topo = Topology::mesh(8, 8);
+    let template = rtr_core::RouterTemplate::new(RouterConfig::default()).unwrap();
     let mut sim =
-        Simulator::build(topo.clone(), |_| RealTimeRouter::new(RouterConfig::default())).unwrap();
+        Simulator::build(topo.clone(), |_| Ok::<_, std::convert::Infallible>(template.build()))
+            .unwrap();
     sim.set_parallelism(workers);
     for node in topo.nodes() {
         sim.add_source(
@@ -372,7 +379,7 @@ fn run_mesh(name: &str, workers: usize, cycles: u64, iters: usize) -> BenchResul
     let (min_s, mean_s) = time_runs(
         iters,
         || loaded_mesh(workers),
-        |mut sim| {
+        |sim| {
             sim.run_parallel(cycles);
             sim.now()
         },
@@ -423,7 +430,7 @@ fn run_sparse_mesh(
             }
             sim
         },
-        |mut sim| {
+        |sim| {
             match drive {
                 Drive::Stepped => sim.run(cycles),
                 Drive::LeapQueue | Drive::LeapScan => sim.run_leaping(cycles),
@@ -452,20 +459,22 @@ fn run_sparse_mesh(
     }
 }
 
-/// Construction cost of the 32×32 sparse mesh — topology wiring, 1024
-/// router chips, link/feeder tables, and source hookup. Kept measured so
-/// big-mesh setup stays cheap enough to amortise over a sweep.
-fn run_mesh_build(iters: usize) -> BenchResult {
+/// Construction cost of a sparse sweep mesh — topology wiring, the router
+/// chips (built from one shared [`rtr_core::RouterTemplate`]), link/feeder
+/// tables, and source hookup. Kept measured so big-mesh setup stays cheap
+/// enough to amortise over a sweep; the 128×128 row is the mega-mesh
+/// build-time deliverable.
+fn run_mesh_build(width: u16, height: u16, period_slots: u64, iters: usize) -> BenchResult {
     let (min_s, mean_s) = time_runs(
         iters,
         || (),
-        |()| {
-            let sim = rtr_bench::leaping::periodic_mesh_sized(32, 32, 1024);
+        |&mut ()| {
+            let sim = rtr_bench::leaping::periodic_mesh_sized(width, height, period_slots);
             sim.topology().len() as u64
         },
     );
     BenchResult {
-        name: "mesh_32x32_build".to_string(),
+        name: format!("mesh_{width}x{height}_build"),
         iters,
         min_s,
         mean_s,
@@ -485,7 +494,7 @@ fn run_idle_leap(cycles: u64, iters: usize) -> BenchResult {
             Simulator::build(Topology::mesh(8, 8), |_| RealTimeRouter::new(RouterConfig::default()))
                 .unwrap()
         },
-        |mut sim: Simulator<RealTimeRouter>| {
+        |sim: &mut Simulator<RealTimeRouter>| {
             sim.run_leaping(cycles);
             sim.ticks_executed()
         },
@@ -525,7 +534,7 @@ fn render_json(results: &[BenchResult], smoke: bool) -> String {
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_5.json");
     let mut flight_sample: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -614,7 +623,7 @@ fn main() {
     eprintln!("8x8 idle mesh ({idle_cycles} cycles), leaping...");
     results.push(run_idle_leap(idle_cycles, mesh_iters));
     eprintln!("32x32 sparse mesh construction...");
-    results.push(run_mesh_build(mesh_iters));
+    results.push(run_mesh_build(32, 32, 1024, mesh_iters));
     // 0.1% injection: period-1024 channels on the 1024-node mesh. The
     // stepped reference covers fewer cycles (1024 nodes make stepping
     // ~16× the 8×8 cost) — rates are per node-cycle, so they compare.
@@ -649,6 +658,22 @@ fn main() {
         Drive::LeapScan,
         sparse32_cycles,
         sparse32_iters,
+    ));
+    // The mega-mesh: 16 384 routers. Only the leaping drive is viable —
+    // sparse ticking touches the handful of active chips and leaps over
+    // everything else, so simulated throughput is set by events, not nodes.
+    let (sparse128_cycles, sparse128_iters) = if smoke { (2_000, 1) } else { (100_000, 3) };
+    eprintln!("128x128 sparse mesh construction...");
+    results.push(run_mesh_build(128, 128, 4096, sparse128_iters));
+    eprintln!("128x128 sparse mesh ({sparse128_cycles} cycles), leaping (event queue)...");
+    results.push(run_sparse_mesh(
+        "mesh_128x128_sparse_leaping",
+        128,
+        128,
+        4096,
+        Drive::LeapQueue,
+        sparse128_cycles,
+        sparse128_iters,
     ));
 
     let json = render_json(&results, smoke);

@@ -89,7 +89,13 @@ pub fn periodic_mesh_sized(
     assert!(width >= 2 && height >= 4, "sweep mesh needs at least 2 columns and 4 rows");
     let config = RouterConfig::default();
     let topo = Topology::mesh(width, height);
-    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    // One template validates the config and builds the routing table once;
+    // every router shares them, which is what keeps mega-mesh construction
+    // (128×128 = 16 384 routers) from being dominated by per-router setup.
+    let template = rtr_core::RouterTemplate::new(config.clone()).unwrap();
+    let mut sim =
+        Simulator::build(topo.clone(), |_| Ok::<_, std::convert::Infallible>(template.build()))
+            .unwrap();
     let rows = [0, height / 4, height * 5 / 8, height - 1];
     for (i, y) in rows.into_iter().enumerate() {
         let conn = ConnectionId(10 + i as u16);

@@ -7,6 +7,8 @@
 //! them), and the connection identifier the packet will carry to the next
 //! hop.
 
+use std::sync::Arc;
+
 use rtr_types::ids::ConnectionId;
 use rtr_types::SlotClock;
 
@@ -25,9 +27,15 @@ pub struct ConnEntry {
 }
 
 /// The table of per-connection routing and scheduling state.
+///
+/// The entry storage sits behind an [`Arc`] with copy-on-write updates:
+/// cloning a table (as [`crate::router::RouterTemplate`] does for every
+/// router of a mesh) shares one allocation until a node actually installs
+/// or removes a connection, which keeps mega-mesh construction from being
+/// dominated by per-router table copies.
 #[derive(Debug, Clone)]
 pub struct ConnectionTable {
-    entries: Vec<Option<ConnEntry>>,
+    entries: Arc<Vec<Option<ConnEntry>>>,
 }
 
 /// Why a table update was rejected.
@@ -76,7 +84,7 @@ impl ConnectionTable {
     /// chip).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        ConnectionTable { entries: vec![None; capacity] }
+        ConnectionTable { entries: Arc::new(vec![None; capacity]) }
     }
 
     /// Table capacity.
@@ -127,7 +135,7 @@ impl ConnectionTable {
         if entry.out_mask & !0b1_1111 != 0 {
             return Err(TableError::BadMask { mask: entry.out_mask });
         }
-        self.entries[incoming.index()] = Some(entry);
+        Arc::make_mut(&mut self.entries)[incoming.index()] = Some(entry);
         Ok(())
     }
 
@@ -141,7 +149,11 @@ impl ConnectionTable {
         if incoming.index() >= self.entries.len() {
             return Err(TableError::BadIndex { conn: incoming, capacity: self.entries.len() });
         }
-        Ok(self.entries[incoming.index()].take())
+        if self.entries[incoming.index()].is_none() {
+            // Nothing to remove: leave the shared allocation untouched.
+            return Ok(None);
+        }
+        Ok(Arc::make_mut(&mut self.entries)[incoming.index()].take())
     }
 
     /// Finds a free incoming identifier, if any (a convenience for protocol
@@ -222,6 +234,23 @@ mod tests {
         assert_eq!(t.free_id(), Some(ConnectionId(1)));
         t.install(ConnectionId(1), entry(1, 1), &clock()).unwrap();
         assert_eq!(t.free_id(), None);
+    }
+
+    #[test]
+    fn clones_share_storage_until_written() {
+        let mut a = ConnectionTable::new(256);
+        a.install(ConnectionId(1), entry(5, 1), &clock()).unwrap();
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(&a.entries, &b.entries), "clone must share the allocation");
+        b.install(ConnectionId(2), entry(6, 1), &clock()).unwrap();
+        assert!(!Arc::ptr_eq(&a.entries, &b.entries), "write must unshare");
+        assert_eq!(a.lookup(ConnectionId(2)), None, "writer must not leak into the original");
+        assert_eq!(b.lookup(ConnectionId(1)).unwrap().delay, 5);
+        // Removing a non-existent entry keeps sharing intact.
+        let c = b.clone();
+        let mut d = b.clone();
+        assert_eq!(d.remove(ConnectionId(100)).unwrap(), None);
+        assert!(Arc::ptr_eq(&c.entries, &d.entries), "no-op remove must not unshare");
     }
 
     #[test]

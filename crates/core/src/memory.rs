@@ -31,8 +31,13 @@ impl std::fmt::Display for SlotAddr {
 }
 
 /// The shared packet memory plus its idle-address FIFO.
+///
+/// The slot vector and idle FIFO are materialised lazily on the first
+/// store: a mega-mesh is mostly idle routers that never buffer a packet,
+/// and the slot/FIFO storage is the router's largest fixed allocation.
 #[derive(Debug)]
 pub struct PacketMemory {
+    capacity: usize,
     slots: Vec<Option<TcPacket>>,
     idle: VecDeque<SlotAddr>,
     high_water: usize,
@@ -43,17 +48,13 @@ impl PacketMemory {
     /// chip), all idle.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        PacketMemory {
-            slots: (0..capacity).map(|_| None).collect(),
-            idle: (0..capacity).map(|i| SlotAddr(i as u16)).collect(),
-            high_water: 0,
-        }
+        PacketMemory { capacity, slots: Vec::new(), idle: VecDeque::new(), high_water: 0 }
     }
 
     /// Total number of slots.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.capacity
     }
 
     /// Number of occupied slots.
@@ -75,6 +76,13 @@ impl PacketMemory {
     /// (admission control reserves slots precisely so this cannot happen for
     /// admitted traffic).
     pub fn store(&mut self, packet: TcPacket) -> Result<SlotAddr, TcPacket> {
+        if self.slots.len() < self.capacity {
+            // First store: materialise the slots and the idle FIFO in the
+            // same `0..capacity` order the eager layout used, preserving
+            // the FIFO reissue discipline exactly.
+            self.slots = (0..self.capacity).map(|_| None).collect();
+            self.idle = (0..self.capacity).map(|i| SlotAddr(i as u16)).collect();
+        }
         let Some(addr) = self.idle.pop_front() else {
             return Err(packet);
         };
@@ -132,6 +140,19 @@ mod tests {
         assert_eq!(p.payload[0], 1);
         assert_eq!(m.occupied(), 0);
         assert!(m.peek(a).is_none());
+    }
+
+    #[test]
+    fn unmaterialised_memory_reports_like_an_empty_one() {
+        let m = PacketMemory::new(8);
+        assert_eq!(m.capacity(), 8);
+        assert_eq!(m.occupied(), 0);
+        assert_eq!(m.high_water(), 0);
+        assert!(m.peek(SlotAddr(0)).is_none());
+        // A zero-capacity memory must still reject stores cleanly.
+        let mut z = PacketMemory::new(0);
+        assert!(z.store(packet(1)).is_err());
+        assert_eq!(z.capacity(), 0);
     }
 
     #[test]

@@ -156,14 +156,31 @@ impl OutputPort {
         self.cached = None;
     }
 
-    /// Whether the pipeline last observed a candidate for this port. The
-    /// event-driven fast path must not skip cycles while this flag disagrees
-    /// with the scheduler's live backlog: the empty↔non-empty transition is
-    /// what charges (or resets) the pipeline-refill latency, and it is
-    /// recorded the first time the port recomputes after the change.
+    /// Whether the pipeline last observed a candidate for this port. When
+    /// this flag disagrees with the scheduler's live backlog, the
+    /// empty↔non-empty transition — which charges (or resets) the
+    /// pipeline-refill latency — has not been recorded yet; the
+    /// event-driven fast path settles it over a skipped span with
+    /// [`OutputPort::settle_pipeline`] instead of forcing per-cycle ticks.
     #[must_use]
     pub fn had_candidate(&self) -> bool {
         self.had_candidate
+    }
+
+    /// Applies, at cycle `at`, the pipeline transition a dense tick would
+    /// have recorded on its first selection recompute: an empty→non-empty
+    /// flip charges the refill latency from `at`, a non-empty→empty flip
+    /// resets the flag so the next candidate charges it anew. Called from
+    /// `skip_quiet` when a skipped span starts with the flag stale —
+    /// nothing can transmit inside a provably quiet span, so recording the
+    /// transition is all the dense recompute would have done. The cache is
+    /// dropped because the cached selection predates the transition.
+    pub fn settle_pipeline(&mut self, at: Cycle, has_candidate: bool, latency: Cycle) {
+        if has_candidate && !self.had_candidate {
+            self.grant_ready_at = at + latency;
+        }
+        self.had_candidate = has_candidate;
+        self.cached = None;
     }
 }
 
@@ -236,6 +253,29 @@ mod tests {
             Some(sel(0))
         });
         assert!(called, "slot tick must force re-selection");
+    }
+
+    #[test]
+    fn settle_pipeline_matches_dense_recompute() {
+        // Dense reference: tree becomes non-empty at cycle 100, first
+        // grant usable at 104.
+        let mut dense = OutputPort::new(0, false);
+        let (_, _) = dense.selection_with_grant(100, 1, 0, 4, || Some(sel(0)));
+        // Settled port: the same transition recorded by `settle_pipeline`
+        // at the skipped span's first cycle must yield the same grant
+        // schedule once ticking resumes.
+        let mut settled = OutputPort::new(0, false);
+        settled.settle_pipeline(100, true, 4);
+        for now in [103, 104] {
+            let (_, dense_usable) = dense.selection_with_grant(now, 1, 0, 4, || Some(sel(0)));
+            let (_, settled_usable) = settled.selection_with_grant(now, 1, 0, 4, || Some(sel(0)));
+            assert_eq!(dense_usable, settled_usable, "grant diverged at cycle {now}");
+        }
+        // Non-empty → empty resets the flag: the next candidate charges
+        // the latency again, exactly as `empty_tree_resets_pipeline`.
+        settled.settle_pipeline(200, false, 4);
+        let (_, usable) = settled.selection_with_grant(300, 2, 0, 4, || Some(sel(1)));
+        assert!(!usable, "refill latency must be charged after an empty span");
     }
 
     #[test]

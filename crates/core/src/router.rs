@@ -121,8 +121,24 @@ pub struct RealTimeRouter {
     trace_node: rtr_types::ids::NodeId,
 }
 
-impl RealTimeRouter {
-    /// Builds a router from its architectural parameters.
+/// A validated construction template for stamping out identical routers.
+///
+/// Building a mesh means constructing thousands of routers from one
+/// [`RouterConfig`]. The template validates the configuration once and
+/// pre-builds the shared read-only state — the (copy-on-write) connection
+/// table and the slot clock — so [`RouterTemplate::build`] allocates only
+/// what is genuinely per-router. Combined with the lazily materialised
+/// packet memory and comparator-tree cache, this is what makes 128×128
+/// builds cheap.
+#[derive(Debug, Clone)]
+pub struct RouterTemplate {
+    config: RouterConfig,
+    clock: SlotClock,
+    table: ConnectionTable,
+}
+
+impl RouterTemplate {
+    /// Validates `config` and prepares the shared pieces.
     ///
     /// # Errors
     ///
@@ -130,6 +146,23 @@ impl RealTimeRouter {
     pub fn new(config: RouterConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let clock = SlotClock::new(config.clock_bits);
+        let table = ConnectionTable::new(config.connections);
+        Ok(RouterTemplate { clock, table, config })
+    }
+
+    /// The validated configuration.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Stamps out one router. The connection table is shared with the
+    /// template (and every sibling router) until the router installs its
+    /// first connection.
+    #[must_use]
+    pub fn build(&self) -> RealTimeRouter {
+        let config = self.config.clone();
+        let clock = self.clock;
         let t = &config.timing;
         let be_latency =
             t.sync_cycles + t.header_cycles + config.chunk_bytes as u64 + t.bus_grant_cycles;
@@ -141,10 +174,10 @@ impl RealTimeRouter {
         // simulator overrides from the real neighbour); the reception port
         // consumes locally and needs no credits.
         let outputs = std::array::from_fn(|i| OutputPort::new(flit as u32, i == 0));
-        Ok(RealTimeRouter {
+        RealTimeRouter {
             clock,
             skew_slots: 0,
-            table: ConnectionTable::new(config.connections),
+            table: self.table.clone(),
             control: ControlPort::new(clock),
             memory: PacketMemory::new(config.packet_slots),
             sched: Scheduler::new(config.scheduler, config.packet_slots, clock, config.late_policy),
@@ -162,7 +195,20 @@ impl RealTimeRouter {
             #[cfg(feature = "trace")]
             trace_node: rtr_types::ids::NodeId(0),
             config,
-        })
+        }
+    }
+}
+
+impl RealTimeRouter {
+    /// Builds a router from its architectural parameters. Meshes should
+    /// build a [`RouterTemplate`] once and call [`RouterTemplate::build`]
+    /// per node instead of re-validating per router.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(config: RouterConfig) -> Result<Self, ConfigError> {
+        Ok(RouterTemplate::new(config)?.build())
     }
 
     /// The router's architectural parameters.
@@ -895,13 +941,13 @@ impl Chip for RealTimeRouter {
         };
 
         // The empty↔non-empty transition of a port's candidate set is what
-        // charges (or resets) the comparator tree's pipeline-refill latency,
-        // and it is recorded the first time the port recomputes after the
-        // change — so the chip must keep ticking until every port has
-        // observed its current backlog state. Unlike the short answers
-        // above, this guard is pure bookkeeping conservatism, so instead of
-        // bailing out here the poll keeps computing the wake it *would*
-        // have reported and charges the difference to the telemetry.
+        // charges (or resets) the comparator tree's pipeline-refill
+        // latency. It used to force per-cycle ticks until every port
+        // recomputed; now `skip_quiet` settles the transition over a
+        // skipped span via `OutputPort::settle_pipeline`, so the guard no
+        // longer blocks the leap — it only keeps its telemetry: how often
+        // it was the sole blocker under the old rule, and how many cycles
+        // the settle path reclaims.
         let mut sync_guard = false;
         for (idx, out) in self.outputs.iter().enumerate() {
             if out.had_candidate() != (self.sched.backlog_for(Port::from_index(idx)) > 0) {
@@ -953,12 +999,12 @@ impl Chip for RealTimeRouter {
         }
 
         if sync_guard {
-            // The guard was the only blocker: every other wake source
-            // allowed `earliest` (or silence). Record the foregone leap.
+            // The guard would have been the only blocker under the old
+            // rule: every other wake source allowed `earliest` (or
+            // silence). Count the leap the settle path reclaims.
             self.wake.sync_guard_only.set(self.wake.sync_guard_only.get() + 1);
-            let foregone = earliest.map_or(0, |e| e - (now + 1));
-            self.wake.sync_guard_foregone.set(self.wake.sync_guard_foregone.get() + foregone);
-            return short();
+            let reclaimed = earliest.map_or(0, |e| e - (now + 1));
+            self.wake.sync_guard_foregone.set(self.wake.sync_guard_foregone.get() + reclaimed);
         }
 
         if earliest == Some(now + 1) {
@@ -973,6 +1019,20 @@ impl Chip for RealTimeRouter {
         let skipped = to - from;
         for idle in &mut self.stats.idle_cycles {
             *idle += skipped;
+        }
+        // Settle stale grant pipelines: a port whose `had_candidate` flag
+        // disagrees with the scheduler's live backlog records, at the
+        // span's first cycle, the transition the first dense tick of the
+        // span would have recorded on its selection recompute. Nothing can
+        // transmit inside a provably quiet span (on-time backlog forces
+        // per-cycle ticks via `next_event`'s short answers), so the
+        // transition is all that recompute would have done.
+        let latency = self.config.effective_sched_latency();
+        for (idx, out) in self.outputs.iter_mut().enumerate() {
+            let has_candidate = self.sched.backlog_for(Port::from_index(idx)) > 0;
+            if out.had_candidate() != has_candidate {
+                out.settle_pipeline(from, has_candidate, latency);
+            }
         }
     }
 

@@ -123,9 +123,10 @@ impl ComparatorTree {
     /// Creates a tree with `capacity` leaves (one per packet-memory slot).
     #[must_use]
     pub fn new(capacity: usize, clock: SlotClock, late_policy: LatePolicy) -> Self {
-        // The node vector is sized once for the maximum tournament width
-        // (capacity rounded up to a power of two); rebuilds use a prefix.
-        let cap_pow2 = capacity.next_power_of_two().max(1);
+        // The cache's key/node vectors are materialised lazily on the
+        // first rebuild: a mega-mesh is mostly idle routers whose trees
+        // never select anything, and the node vector (sized for the full
+        // tournament width) is the tree's dominant allocation.
         ComparatorTree {
             leaves: (0..capacity).map(|_| None).collect(),
             free: (0..capacity).rev().collect(),
@@ -136,8 +137,8 @@ impl ComparatorTree {
             high: 0,
             cache: RefCell::new(MinCache {
                 t: None,
-                keys: vec![SortKey::ineligible(&clock); capacity],
-                nodes: vec![[NONE_ENTRY; PORT_COUNT]; 2 * cap_pow2],
+                keys: Vec::new(),
+                nodes: Vec::new(),
                 width: 1,
                 key_computes: 0,
             }),
@@ -233,6 +234,16 @@ impl ComparatorTree {
     /// Rebuilds the whole tournament for slot time `t` — the once-per-slot
     /// equivalent of the hardware recomputing every key combinationally.
     fn rebuild(&self, cache: &mut MinCache, t: LogicalTime) {
+        if cache.nodes.is_empty() {
+            // First rebuild: materialise the cache storage. Sized once for
+            // the maximum tournament width (capacity rounded up to a power
+            // of two); rebuilds use a prefix. Every warm-cache incremental
+            // path (`insert`/`commit`) is gated on `cache.t.is_some()`,
+            // which implies this ran.
+            let cap_pow2 = self.leaves.len().next_power_of_two().max(1);
+            cache.keys = vec![SortKey::ineligible(&self.clock); self.leaves.len()];
+            cache.nodes = vec![[NONE_ENTRY; PORT_COUNT]; 2 * cap_pow2];
+        }
         cache.t = Some(t.raw());
         // Size the tournament to the occupied prefix, not the capacity:
         // the free list hands out low indices first, so a quarter-full
@@ -285,6 +296,11 @@ impl ComparatorTree {
     /// best-effort checks of §3.2 before transmitting an early winner.
     #[must_use]
     pub fn select(&self, port: Port, t: LogicalTime) -> Option<Selection> {
+        if self.live == 0 {
+            // Nothing buffered: answer without touching (or materialising)
+            // the cache, so idle routers never allocate tournament storage.
+            return None;
+        }
         let mut cache = self.cache.borrow_mut();
         if cache.t != Some(t.raw()) {
             self.rebuild(&mut cache, t);

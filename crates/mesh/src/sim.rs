@@ -22,6 +22,7 @@ use rtr_types::time::{cycle_to_slot, Cycle};
 
 use crate::link::Link;
 use crate::metrics::SimMetrics;
+use crate::pool::{ClaimSlice, WorkerPool};
 use crate::source::TrafficSource;
 use crate::stats::DeliveryLog;
 use crate::topology::Topology;
@@ -179,6 +180,9 @@ struct EventCore {
     stamp: Vec<Cycle>,
     /// Scratch buffer for the handles popped due at the start of a step.
     due: Vec<WakeHandle>,
+    /// Scratch buffer for the chip handles a sparse step must tick (the
+    /// dirty chips, sorted into node order).
+    tick_list: Vec<u32>,
     /// Poll every component at the end of the next step (the core was just
     /// built and knows no wakes yet).
     prime: bool,
@@ -197,6 +201,7 @@ impl EventCore {
             dirty: Vec::with_capacity(handles),
             stamp: vec![Cycle::MAX; handles],
             due: Vec::with_capacity(handles),
+            tick_list: Vec::new(),
             prime: true,
         }
     }
@@ -235,8 +240,32 @@ pub struct Simulator<C: Chip> {
     gauge_samples: OccupancyHistory,
     /// Worker threads for [`Simulator::step_parallel`] (1 = serial).
     workers: usize,
-    /// Chip ticks actually executed (leaped cycles execute none).
+    /// Threads the host can actually run concurrently (cached
+    /// `std::thread::available_parallelism`); the parallel steps clamp
+    /// their dispatch decisions to it.
+    cpu_limit: usize,
+    /// The persistent worker pool behind the parallel steps, created
+    /// lazily on the first parallel step and rebuilt when
+    /// [`Simulator::set_parallelism`] changes the count. Dropping the
+    /// simulator shuts the workers down (joined, not leaked).
+    pool: Option<WorkerPool>,
+    /// Chip ticks actually executed (sparse event-core steps tick only the
+    /// due chips; leaped cycles execute none).
     ticks_executed: u64,
+    /// Per-chip lazy idle-accounting stamp: the first cycle not yet
+    /// accounted to the chip, either by a tick (which covers the cycle it
+    /// runs) or by a [`Chip::skip_quiet`] reconciliation. Sparse steps and
+    /// leaps leave quiet chips untouched; the span
+    /// `unticked[i]..tick_cycle` is reconciled in one `skip_quiet` call
+    /// the next time chip `i` ticks, and [`Simulator::settle_idle`]
+    /// flushes every outstanding span at the public drive-call boundaries.
+    unticked: Vec<Cycle>,
+    /// Debug-build checksum: cycles accounted per chip (ticked +
+    /// skip-reconciled). Must equal `now` whenever the simulator settles —
+    /// the sparse path's lazy reconciliation proven against dense
+    /// stepping's one-tick-per-chip-per-cycle invariant.
+    #[cfg(debug_assertions)]
+    dbg_accounted: Vec<Cycle>,
     /// The calendar-queue event core behind the leaping paths.
     events: EventCore,
     /// The event core no longer reflects the world: the plain stepped
@@ -322,7 +351,12 @@ impl<C: Chip> Simulator<C> {
             gauge_every: None,
             gauge_samples: OccupancyHistory::default(),
             workers: 1,
+            cpu_limit: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            pool: None,
             ticks_executed: 0,
+            unticked: vec![0; n],
+            #[cfg(debug_assertions)]
+            dbg_accounted: vec![0; n],
             events: EventCore::new(0),
             events_stale: true,
             quiescence: Quiescence::default(),
@@ -351,8 +385,11 @@ impl<C: Chip> Simulator<C> {
     }
 
     /// Mutable access to the chip at a node (e.g. for control-interface
-    /// writes during channel establishment).
+    /// writes during channel establishment). Settles any outstanding lazy
+    /// idle accounting first, so the chip's counters are current before
+    /// external code reads or mutates it.
     pub fn chip_mut(&mut self, node: NodeId) -> &mut C {
+        self.settle_idle();
         self.events_stale = true;
         &mut self.chips[node.index()]
     }
@@ -429,8 +466,41 @@ impl<C: Chip> Simulator<C> {
     /// tick chips (clamped to at least 1; 1 means a plain serial step).
     /// Chip ticks are data-independent within a cycle, so the worker count
     /// never changes simulation results — see `parallel_matches_serial`.
+    ///
+    /// The pool is (re)built here, not mid-step, so thread spawns never
+    /// land inside a measured stepping loop: `workers > 1` spawns
+    /// `workers - 1` pool threads immediately, `workers = 1` joins and
+    /// drops any existing pool. Each parallel step additionally clamps its
+    /// *dispatch* to the host's available CPUs — handing chunks to more
+    /// threads than cores only serialises them through the OS scheduler —
+    /// so surplus workers stay parked, and on a single-core host the
+    /// parallel steps simply run the serial path.
     pub fn set_parallelism(&mut self, workers: usize) {
         self.workers = workers.max(1);
+        if self.workers > 1 {
+            self.ensure_pool();
+        } else {
+            self.pool = None;
+        }
+    }
+
+    /// Makes sure the persistent pool exists and matches the configured
+    /// worker count (`workers - 1` pool threads; the calling thread acts
+    /// as worker zero). Rebuilding on a count change drops the old pool,
+    /// which parks nothing and joins its threads.
+    fn ensure_pool(&mut self) {
+        let needed = self.workers - 1;
+        if self.pool.as_ref().map(WorkerPool::worker_threads) != Some(needed) {
+            self.pool = Some(WorkerPool::new(needed));
+        }
+    }
+
+    /// The worker count the parallel steps actually dispatch with: the
+    /// configured parallelism clamped to the host's CPUs. Purely a
+    /// wall-clock decision — both sides of every clamped branch produce
+    /// bit-identical results (see `parallel_determinism`).
+    fn effective_workers(&self) -> usize {
+        self.workers.min(self.cpu_limit)
     }
 
     /// The configured worker-thread count.
@@ -648,6 +718,14 @@ impl<C: Chip> Simulator<C> {
     /// leaping call starts from live wakes instead of an O(components)
     /// re-prime (counted by the `sim.stale_repolls` metric).
     pub fn step(&mut self) {
+        self.step_inner();
+        self.settle_idle();
+    }
+
+    /// One cycle without the end-of-call idle settle — the shared core of
+    /// every public drive call, which settle once at their boundary
+    /// instead of after every cycle.
+    fn step_inner(&mut self) {
         if !self.events_stale {
             self.step_ev();
             return;
@@ -657,15 +735,52 @@ impl<C: Chip> Simulator<C> {
         let t = self.metrics.profiler.start();
         let now = self.phase_pre::<false>();
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
-        // 3. Chips tick.
-        for (chip, io) in self.chips.iter_mut().zip(self.ios.iter_mut()) {
+        // 3. Chips tick — reconciling first any idle span a sparse or
+        // leaping cycle left pending, since a dense tick covers every chip.
+        #[cfg(debug_assertions)]
+        for i in 0..self.chips.len() {
+            self.dbg_accounted[i] += now + 1 - self.unticked[i];
+        }
+        for ((chip, io), u) in
+            self.chips.iter_mut().zip(self.ios.iter_mut()).zip(self.unticked.iter_mut())
+        {
+            if *u < now {
+                chip.skip_quiet(*u, now);
+            }
             chip.tick(now, io);
+            *u = now + 1;
         }
         self.ticks_executed += self.chips.len() as u64;
         let t = self.metrics.profiler.lap(Phase::SerialTick, t);
         self.phase_post::<false>(now);
         self.metrics.profiler.stop(Phase::LinkPost, t);
         self.flush_flight_trigger();
+    }
+
+    /// Flushes every chip's outstanding lazy idle span. Sparse event-core
+    /// steps and leaps touch only due chips; a quiet chip's
+    /// [`Chip::skip_quiet`] accounting is deferred until its next tick.
+    /// Public drive calls end by settling, so external observers
+    /// ([`Simulator::chip`], stats, reports) always see fully reconciled
+    /// per-chip counters.
+    fn settle_idle(&mut self) {
+        let now = self.now;
+        for i in 0..self.chips.len() {
+            let u = self.unticked[i];
+            if u < now {
+                self.chips[i].skip_quiet(u, now);
+                self.unticked[i] = now;
+                #[cfg(debug_assertions)]
+                {
+                    self.dbg_accounted[i] += now - u;
+                }
+            }
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                self.dbg_accounted[i], now,
+                "chip {i}: sparse idle accounting diverged from dense per-chip cycle counts"
+            );
+        }
     }
 
     /// Pre-tick phases of one cycle: link arrivals and traffic sources.
@@ -830,8 +945,9 @@ impl<C: Chip> Simulator<C> {
     /// Runs for `cycles` cycles.
     pub fn run(&mut self, cycles: Cycle) {
         for _ in 0..cycles {
-            self.step();
+            self.step_inner();
         }
+        self.settle_idle();
     }
 
     /// Rebuilds the event core from scratch if any plain-stepped cycle or
@@ -863,10 +979,52 @@ impl<C: Chip> Simulator<C> {
         let t = self.metrics.profiler.lap(Phase::WheelPop, t);
         self.phase_pre::<true>();
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
-        for (chip, io) in self.chips.iter_mut().zip(self.ios.iter_mut()) {
-            chip.tick(now, io);
+        let n = self.chips.len();
+        if self.events.prime {
+            // A freshly rebuilt core has no wakes to trust yet: tick every
+            // chip once (`repoll_dirty` below re-polls everything too).
+            #[cfg(debug_assertions)]
+            for i in 0..n {
+                self.dbg_accounted[i] += now + 1 - self.unticked[i];
+            }
+            for ((chip, io), u) in
+                self.chips.iter_mut().zip(self.ios.iter_mut()).zip(self.unticked.iter_mut())
+            {
+                if *u < now {
+                    chip.skip_quiet(*u, now);
+                }
+                chip.tick(now, io);
+                *u = now + 1;
+            }
+            self.ticks_executed += n as u64;
+        } else {
+            // Sparse ticking: only the dirty chips (due wakes, arrivals,
+            // credits, pending injections) run this cycle. Every other
+            // chip is provably quiet — its registered wake lies beyond
+            // `now` and nothing external reached it — and its per-cycle
+            // idle accounting is reconciled lazily from `unticked` the
+            // next time it ticks (or at the end-of-call settle).
+            let mut list = std::mem::take(&mut self.events.tick_list);
+            list.clear();
+            list.extend(self.events.dirty.iter().copied().filter(|&h| (h as usize) < n));
+            list.sort_unstable();
+            for &h in &list {
+                let i = h as usize;
+                let u = self.unticked[i];
+                #[cfg(debug_assertions)]
+                {
+                    self.dbg_accounted[i] += now + 1 - u;
+                }
+                if u < now {
+                    self.chips[i].skip_quiet(u, now);
+                }
+                self.chips[i].tick(now, &mut self.ios[i]);
+                self.unticked[i] = now + 1;
+            }
+            self.ticks_executed += list.len() as u64;
+            list.clear();
+            self.events.tick_list = list;
         }
-        self.ticks_executed += self.chips.len() as u64;
         let t = self.metrics.profiler.lap(Phase::SerialTick, t);
         self.phase_post::<true>(now);
         let t = self.metrics.profiler.lap(Phase::LinkPost, t);
@@ -974,8 +1132,10 @@ impl<C: Chip> Simulator<C> {
 
     /// Jumps simulated time from `self.now` to `target`, performing the
     /// bookkeeping the skipped cycles would have: synthesized gauge samples
-    /// (every gauge is constant while the network is quiescent) and the
-    /// chips' own skipped-span accounting via [`Chip::skip_quiet`].
+    /// (every gauge is constant while the network is quiescent). Chips are
+    /// *not* touched — their skipped-span accounting is reconciled lazily
+    /// from the per-chip `unticked` stamp at their next tick or at the
+    /// end-of-call settle, so a leap costs O(1) chip work.
     fn leap_to(&mut self, target: Cycle) {
         let from = self.now;
         debug_assert!(target > from, "leap must move forward");
@@ -993,27 +1153,33 @@ impl<C: Chip> Simulator<C> {
                 at += every;
             }
         }
-        for chip in &mut self.chips {
-            chip.skip_quiet(from, target);
-        }
         self.now = target;
         self.metrics.profiler.stop(Phase::LeapApply, t);
     }
 
     /// Runs until `predicate` returns true (checked after each cycle) or
     /// `max_cycles` elapse; returns whether the predicate fired.
+    ///
+    /// While the event core is warm, cycles run sparsely, so a predicate
+    /// reading chip-internal per-cycle counters mid-run sees them settle
+    /// only at the end of the call — the same caveat as
+    /// [`Simulator::run_until_leaping`]. Predicates over simulator-owned
+    /// state (`now`, delivery logs, reports) are exact at every boundary.
     pub fn run_until(
         &mut self,
         max_cycles: Cycle,
         mut predicate: impl FnMut(&Self) -> bool,
     ) -> bool {
+        let mut fired = false;
         for _ in 0..max_cycles {
-            self.step();
+            self.step_inner();
             if predicate(self) {
-                return true;
+                fired = true;
+                break;
             }
         }
-        false
+        self.settle_idle();
+        fired
     }
 }
 
@@ -1027,8 +1193,15 @@ impl<C: Chip + Send> Simulator<C> {
     /// result is identical to [`Simulator::step`] regardless of the worker
     /// count or thread scheduling.
     pub fn step_parallel(&mut self) {
+        self.step_parallel_inner();
+        self.settle_idle();
+    }
+
+    /// One parallel cycle without the end-of-call settle (see
+    /// [`Simulator::step_inner`]).
+    fn step_parallel_inner(&mut self) {
         if self.workers <= 1 || self.chips.len() <= 1 {
-            self.step();
+            self.step_inner();
             return;
         }
         if !self.events_stale {
@@ -1036,47 +1209,79 @@ impl<C: Chip + Send> Simulator<C> {
             self.step_parallel_ev();
             return;
         }
+        if self.effective_workers() <= 1 {
+            // One usable core: chunk handoff can only lose wall-clock to
+            // scheduling (each dispatch costs a park/unpark round trip per
+            // worker, serialised by the lone core). Dense serial stepping
+            // is the fastest faithful execution, so run exactly that.
+            self.step_inner();
+            return;
+        }
+        // The pool mirrors the *configured* parallelism (it normally
+        // already exists — `set_parallelism` builds it eagerly).
+        self.ensure_pool();
         let t = self.metrics.profiler.start();
         let now = self.phase_pre::<false>();
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
         // 3. Chips tick, one contiguous chunk of nodes per worker; the
-        // first chunk runs on the calling thread to save one spawn.
-        let chunk = self.chips.len().div_ceil(self.workers);
-        let prof = &self.metrics.profiler;
-        let t = std::thread::scope(|scope| {
-            let mut chunks = self.chips.chunks_mut(chunk).zip(self.ios.chunks_mut(chunk));
-            let local = chunks.next();
-            for (chips, ios) in chunks {
-                scope.spawn(move || {
-                    for (chip, io) in chips.iter_mut().zip(ios.iter_mut()) {
-                        chip.tick(now, io);
-                    }
-                });
-            }
-            let t = prof.lap(Phase::ParSpawn, t);
-            if let Some((chips, ios)) = local {
-                for (chip, io) in chips.iter_mut().zip(ios.iter_mut()) {
-                    chip.tick(now, io);
+        // first chunk runs on the calling thread, the rest are handed to
+        // the persistent pool (no per-cycle thread spawns).
+        let n = self.chips.len();
+        #[cfg(debug_assertions)]
+        for i in 0..n {
+            self.dbg_accounted[i] += now + 1 - self.unticked[i];
+        }
+        let chunk = n.div_ceil(self.workers);
+        let pool = self.pool.as_ref().expect("pool sized by ensure_pool");
+        let mut items: Vec<_> = self
+            .chips
+            .chunks_mut(chunk)
+            .zip(self.ios.chunks_mut(chunk))
+            .zip(self.unticked.chunks_mut(chunk))
+            .map(|((chips, ios), unticked)| (chips, ios, unticked))
+            .collect();
+        let claims = ClaimSlice::new(&mut items);
+        let run_chunk = |(chips, ios, unticked): &mut (&mut [C], &mut [ChipIo], &mut [Cycle])| {
+            for ((chip, io), u) in chips.iter_mut().zip(ios.iter_mut()).zip(unticked.iter_mut()) {
+                if *u < now {
+                    chip.skip_quiet(*u, now);
                 }
+                chip.tick(now, io);
+                *u = now + 1;
             }
-            prof.lap(Phase::ParLocal, t)
-            // `thread::scope` joins the workers after this closure
-            // returns, so the next lap below is pure barrier wait.
-        });
-        let t = self.metrics.profiler.lap(Phase::ParBarrier, t);
-        self.ticks_executed += self.chips.len() as u64;
+        };
+        let job = |w: usize| {
+            if let Some(item) = claims.claim(w + 1) {
+                run_chunk(item);
+            }
+        };
+        let active = pool.dispatch(&job);
+        let t = self.metrics.profiler.lap(Phase::PoolHandoff, t);
+        if let Some(item) = claims.claim(0) {
+            run_chunk(item);
+        }
+        let t = self.metrics.profiler.lap(Phase::PoolLocalTick, t);
+        active.wait();
+        let t = self.metrics.profiler.lap(Phase::PoolWait, t);
+        drop(claims);
+        drop(items);
+        self.ticks_executed += n as u64;
         self.phase_post::<false>(now);
         self.metrics.profiler.stop(Phase::LinkPost, t);
         self.flush_flight_trigger();
     }
 
-    /// Event-core counterpart of [`Simulator::step_parallel`]: chips tick
-    /// on worker threads, and each worker also re-polls `next_event` for
-    /// the dirty chips in its chunk into a per-worker buffer. The buffers
-    /// are merged into the wake queue at the barrier in chunk order, so
-    /// registration order — and therefore the queue's internal state — is
-    /// deterministic regardless of thread scheduling. Links and sources
-    /// are re-polled serially afterwards (their state lives on the
+    /// Event-core counterpart of [`Simulator::step_parallel`]: the cycle's
+    /// due chips (sparse, exactly as [`Simulator::step_ev`]) tick on the
+    /// pool, and each worker also re-polls `next_event` for the due chips
+    /// in its chunk into a per-worker buffer. The buffers are merged into
+    /// the wake queue at the barrier in chunk order, so registration order
+    /// — and therefore the queue's internal state — is deterministic
+    /// regardless of thread scheduling. Cycles with few due chips (or a
+    /// host without spare cores) skip the pool and tick serially — both
+    /// branches register wakes in ascending node order, so the choice
+    /// cannot affect results, only wall-clock. Links and sources are
+    /// re-polled serially afterwards (their state lives on the
     /// coordinating thread).
     fn step_parallel_ev(&mut self) {
         self.ensure_events();
@@ -1095,74 +1300,118 @@ impl<C: Chip + Send> Simulator<C> {
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
 
         let n = self.chips.len();
-        let chunk = n.div_ceil(self.workers);
         let prime = std::mem::take(&mut self.events.prime);
         if prime {
             let handles = self.events.queue.handles();
             self.metrics.registry.inc(self.metrics.ids.stale_repolls, handles as u64);
         }
-        // Chip handles each worker must re-poll, bucketed by chunk.
-        let mut poll: Vec<Vec<u32>> = vec![Vec::new(); n.div_ceil(chunk)];
+        // The chips this cycle must tick and re-poll, in node order: all
+        // of them on a prime step, otherwise exactly the dirty ones.
+        let mut list = std::mem::take(&mut self.events.tick_list);
+        list.clear();
         if prime {
-            for h in 0..n {
-                poll[h / chunk].push(h as u32);
-            }
+            list.extend(0..n as u32);
         } else {
-            for &h in &self.events.dirty {
-                if (h as usize) < n {
-                    poll[h as usize / chunk].push(h);
-                }
-            }
+            list.extend(self.events.dirty.iter().copied().filter(|&h| (h as usize) < n));
+            list.sort_unstable();
         }
+        #[cfg(debug_assertions)]
+        for &h in &list {
+            self.dbg_accounted[h as usize] += now + 1 - self.unticked[h as usize];
+        }
+        self.ticks_executed += list.len() as u64;
+
         type WakeBuffer = Vec<(u32, Option<Cycle>)>;
-        let prof = &self.metrics.profiler;
-        let (buffers, t): (Vec<WakeBuffer>, _) = std::thread::scope(|scope| {
-            let mut chunks = self
-                .chips
-                .chunks_mut(chunk)
-                .zip(self.ios.chunks_mut(chunk))
-                .zip(poll.iter())
-                .enumerate();
-            let local = chunks.next();
-            let mut joins = Vec::new();
-            for (ci, ((chips, ios), list)) in chunks {
-                let base = ci * chunk;
-                joins.push(scope.spawn(move || {
-                    for (chip, io) in chips.iter_mut().zip(ios.iter_mut()) {
-                        chip.tick(now, io);
-                    }
-                    list.iter()
-                        .map(|&h| (h, chips[h as usize - base].next_event(now)))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            let t = prof.lap(Phase::ParSpawn, t);
-            let mut out = Vec::with_capacity(joins.len() + 1);
-            if let Some((_, ((chips, ios), list))) = local {
-                for (chip, io) in chips.iter_mut().zip(ios.iter_mut()) {
-                    chip.tick(now, io);
+        // One pool work item: chunk base node, the chunk's chip/io/unticked
+        // slices, its slice of the sorted due list, and the wake buffer the
+        // worker fills for the in-order merge at the barrier.
+        type SparseChunk<'s, C> =
+            (usize, &'s mut [C], &'s mut [ChipIo], &'s mut [Cycle], &'s [u32], WakeBuffer);
+        let effective = self.effective_workers();
+        let t = if effective <= 1 || list.len() <= effective * 8 {
+            // Too little due work to amortise a pool handoff: tick on the
+            // calling thread, registering wakes directly (node order).
+            for &h in &list {
+                let i = h as usize;
+                let u = self.unticked[i];
+                if u < now {
+                    self.chips[i].skip_quiet(u, now);
                 }
-                out.push(list.iter().map(|&h| (h, chips[h as usize].next_event(now))).collect());
-            }
-            let t = prof.lap(Phase::ParLocal, t);
-            // The joins below (and the implicit scope join) are the
-            // barrier: time until every worker buffer is in hand.
-            for join in joins {
-                out.push(join.join().expect("worker thread panicked"));
-            }
-            (out, t)
-        });
-        let t = self.metrics.profiler.lap(Phase::ParBarrier, t);
-        for buffer in buffers {
-            for (h, at) in buffer {
-                match at {
+                self.chips[i].tick(now, &mut self.ios[i]);
+                self.unticked[i] = now + 1;
+                match self.chips[i].next_event(now) {
                     Some(at) => self.events.queue.set_wake(WakeHandle(h), at.max(now + 1)),
                     None => self.events.queue.clear_wake(WakeHandle(h)),
                 }
             }
-        }
-        let t = self.metrics.profiler.lap(Phase::Repoll, t);
-        self.ticks_executed += n as u64;
+            let t = self.metrics.profiler.lap(Phase::SerialTick, t);
+            self.metrics.profiler.lap(Phase::Repoll, t)
+        } else {
+            // Chunk the node range as in the dense path; chunk `ci` owns
+            // nodes `ci*chunk ..` and the matching slice of the sorted
+            // due list.
+            let chunk = n.div_ceil(self.workers);
+            let n_chunks = n.div_ceil(chunk);
+            let mut bounds = Vec::with_capacity(n_chunks + 1);
+            bounds.push(0);
+            for ci in 1..=n_chunks {
+                let limit = (ci * chunk) as u32;
+                bounds.push(list.partition_point(|&h| h < limit));
+            }
+            self.ensure_pool();
+            let pool = self.pool.as_ref().expect("pool sized by ensure_pool");
+            let mut items: Vec<_> = self
+                .chips
+                .chunks_mut(chunk)
+                .zip(self.ios.chunks_mut(chunk))
+                .zip(self.unticked.chunks_mut(chunk))
+                .enumerate()
+                .map(|(ci, ((chips, ios), unticked))| {
+                    let sub = &list[bounds[ci]..bounds[ci + 1]];
+                    (ci * chunk, chips, ios, unticked, sub, WakeBuffer::with_capacity(sub.len()))
+                })
+                .collect();
+            let claims = ClaimSlice::new(&mut items);
+            let run_chunk = |(base, chips, ios, unticked, sub, out): &mut SparseChunk<'_, C>| {
+                for &h in sub.iter() {
+                    let i = h as usize - *base;
+                    if unticked[i] < now {
+                        chips[i].skip_quiet(unticked[i], now);
+                    }
+                    chips[i].tick(now, &mut ios[i]);
+                    unticked[i] = now + 1;
+                    out.push((h, chips[i].next_event(now)));
+                }
+            };
+            let job = |w: usize| {
+                if let Some(item) = claims.claim(w + 1) {
+                    run_chunk(item);
+                }
+            };
+            let active = pool.dispatch(&job);
+            let t = self.metrics.profiler.lap(Phase::PoolHandoff, t);
+            if let Some(item) = claims.claim(0) {
+                run_chunk(item);
+            }
+            let t = self.metrics.profiler.lap(Phase::PoolLocalTick, t);
+            active.wait();
+            let t = self.metrics.profiler.lap(Phase::PoolWait, t);
+            drop(claims);
+            // Merge per-chunk wake buffers in chunk order (ascending node
+            // order overall, matching the serial branch).
+            let buffers: Vec<WakeBuffer> = items.into_iter().map(|item| item.5).collect();
+            for buffer in buffers {
+                for (h, at) in buffer {
+                    match at {
+                        Some(at) => self.events.queue.set_wake(WakeHandle(h), at.max(now + 1)),
+                        None => self.events.queue.clear_wake(WakeHandle(h)),
+                    }
+                }
+            }
+            self.metrics.profiler.lap(Phase::Repoll, t)
+        };
+        list.clear();
+        self.events.tick_list = list;
         self.phase_post::<true>(now);
         let t = self.metrics.profiler.lap(Phase::LinkPost, t);
         // Links and sources: serial re-poll of the non-chip handles.
@@ -1184,17 +1433,19 @@ impl<C: Chip + Send> Simulator<C> {
     }
 
     /// Runs for `cycles` cycles using [`Simulator::step_parallel`]. The
-    /// serial-dispatch decision is hoisted out of the loop: with one worker
-    /// (or one chip) this is exactly [`Simulator::run`], with no per-cycle
-    /// branch or thread-scope overhead.
+    /// serial-dispatch decision is hoisted out of the loop: with one
+    /// usable worker (configured, or after the available-CPU clamp) or one
+    /// chip this is exactly [`Simulator::run`], with no per-cycle branch
+    /// or handoff overhead.
     pub fn run_parallel(&mut self, cycles: Cycle) {
-        if self.workers <= 1 || self.chips.len() <= 1 {
+        if self.effective_workers() <= 1 || self.chips.len() <= 1 {
             self.run(cycles);
             return;
         }
         for _ in 0..cycles {
-            self.step_parallel();
+            self.step_parallel_inner();
         }
+        self.settle_idle();
     }
 
     /// Runs for `cycles` cycles on the event-driven fast path: whenever a
@@ -1232,7 +1483,7 @@ impl<C: Chip + Send> Simulator<C> {
         match self.quiescence {
             Quiescence::Scan => {
                 while self.now < end {
-                    self.step();
+                    self.step_inner();
                     if self.now >= end {
                         break;
                     }
@@ -1264,6 +1515,7 @@ impl<C: Chip + Send> Simulator<C> {
                 }
             }
         }
+        self.settle_idle();
     }
 
     /// Runs until `predicate` returns true or `max_cycles` elapse, on the
@@ -1278,22 +1530,33 @@ impl<C: Chip + Send> Simulator<C> {
     /// true mid-leap fires at its true cycle rather than at the span's
     /// end.
     ///
-    /// One caveat, inherent to leaping: chip-internal per-cycle counters
-    /// (e.g. idle-cycle tallies via [`Chip::skip_quiet`]) are settled when
-    /// the span ends, *after* the firing boundary's predicate evaluation.
-    /// Predicates over simulator-owned state (`now`, delivery logs,
-    /// reports) see exactly what stepped execution shows them.
+    /// One caveat, inherent to leaping and sparse ticking: chip-internal
+    /// per-cycle counters (e.g. idle-cycle tallies via
+    /// [`Chip::skip_quiet`]) settle at the end of the call, *after* the
+    /// firing boundary's predicate evaluation. Predicates over
+    /// simulator-owned state (`now`, delivery logs, reports) see exactly
+    /// what stepped execution shows them.
     pub fn run_until_leaping(
         &mut self,
         max_cycles: Cycle,
         mut predicate: impl FnMut(&Self) -> bool,
+    ) -> bool {
+        let fired = self.run_until_leaping_inner(max_cycles, &mut predicate);
+        self.settle_idle();
+        fired
+    }
+
+    fn run_until_leaping_inner(
+        &mut self,
+        max_cycles: Cycle,
+        predicate: &mut dyn FnMut(&Self) -> bool,
     ) -> bool {
         let end = self.now + max_cycles;
         let parallel =
             self.quiescence == Quiescence::EventQueue && self.workers > 1 && self.chips.len() > 1;
         while self.now < end {
             match self.quiescence {
-                Quiescence::Scan => self.step(),
+                Quiescence::Scan => self.step_inner(),
                 Quiescence::EventQueue if parallel => self.step_parallel_ev(),
                 Quiescence::EventQueue => self.step_ev(),
             }
@@ -1313,6 +1576,8 @@ impl<C: Chip + Send> Simulator<C> {
             // Walk the quiet span boundary-by-boundary without ticking:
             // every gauge boundary records, every cycle boundary gets its
             // predicate evaluation, exactly as stepped execution would.
+            // Chips are left untouched — the skipped span reconciles
+            // lazily from `unticked`, as in a block leap.
             let from = self.now;
             let t = self.metrics.profiler.start();
             let mut fired = false;
@@ -1329,9 +1594,6 @@ impl<C: Chip + Send> Simulator<C> {
                 }
             }
             let to = self.now;
-            for chip in &mut self.chips {
-                chip.skip_quiet(from, to);
-            }
             if to > from {
                 self.metrics.registry.inc(self.metrics.ids.leaps, 1);
                 self.metrics.registry.inc(self.metrics.ids.leaped_cycles, to - from);

@@ -19,12 +19,14 @@ pub enum Phase {
     LinkPre,
     /// The serial chip-tick loop.
     SerialTick,
-    /// Parallel stepping: spawning the scoped worker threads.
-    ParSpawn,
+    /// Parallel stepping: publishing the cycle's job to the persistent
+    /// worker pool (epoch bump + unparks).
+    PoolHandoff,
     /// Parallel stepping: the calling thread's own chunk of chip ticks.
-    ParLocal,
-    /// Parallel stepping: waiting at the scope barrier for workers.
-    ParBarrier,
+    PoolLocalTick,
+    /// Parallel stepping: waiting for the pool workers to drain their
+    /// chunks (the per-cycle barrier).
+    PoolWait,
     /// Serial post-tick work: collecting `tx`, credits, delivery drain.
     LinkPost,
     /// Calendar-queue pop (including wheel cascades) and due-list marking.
@@ -42,9 +44,9 @@ impl Phase {
     pub const ALL: [Phase; 10] = [
         Phase::LinkPre,
         Phase::SerialTick,
-        Phase::ParSpawn,
-        Phase::ParLocal,
-        Phase::ParBarrier,
+        Phase::PoolHandoff,
+        Phase::PoolLocalTick,
+        Phase::PoolWait,
         Phase::LinkPost,
         Phase::WheelPop,
         Phase::Repoll,
@@ -58,9 +60,9 @@ impl Phase {
         match self {
             Phase::LinkPre => "link_pre",
             Phase::SerialTick => "serial_tick",
-            Phase::ParSpawn => "par_spawn",
-            Phase::ParLocal => "par_local_tick",
-            Phase::ParBarrier => "par_barrier",
+            Phase::PoolHandoff => "pool_handoff",
+            Phase::PoolLocalTick => "pool_local_tick",
+            Phase::PoolWait => "pool_wait",
             Phase::LinkPost => "link_post",
             Phase::WheelPop => "wheel_pop",
             Phase::Repoll => "repoll",

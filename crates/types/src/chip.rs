@@ -99,13 +99,16 @@ pub struct WakeStats {
     pub polls: u64,
     /// Polls answered `now + 1` (no leap possible past this chip).
     pub short_polls: u64,
-    /// Short polls where the grant-pipeline sync guard (`had_candidate`
-    /// disagreeing with the scheduler backlog) was the **only** reason for
-    /// the short answer — every other wake source allowed a longer leap.
+    /// Polls where the grant-pipeline sync guard (`had_candidate`
+    /// disagreeing with the scheduler backlog) was the **only** wake source
+    /// demanding `now + 1`. The guard no longer shortens the answer — the
+    /// pipeline is settled in [`Chip::skip_quiet`] instead — so this counts
+    /// how often the old conservatism *would* have fired.
     pub sync_guard_only: u64,
-    /// Cycles of leaping foregone to `sync_guard_only` polls: the summed
-    /// distance from `now + 1` to the wake the chip would have reported
-    /// with the guard satisfied.
+    /// Cycles of leaping **reclaimed** from `sync_guard_only` polls: the
+    /// summed distance from `now + 1` to the wake the chip now reports. A
+    /// chip still enforcing the guard reports the same sum as cycles
+    /// foregone.
     pub sync_guard_foregone: u64,
 }
 
@@ -163,8 +166,15 @@ pub trait Chip {
 
     /// Informs the chip that the cycles `from..to` were provably quiet and
     /// were skipped rather than ticked. Implementations that keep per-cycle
-    /// counters (e.g. idle-cycle statistics) account the skipped span here
-    /// so leaped runs report identical statistics to stepped runs. The
+    /// counters (e.g. idle-cycle statistics) account the skipped span here,
+    /// and implementations with internal state that normally relaxes over
+    /// quiet cycles (e.g. a grant pipeline draining) settle it to what a
+    /// dense run would have computed by `to`, so sparse runs report
+    /// identical statistics and behaviour to stepped runs.
+    ///
+    /// Under *sparse ticking* this is called per chip — possibly with a
+    /// different `from` for every chip — each time an idle chip is about to
+    /// be ticked again (or observed), not only on whole-network leaps. The
     /// default does nothing.
     fn skip_quiet(&mut self, from: Cycle, to: Cycle) {
         let _ = (from, to);

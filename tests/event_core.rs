@@ -193,18 +193,22 @@ fn event_core_equivalence_sparse_load() {
 }
 
 /// Mixed load: period-8 channels plus 5% Bernoulli BE background. Random
-/// sources draw every cycle, so the queue degrades to stepping — with the
-/// dirty-set re-poll machinery armed every cycle and zero divergence.
+/// sources draw every cycle, so the queue never leaps whole cycles — but
+/// sparse ticking still runs only the chips each cycle actually touches,
+/// so the event path must execute strictly fewer ticks while staying
+/// byte-identical.
 #[test]
 fn event_core_equivalence_mixed_load() {
     let (stepped, leaping) = assert_three_way(|| build_mesh(8, 0.05), 4_000);
     let be_total: usize = stepped.topology().nodes().map(|n| stepped.log(n).be.len()).sum();
     assert!(be_total > 500, "mixed BE load too light to trust: {be_total}");
-    assert_eq!(
+    assert!(
+        leaping.ticks_executed() < stepped.ticks_executed(),
+        "sparse ticking must skip quiet chips even when no cycle leaps: {} vs {} ticks",
         leaping.ticks_executed(),
-        stepped.ticks_executed(),
-        "random BE sources draw every cycle, so no cycle is provably quiet"
+        stepped.ticks_executed()
     );
+    assert!(leaping.ticks_executed() > 0, "something must still tick under mixed load");
 }
 
 /// Saturating load: period-8 channels plus 35% Bernoulli BE background —
@@ -216,9 +220,11 @@ fn event_core_equivalence_saturating_load() {
     assert!(be_total > 1_000, "saturating BE load too light to trust: {be_total}");
 }
 
-/// The event queue and the original O(components) scan must agree exactly:
-/// same deliveries, same report, same tick count (both modes leap the same
-/// spans, since a registered wake is exactly what the scan would re-poll).
+/// The event queue and the original O(components) scan must agree exactly
+/// on observables: same deliveries, same report. Tick counts differ by
+/// design — scan mode ticks every chip on every stepped cycle, while the
+/// event queue ticks only the due chips — so the queue must do no more
+/// ticks than the scan (and strictly fewer on this sparse load).
 #[test]
 fn event_queue_agrees_with_scan_mode() {
     let cycles = 20_000;
@@ -229,10 +235,11 @@ fn event_queue_agrees_with_scan_mode() {
     scanned.set_quiescence(Quiescence::Scan);
     scanned.run_leaping(cycles);
     assert_eq!(fingerprint(&queued), fingerprint(&scanned));
-    assert_eq!(
+    assert!(
+        queued.ticks_executed() < scanned.ticks_executed(),
+        "sparse event-queue ticking must beat the dense scan: {} vs {} ticks",
         queued.ticks_executed(),
-        scanned.ticks_executed(),
-        "queue and scan must identify the same quiet spans"
+        scanned.ticks_executed()
     );
     let stats = queued.event_core_stats().expect("event core must be live after leaping");
     assert!(stats.fired > 0, "wakes must actually fire: {stats:?}");

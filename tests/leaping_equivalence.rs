@@ -179,17 +179,20 @@ fn leaping_equivalence_sparse_load() {
 
 /// Mixed load: period-8 channels plus 5% Bernoulli BE background. Random
 /// sources draw every cycle, so leaping windows are rare-to-absent — the
-/// fast path must degrade gracefully to plain stepping with no divergence.
+/// fast path must degrade gracefully to per-cycle stepping with no
+/// divergence, while sparse ticking still skips the chips a cycle never
+/// touches (so the event path ticks no more, usually fewer).
 #[test]
 fn leaping_equivalence_mixed_load() {
     let cycles = 4_000;
     let (stepped, leaping) = assert_equivalent(|| build_mesh(8, 0.05), cycles);
     let be_total: usize = stepped.topology().nodes().map(|n| stepped.log(n).be.len()).sum();
     assert!(be_total > 500, "mixed BE load too light to trust: {be_total}");
-    assert_eq!(
+    assert!(
+        leaping.ticks_executed() <= stepped.ticks_executed(),
+        "sparse ticking may never exceed dense stepping: {} vs {} ticks",
         leaping.ticks_executed(),
-        stepped.ticks_executed(),
-        "random BE sources draw every cycle, so no cycle is provably quiet"
+        stepped.ticks_executed()
     );
 }
 

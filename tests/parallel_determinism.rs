@@ -1,11 +1,13 @@
 //! Integration: parallel chip ticking is bit-for-bit deterministic.
 //!
 //! Within a cycle every chip touches only its own state and its own
-//! [`ChipIo`] bundle, so distributing the tick phase over worker threads
-//! must not change a single delivered byte. This test drives a loaded,
-//! seeded 8×8 mesh (time-constrained channels plus best-effort background
-//! traffic at every node) serially and with four workers, then compares
-//! every node's delivery log and the full network report.
+//! [`ChipIo`] bundle, so distributing the tick phase over the persistent
+//! worker pool must not change a single delivered byte. These tests drive
+//! a loaded, seeded 8×8 mesh (time-constrained channels plus best-effort
+//! background traffic at every node) serially and across worker counts
+//! {1, 2, 4, 7} — including a mid-run parallelism change — comparing every
+//! node's delivery log and the full network report, and check that the
+//! pool's threads are joined when the simulator is dropped.
 //!
 //! [`ChipIo`]: realtime_router::types::chip::ChipIo
 
@@ -22,6 +24,39 @@ use realtime_router::workloads::tc::PeriodicTcSource;
 
 const PERIOD: u32 = 8;
 const DELAY: u32 = 6;
+
+/// Serialises the tests in this binary. The thread-census test counts the
+/// pool's worker threads process-wide via `/proc`, so no other test may be
+/// spinning a pool up or down while it reads.
+static PROCESS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialised() -> std::sync::MutexGuard<'static, ()> {
+    PROCESS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Counts this process's live pool worker threads by kernel thread name
+/// (`rtr-mesh-worker-*`, truncated by the 15-byte `comm` limit).
+fn pool_worker_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("procfs task directory")
+        .filter(|entry| {
+            let Ok(entry) = entry else { return false };
+            std::fs::read_to_string(entry.path().join("comm"))
+                .is_ok_and(|name| name.trim_end().starts_with("rtr-mesh-worker"))
+        })
+        .count()
+}
+
+/// Per-node delivery logs plus the full network report, rendered to owned
+/// strings so runs can be compared after the simulators are gone.
+fn fingerprint(sim: &Simulator<RealTimeRouter>, slot_bytes: usize) -> (Vec<String>, String) {
+    let logs = sim
+        .topology()
+        .nodes()
+        .map(|node| format!("{:?}|{:?}", sim.log(node).tc, sim.log(node).be))
+        .collect();
+    (logs, format!("{:?}", NetworkReport::capture(sim, slot_bytes)))
+}
 
 /// Builds the reference workload: four one-hop TC channels along the west
 /// edge and a seeded Bernoulli BE source at every node. Every run of this
@@ -121,6 +156,7 @@ fn build(workers: usize) -> Simulator<RealTimeRouter> {
 
 #[test]
 fn parallel_mesh_stepping_is_deterministic() {
+    let _guard = serialised();
     let cycles = 4_000;
     let config = RouterConfig::default();
 
@@ -152,4 +188,67 @@ fn parallel_mesh_stepping_is_deterministic() {
     let s = format!("{:?}", NetworkReport::capture(&serial, config.slot_bytes));
     let p = format!("{:?}", NetworkReport::capture(&parallel, config.slot_bytes));
     assert_eq!(s, p, "network reports diverged between serial and parallel runs");
+}
+
+#[test]
+fn pool_stepping_matches_serial_at_every_worker_count() {
+    let _guard = serialised();
+    let cycles = 4_000;
+    let slot_bytes = RouterConfig::default().slot_bytes;
+
+    let mut serial = build(1);
+    serial.run(cycles);
+    let (serial_logs, serial_report) = fingerprint(&serial, slot_bytes);
+
+    for workers in [1, 2, 4, 7] {
+        let mut sim = build(workers);
+        sim.run_parallel(cycles);
+        let (logs, report) = fingerprint(&sim, slot_bytes);
+        for (node, (s, p)) in serial_logs.iter().zip(&logs).enumerate() {
+            assert_eq!(s, p, "deliveries diverged at node {node} with {workers} workers");
+        }
+        assert_eq!(
+            serial_report, report,
+            "network report diverged from serial with {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn mid_run_parallelism_change_is_deterministic() {
+    let _guard = serialised();
+    let slot_bytes = RouterConfig::default().slot_bytes;
+
+    let mut serial = build(1);
+    serial.run(4_000);
+    let reference = fingerprint(&serial, slot_bytes);
+
+    // Resize the pool twice mid-flight; the chunk hand-off must re-bucket
+    // without disturbing a single delivery.
+    let mut sim = build(2);
+    sim.run_parallel(1_500);
+    sim.set_parallelism(5);
+    sim.run_parallel(1_000);
+    sim.set_parallelism(3);
+    sim.run_parallel(1_500);
+    assert_eq!(
+        fingerprint(&sim, slot_bytes),
+        reference,
+        "mid-run parallelism changes altered observable behaviour"
+    );
+}
+
+#[test]
+fn dropping_the_simulator_joins_its_pool_threads() {
+    let _guard = serialised();
+    let before = pool_worker_threads();
+    {
+        let mut sim = build(4);
+        sim.run_parallel(50);
+        assert!(
+            pool_worker_threads() >= before + 3,
+            "a 4-way simulator should keep 3 pool workers parked between steps"
+        );
+    }
+    assert_eq!(pool_worker_threads(), before, "simulator drop leaked pool worker threads");
 }
