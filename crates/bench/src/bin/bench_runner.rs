@@ -3,11 +3,12 @@
 //! Runs the performance-critical scenarios — single-router cycle
 //! throughput, scheduler selection cost across occupancies, full-mesh
 //! stepping (serial and pool-parallel), the sparse leaping suite (8×8,
-//! 32×32, and 128×128; event-queue vs quiescence-scan), and mesh
-//! construction cost — with fixed seeds and hand-rolled timing, then
+//! 32×32, 128×128, and the 256×256 mega-mesh; event-queue vs
+//! quiescence-scan), and mesh construction cost (with a per-node memory
+//! footprint column) — with fixed seeds and hand-rolled timing, then
 //! writes the results as JSON so a run can be committed next to the code
-//! it measured (`BENCH_5.json`; earlier revisions live in `BENCH_1.json`
-//! through `BENCH_4.json`).
+//! it measured (`BENCH_6.json`; earlier revisions live in `BENCH_1.json`
+//! through `BENCH_5.json`).
 //!
 //! Built with `--features metrics`, rows additionally embed counter and
 //! phase-profile columns from the unified metrics registry (wake polls,
@@ -444,6 +445,21 @@ fn run_sparse_mesh(
         Drive::LeapQueue => {
             let mut sim = rtr_bench::leaping::periodic_mesh_sized(width, height, period_slots);
             sim.run_leaping(cycles);
+            let snapshot = sim.metrics_snapshot();
+            if let Some(stale) = snapshot.counter("sim.stale_repolls") {
+                // The cold-start prime re-polls every chip and source but
+                // only the links actually carrying traffic, and nothing
+                // re-primes mid-run — so the whole run's stale-repoll bill
+                // is one prime, not a per-leap O(nodes) sweep. The slack
+                // covers the handful of primed link handles.
+                let sources = 4;
+                let budget = nodes + sources + 256;
+                assert!(
+                    stale <= budget,
+                    "{name}: sim.stale_repolls = {stale} exceeds the one-prime \
+                     budget {budget} (stale-repoll blowup regressed)",
+                );
+            }
             registry_columns(&sim)
         }
         Drive::Stepped | Drive::LeapScan => None,
@@ -460,10 +476,13 @@ fn run_sparse_mesh(
 }
 
 /// Construction cost of a sparse sweep mesh — topology wiring, the router
-/// chips (built from one shared [`rtr_core::RouterTemplate`]), link/feeder
-/// tables, and source hookup. Kept measured so big-mesh setup stays cheap
-/// enough to amortise over a sweep; the 128×128 row is the mega-mesh
-/// build-time deliverable.
+/// chips (built from one shared [`rtr_core::RouterTemplate`]), CSR
+/// link/feeder tables, and source hookup. Kept measured so big-mesh setup
+/// stays cheap enough to amortise over a sweep; the 256×256 row is the
+/// mega-mesh build-time deliverable (must land well under a second). Each
+/// row also reports the freshly built simulator's per-node footprint
+/// estimate as a `bytes_per_node` column — the struct-of-arrays layout's
+/// memory guardrail, asserted under a hard ceiling by `tests/mega_mesh.rs`.
 fn run_mesh_build(width: u16, height: u16, period_slots: u64, iters: usize) -> BenchResult {
     let (min_s, mean_s) = time_runs(
         iters,
@@ -473,6 +492,8 @@ fn run_mesh_build(width: u16, height: u16, period_slots: u64, iters: usize) -> B
             sim.topology().len() as u64
         },
     );
+    let bytes_per_node =
+        rtr_bench::leaping::periodic_mesh_sized(width, height, period_slots).bytes_per_node();
     BenchResult {
         name: format!("mesh_{width}x{height}_build"),
         iters,
@@ -480,7 +501,7 @@ fn run_mesh_build(width: u16, height: u16, period_slots: u64, iters: usize) -> B
         mean_s,
         metric: min_s * 1e3,
         unit: "ms/build",
-        extra: None,
+        extra: Some(format!("\"bytes_per_node\": {bytes_per_node}")),
     }
 }
 
@@ -534,7 +555,7 @@ fn render_json(results: &[BenchResult], smoke: bool) -> String {
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut flight_sample: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -674,6 +695,22 @@ fn main() {
         Drive::LeapQueue,
         sparse128_cycles,
         sparse128_iters,
+    ));
+    // The 65 536-node mega-mesh — the full u16 node-identifier space. The
+    // struct-of-arrays arenas and Arc-shared cold state are what make this
+    // buildable in well under a second and leapable at all.
+    let (sparse256_cycles, sparse256_iters) = if smoke { (2_000, 1) } else { (100_000, 2) };
+    eprintln!("256x256 mega-mesh construction...");
+    results.push(run_mesh_build(256, 256, 4096, sparse256_iters));
+    eprintln!("256x256 mega-mesh ({sparse256_cycles} cycles), leaping (event queue)...");
+    results.push(run_sparse_mesh(
+        "mesh_256x256_sparse_leaping",
+        256,
+        256,
+        4096,
+        Drive::LeapQueue,
+        sparse256_cycles,
+        sparse256_iters,
     ));
 
     let json = render_json(&results, smoke);

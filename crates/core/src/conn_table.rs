@@ -162,6 +162,18 @@ impl ConnectionTable {
     pub fn free_id(&self) -> Option<ConnectionId> {
         self.entries.iter().position(Option::is_none).map(|i| ConnectionId(i as u16))
     }
+
+    /// Heap bytes attributable to *this* table. A table still sharing the
+    /// template's allocation reports zero — the storage is counted once at
+    /// the owner, not once per router.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        if Arc::strong_count(&self.entries) > 1 {
+            0
+        } else {
+            self.entries.capacity() * std::mem::size_of::<Option<ConnEntry>>()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,6 @@
 //! packet, and the chunked bus timing is modelled by the router's arrival
 //! pipeline.
 
-use std::collections::VecDeque;
-
 use rtr_types::packet::TcPacket;
 
 /// Address of a packet slot in the shared memory.
@@ -30,16 +28,36 @@ impl std::fmt::Display for SlotAddr {
     }
 }
 
+/// One packet-memory slot: either a buffered packet or a free slot carrying
+/// the intrusive idle-FIFO chain (the address of the next free slot).
+#[derive(Debug)]
+enum Slot {
+    /// The slot holds a buffered packet.
+    Occupied(TcPacket),
+    /// The slot is idle; `next` chains to the next idle address (the FIFO
+    /// order), `None` at the tail.
+    Free { next: Option<SlotAddr> },
+}
+
 /// The shared packet memory plus its idle-address FIFO.
 ///
-/// The slot vector and idle FIFO are materialised lazily on the first
-/// store: a mega-mesh is mostly idle routers that never buffer a packet,
-/// and the slot/FIFO storage is the router's largest fixed allocation.
+/// The idle FIFO is *intrusive*: each free slot stores the address of the
+/// next free slot, and the memory keeps only the FIFO's head and tail —
+/// the paper's idle-address FIFO collapses to two registers plus the slot
+/// array itself, halving the layout's allocations. The slot vector is
+/// materialised lazily on the first store: a mega-mesh is mostly idle
+/// routers that never buffer a packet, and the slot storage is the
+/// router's largest fixed allocation.
 #[derive(Debug)]
 pub struct PacketMemory {
     capacity: usize,
-    slots: Vec<Option<TcPacket>>,
-    idle: VecDeque<SlotAddr>,
+    slots: Vec<Slot>,
+    /// Next idle address to issue (FIFO front); `None` when the memory is
+    /// full or not yet materialised.
+    free_head: Option<SlotAddr>,
+    /// Last idle address (FIFO back), where freed slots are appended.
+    free_tail: Option<SlotAddr>,
+    live: usize,
     high_water: usize,
 }
 
@@ -48,7 +66,14 @@ impl PacketMemory {
     /// chip), all idle.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        PacketMemory { capacity, slots: Vec::new(), idle: VecDeque::new(), high_water: 0 }
+        PacketMemory {
+            capacity,
+            slots: Vec::new(),
+            free_head: None,
+            free_tail: None,
+            live: 0,
+            high_water: 0,
+        }
     }
 
     /// Total number of slots.
@@ -60,7 +85,7 @@ impl PacketMemory {
     /// Number of occupied slots.
     #[must_use]
     pub fn occupied(&self) -> usize {
-        self.slots.len() - self.idle.len()
+        self.live
     }
 
     /// Highest occupancy ever observed (for the buffer-reservation
@@ -77,18 +102,31 @@ impl PacketMemory {
     /// admitted traffic).
     pub fn store(&mut self, packet: TcPacket) -> Result<SlotAddr, TcPacket> {
         if self.slots.len() < self.capacity {
-            // First store: materialise the slots and the idle FIFO in the
-            // same `0..capacity` order the eager layout used, preserving
-            // the FIFO reissue discipline exactly.
-            self.slots = (0..self.capacity).map(|_| None).collect();
-            self.idle = (0..self.capacity).map(|i| SlotAddr(i as u16)).collect();
+            // First store: materialise the slots chained `0 → 1 → …`, the
+            // same order the explicit idle FIFO used, preserving the FIFO
+            // reissue discipline exactly.
+            self.slots = (0..self.capacity)
+                .map(|i| Slot::Free {
+                    next: (i + 1 < self.capacity).then(|| SlotAddr((i + 1) as u16)),
+                })
+                .collect();
+            self.free_head = Some(SlotAddr(0));
+            self.free_tail = Some(SlotAddr((self.capacity - 1) as u16));
         }
-        let Some(addr) = self.idle.pop_front() else {
+        let Some(addr) = self.free_head else {
             return Err(packet);
         };
-        debug_assert!(self.slots[addr.index()].is_none(), "idle FIFO handed a live slot");
-        self.slots[addr.index()] = Some(packet);
-        self.high_water = self.high_water.max(self.occupied());
+        let Slot::Free { next } =
+            std::mem::replace(&mut self.slots[addr.index()], Slot::Occupied(packet))
+        else {
+            unreachable!("idle FIFO handed a live slot");
+        };
+        self.free_head = next;
+        if next.is_none() {
+            self.free_tail = None;
+        }
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
         Ok(addr)
     }
 
@@ -96,7 +134,10 @@ impl PacketMemory {
     /// the same slot several times).
     #[must_use]
     pub fn peek(&self, addr: SlotAddr) -> Option<&TcPacket> {
-        self.slots.get(addr.index()).and_then(Option::as_ref)
+        match self.slots.get(addr.index()) {
+            Some(Slot::Occupied(p)) => Some(p),
+            _ => None,
+        }
     }
 
     /// Frees the slot, returning its packet and pushing the address back
@@ -107,9 +148,29 @@ impl PacketMemory {
     /// Panics if the slot is already free — that would mean the scheduler
     /// double-freed an address, corrupting the idle pool.
     pub fn free(&mut self, addr: SlotAddr) -> TcPacket {
-        let packet = self.slots[addr.index()].take().expect("freeing an already-idle packet slot");
-        self.idle.push_back(addr);
+        let slot = std::mem::replace(&mut self.slots[addr.index()], Slot::Free { next: None });
+        let Slot::Occupied(packet) = slot else {
+            panic!("freeing an already-idle packet slot");
+        };
+        match self.free_tail {
+            Some(tail) => {
+                let Slot::Free { next } = &mut self.slots[tail.index()] else {
+                    unreachable!("idle-FIFO tail points at a live slot");
+                };
+                *next = Some(addr);
+            }
+            None => self.free_head = Some(addr),
+        }
+        self.free_tail = Some(addr);
+        self.live -= 1;
         packet
+    }
+
+    /// Heap bytes currently allocated behind the memory — zero until the
+    /// first store materialises the slot array.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot>()
     }
 }
 

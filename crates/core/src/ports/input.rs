@@ -248,6 +248,14 @@ impl InputPort {
     pub fn be_head(&self) -> Option<&RoutedByte> {
         self.be_fifo.front()
     }
+
+    /// Heap bytes behind the port's queues (allocated capacity) — zero
+    /// until traffic first crosses the port.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.tc_pending.capacity() * std::mem::size_of::<(Cycle, TcPacket)>()
+            + self.be_fifo.capacity() * std::mem::size_of::<RoutedByte>()
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 //! goes; otherwise the link idles.
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use rtr_types::chip::{Chip, ChipIo, WakeStats};
 use rtr_types::clock::{LogicalTime, SlotClock};
@@ -84,7 +85,10 @@ impl WakeTelemetry {
 /// The single-chip real-time router.
 #[derive(Debug)]
 pub struct RealTimeRouter {
-    config: RouterConfig,
+    /// The architectural parameters, shared (read-only) with the template
+    /// and every sibling router of the mesh — stamping out a router costs
+    /// one `Arc` bump instead of a config clone.
+    config: Arc<RouterConfig>,
     clock: SlotClock,
     /// Bounded clock skew in slots, added to the local scheduler clock
     /// (§4.1: routers share a notion of time within bounded skew).
@@ -132,7 +136,7 @@ pub struct RealTimeRouter {
 /// builds cheap.
 #[derive(Debug, Clone)]
 pub struct RouterTemplate {
-    config: RouterConfig,
+    config: Arc<RouterConfig>,
     clock: SlotClock,
     table: ConnectionTable,
 }
@@ -147,7 +151,7 @@ impl RouterTemplate {
         config.validate()?;
         let clock = SlotClock::new(config.clock_bits);
         let table = ConnectionTable::new(config.connections);
-        Ok(RouterTemplate { clock, table, config })
+        Ok(RouterTemplate { clock, table, config: Arc::new(config) })
     }
 
     /// The validated configuration.
@@ -161,7 +165,7 @@ impl RouterTemplate {
     /// first connection.
     #[must_use]
     pub fn build(&self) -> RealTimeRouter {
-        let config = self.config.clone();
+        let config = Arc::clone(&self.config);
         let clock = self.clock;
         let t = &config.timing;
         let be_latency =
@@ -1043,6 +1047,20 @@ impl Chip for RealTimeRouter {
     fn counters(&self, emit: &mut dyn FnMut(&'static str, u64)) {
         self.stats.emit_counters(emit);
         emit("sched.key_computations", self.sched.key_computations());
+    }
+
+    fn heap_bytes_estimate(&self) -> usize {
+        // The dominant allocations: packet memory, scheduler leaves, the
+        // connection table (zero while still sharing the template's
+        // storage — it is counted once at the owner), and the per-port
+        // queues and staging buffers. The shared `Arc<RouterConfig>` is
+        // likewise charged to the template, not to every router.
+        self.memory.heap_bytes()
+            + self.sched.heap_bytes()
+            + self.table.heap_bytes()
+            + self.inputs.iter().map(InputPort::heap_bytes).sum::<usize>()
+            + self.be_inject_buf.capacity()
+            + self.rx_be_buf.capacity()
     }
 
     fn check_conservation(&self) -> Result<(), String> {

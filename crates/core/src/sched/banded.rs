@@ -25,6 +25,9 @@ use rtr_types::key::{LatePolicy, SortKey};
 /// [`crate::sched::tree::ComparatorTree`].
 #[derive(Debug)]
 pub struct BandedScheduler {
+    /// Leaf capacity; `leaves`/`free` are materialised (to this length) on
+    /// the first insert so idle routers allocate nothing.
+    capacity: usize,
     leaves: Vec<Option<(Leaf, u64)>>,
     free: Vec<usize>,
     clock: SlotClock,
@@ -49,8 +52,9 @@ impl BandedScheduler {
         band_shift: u32,
     ) -> Self {
         BandedScheduler {
-            leaves: (0..capacity).map(|_| None).collect(),
-            free: (0..capacity).rev().collect(),
+            capacity,
+            leaves: Vec::new(),
+            free: Vec::new(),
             clock,
             late_policy,
             band_shift,
@@ -90,6 +94,12 @@ impl BandedScheduler {
     ///
     /// Gives the leaf back if every slot is occupied.
     pub fn insert(&mut self, leaf: Leaf) -> Result<usize, Leaf> {
+        if self.leaves.len() < self.capacity {
+            // High-to-low free list: pops hand out index 0 first, matching
+            // the eager construction leaf for leaf.
+            self.leaves = (0..self.capacity).map(|_| None).collect();
+            self.free = (0..self.capacity).rev().collect();
+        }
         let Some(idx) = self.free.pop() else {
             return Err(leaf);
         };
@@ -134,7 +144,8 @@ impl BandedScheduler {
     ///
     /// Panics if the leaf is empty or the port's bit was clear.
     pub fn commit(&mut self, idx: usize, port: Port) -> Option<SlotAddr> {
-        let (leaf, _) = self.leaves[idx].as_mut().expect("committing an empty leaf");
+        let (leaf, _) =
+            self.leaves.get_mut(idx).and_then(Option::as_mut).expect("committing an empty leaf");
         assert!(leaf.eligible_for(port), "committing a port whose bit is clear");
         self.version += 1;
         if leaf.clear_port(port) {
@@ -151,6 +162,14 @@ impl BandedScheduler {
     /// Iterates live leaves.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Leaf)> {
         self.leaves.iter().enumerate().filter_map(|(i, l)| l.as_ref().map(|(l, _)| (i, l)))
+    }
+
+    /// Heap bytes currently allocated behind the scheduler — zero until
+    /// the first insert.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.leaves.capacity() * std::mem::size_of::<Option<(Leaf, u64)>>()
+            + self.free.capacity() * std::mem::size_of::<usize>()
     }
 }
 

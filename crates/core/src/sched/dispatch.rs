@@ -251,6 +251,17 @@ impl Scheduler {
             Scheduler::Banded(_) | Scheduler::Oracle(_) => 0,
         }
     }
+
+    /// Heap bytes currently allocated behind the active implementation —
+    /// zero until its first insert (leaf storage is lazy in every variant).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Scheduler::Tree(t) => t.heap_bytes(),
+            Scheduler::Banded(b) => b.heap_bytes(),
+            Scheduler::Oracle(o) => o.heap_bytes(),
+        }
+    }
 }
 
 #[cfg(test)]

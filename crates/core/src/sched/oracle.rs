@@ -26,6 +26,8 @@ use rtr_types::key::{LatePolicy, SortKey};
 /// tree.
 #[derive(Debug)]
 pub struct OracleScheduler {
+    /// Leaf capacity; storage is materialised on first insert.
+    capacity: usize,
     leaves: Vec<Option<Leaf>>,
     free: Vec<usize>,
     clock: SlotClock,
@@ -48,8 +50,9 @@ impl OracleScheduler {
             "the oracle scheduler implements Table 1, which saturates late packets"
         );
         OracleScheduler {
-            leaves: (0..capacity).map(|_| None).collect(),
-            free: (0..capacity).rev().collect(),
+            capacity,
+            leaves: Vec::new(),
+            free: Vec::new(),
             clock,
             reference: ReferenceScheduler::new(clock),
             version: 0,
@@ -82,6 +85,12 @@ impl OracleScheduler {
     /// Gives the leaf back if every leaf is occupied.
     pub fn insert(&mut self, leaf: Leaf) -> Result<usize, Leaf> {
         debug_assert!(leaf.port_mask != 0, "inserting a leaf with an empty mask");
+        if self.leaves.len() < self.capacity {
+            // High-to-low free list: pops hand out index 0 first, matching
+            // the eager construction leaf for leaf.
+            self.leaves = (0..self.capacity).map(|_| None).collect();
+            self.free = (0..self.capacity).rev().collect();
+        }
         let Some(idx) = self.free.pop() else {
             return Err(leaf);
         };
@@ -117,7 +126,8 @@ impl OracleScheduler {
     ///
     /// Panics if the leaf is empty or the port's bit was not set.
     pub fn commit(&mut self, idx: usize, port: Port) -> Option<SlotAddr> {
-        let leaf = self.leaves[idx].as_mut().expect("committing an empty leaf");
+        let leaf =
+            self.leaves.get_mut(idx).and_then(Option::as_mut).expect("committing an empty leaf");
         assert!(leaf.eligible_for(port), "committing a port whose bit is clear");
         self.version += 1;
         if leaf.clear_port(port) {
@@ -134,6 +144,14 @@ impl OracleScheduler {
     /// Iterates the live leaves (index, leaf).
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Leaf)> {
         self.leaves.iter().enumerate().filter_map(|(i, l)| l.as_ref().map(|l| (i, l)))
+    }
+
+    /// Heap bytes currently allocated behind the scheduler — zero until
+    /// the first insert.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.leaves.capacity() * std::mem::size_of::<Option<Leaf>>()
+            + self.free.capacity() * std::mem::size_of::<usize>()
     }
 }
 

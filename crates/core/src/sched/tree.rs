@@ -108,6 +108,10 @@ pub struct Selection {
 /// ```
 #[derive(Debug)]
 pub struct ComparatorTree {
+    /// Leaf capacity (one per packet-memory slot). `leaves`/`free` hold
+    /// this many entries once materialised, and none before the first
+    /// insert — an idle router's tree allocates nothing.
+    capacity: usize,
     leaves: Vec<Option<Leaf>>,
     free: Vec<usize>,
     clock: SlotClock,
@@ -123,13 +127,15 @@ impl ComparatorTree {
     /// Creates a tree with `capacity` leaves (one per packet-memory slot).
     #[must_use]
     pub fn new(capacity: usize, clock: SlotClock, late_policy: LatePolicy) -> Self {
-        // The cache's key/node vectors are materialised lazily on the
-        // first rebuild: a mega-mesh is mostly idle routers whose trees
-        // never select anything, and the node vector (sized for the full
-        // tournament width) is the tree's dominant allocation.
+        // Both the leaf storage and the cache's key/node vectors are
+        // materialised lazily on first use: a mega-mesh is mostly idle
+        // routers whose trees never hold a packet, and the node vector
+        // (sized for the full tournament width) is the tree's dominant
+        // allocation.
         ComparatorTree {
-            leaves: (0..capacity).map(|_| None).collect(),
-            free: (0..capacity).rev().collect(),
+            capacity,
+            leaves: Vec::new(),
+            free: Vec::new(),
             clock,
             late_policy,
             version: 0,
@@ -160,7 +166,18 @@ impl ComparatorTree {
     /// Leaf capacity.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.leaves.len()
+        self.capacity
+    }
+
+    /// Heap bytes currently allocated behind the tree (leaf storage, free
+    /// list, and tournament cache) — zero until the first insert.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        let cache = self.cache.borrow();
+        self.leaves.capacity() * std::mem::size_of::<Option<Leaf>>()
+            + self.free.capacity() * std::mem::size_of::<usize>()
+            + cache.keys.capacity() * std::mem::size_of::<SortKey>()
+            + cache.nodes.capacity() * std::mem::size_of::<[u64; PORT_COUNT]>()
     }
 
     /// Monotone counter bumped on every mutation; output ports use it to
@@ -185,6 +202,14 @@ impl ComparatorTree {
     /// memory is checked first.
     pub fn insert(&mut self, leaf: Leaf) -> Result<usize, Leaf> {
         debug_assert!(leaf.port_mask != 0, "inserting a leaf with an empty mask");
+        if self.leaves.len() < self.capacity {
+            // First insert: materialise the leaf storage. The free list is
+            // built high-to-low so pops hand out index 0 first, exactly as
+            // the eager construction did — leaf numbering (and therefore
+            // every tie-break and every drive mode) is byte-identical.
+            self.leaves = (0..self.capacity).map(|_| None).collect();
+            self.free = (0..self.capacity).rev().collect();
+        }
         let Some(idx) = self.free.pop() else {
             return Err(leaf);
         };
@@ -240,8 +265,8 @@ impl ComparatorTree {
             // of two); rebuilds use a prefix. Every warm-cache incremental
             // path (`insert`/`commit`) is gated on `cache.t.is_some()`,
             // which implies this ran.
-            let cap_pow2 = self.leaves.len().next_power_of_two().max(1);
-            cache.keys = vec![SortKey::ineligible(&self.clock); self.leaves.len()];
+            let cap_pow2 = self.capacity.next_power_of_two().max(1);
+            cache.keys = vec![SortKey::ineligible(&self.clock); self.capacity];
             cache.nodes = vec![[NONE_ENTRY; PORT_COUNT]; 2 * cap_pow2];
         }
         cache.t = Some(t.raw());
@@ -346,7 +371,8 @@ impl ComparatorTree {
     /// Panics if the leaf is empty or the port's bit was not set — either
     /// indicates a scheduler/port desynchronisation bug.
     pub fn commit(&mut self, idx: usize, port: Port) -> Option<SlotAddr> {
-        let leaf = self.leaves[idx].as_mut().expect("committing an empty leaf");
+        let leaf =
+            self.leaves.get_mut(idx).and_then(Option::as_mut).expect("committing an empty leaf");
         assert!(leaf.eligible_for(port), "committing a port whose bit is clear");
         self.version += 1;
         let freed = leaf.clear_port(port);

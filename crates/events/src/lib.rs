@@ -178,6 +178,19 @@ impl WakeQueue {
         self.stats
     }
 
+    /// Heap bytes behind the wheel (allocated capacities of the schedule
+    /// table and every calendar slot), for footprint accounting.
+    #[must_use]
+    pub fn bytes_estimate(&self) -> usize {
+        self.scheduled.capacity() * std::mem::size_of::<Option<Cycle>>()
+            + self.slots.capacity() * std::mem::size_of::<Vec<(u32, Cycle)>>()
+            + self
+                .slots
+                .iter()
+                .map(|s| s.capacity() * std::mem::size_of::<(u32, Cycle)>())
+                .sum::<usize>()
+    }
+
     /// Registers (or re-registers) `h` to wake at cycle `at`. Any previous
     /// registration is superseded; the stale wheel entry is discarded
     /// lazily. Re-registering the same wake is a no-op.

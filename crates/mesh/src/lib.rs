@@ -9,6 +9,7 @@
 //! best-effort credits.
 //!
 //! * [`topology`] — mesh coordinates and link wiring,
+//! * [`adjacency`] — the CSR link/feeder tables the simulator runs on,
 //! * [`link`] — the symbol/credit pipes with configurable wire latency,
 //! * [`source`] — the traffic-source trait workloads implement,
 //! * [`sim`] — the simulator main loop,
@@ -37,6 +38,7 @@
 // a module-level allow); everything else stays unsafe-free.
 #![deny(unsafe_code)]
 
+pub mod adjacency;
 pub mod link;
 pub(crate) mod metrics;
 pub mod netstats;
@@ -46,6 +48,7 @@ pub mod source;
 pub mod stats;
 pub mod topology;
 
+pub use adjacency::LinkTable;
 pub use netstats::{ConnSlackReport, Histogram, NetworkReport, OccupancySummary};
 pub use sim::{LinkUsage, OccupancyHistory, OccupancySample, Quiescence, Simulator};
 pub use source::TrafficSource;

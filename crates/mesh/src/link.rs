@@ -78,6 +78,15 @@ impl Link {
         self.credits.len()
     }
 
+    /// Heap bytes behind the link's in-flight queues (their allocated
+    /// capacity, not just current occupancy — the memory-footprint
+    /// guardrail counts what the allocator actually holds).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<(Cycle, LinkSymbol)>()
+            + self.credits.capacity() * std::mem::size_of::<(Cycle, u16)>()
+    }
+
     /// The cycle of the next delivery this link owes (front data symbol or
     /// front credit batch, whichever is earlier); `None` when the wire is
     /// empty in both directions. [`Link::recv`] insists on being called at

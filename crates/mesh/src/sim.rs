@@ -20,21 +20,12 @@ use rtr_types::ids::{Direction, NodeId, Port};
 use rtr_types::packet::{BePacket, TcPacket};
 use rtr_types::time::{cycle_to_slot, Cycle};
 
-use crate::link::Link;
+use crate::adjacency::LinkTable;
 use crate::metrics::SimMetrics;
 use crate::pool::{ClaimSlice, WorkerPool};
 use crate::source::TrafficSource;
 use crate::stats::DeliveryLog;
 use crate::topology::Topology;
-
-fn dir_index(dir: Direction) -> usize {
-    match dir {
-        Direction::XPlus => 0,
-        Direction::XMinus => 1,
-        Direction::YPlus => 2,
-        Direction::YMinus => 3,
-    }
-}
 
 /// Per-link traffic counters (symbols carried per virtual channel).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -165,11 +156,11 @@ pub enum Quiescence {
 /// itself plus the per-step dirty set of components whose registered wake
 /// must be recomputed after the cycle runs.
 ///
-/// Handle layout (for `n` nodes): chips occupy `0..n` (by node index),
-/// links `n..5n` (`n + node·4 + direction`), traffic sources `5n..`
-/// (by registration order). The core is rebuilt from scratch whenever the
-/// world changes shape or is mutated behind its back (see
-/// `Simulator::events_stale`).
+/// Handle layout (for `n` nodes and `L` wired links): chips occupy `0..n`
+/// (by node index), links `n..n + L` (`n +` the link's global CSR index —
+/// see [`LinkTable`]), traffic sources `n + L..` (by registration order).
+/// The core is rebuilt from scratch whenever the world changes shape or is
+/// mutated behind its back (see `Simulator::events_stale`).
 #[derive(Debug)]
 struct EventCore {
     queue: WakeQueue,
@@ -223,12 +214,9 @@ pub struct Simulator<C: Chip> {
     chips: Vec<C>,
     ios: Vec<ChipIo>,
     logs: Vec<DeliveryLog>,
-    /// `links[node][dir]` is the link driven by that node's output port.
-    links: Vec<[Option<Link>; 4]>,
-    /// `feeders[node][dir]` is the (node, out-dir) whose link feeds this
-    /// node's input port `dir` (for credit returns).
-    feeders: Vec<[Option<(NodeId, Direction)>; 4]>,
-    usage: Vec<[LinkUsage; 4]>,
+    /// The wired links in CSR form: pipe state, usage counters, and the
+    /// forward/reverse adjacency, all indexed by dense global link index.
+    adj: LinkTable,
     /// Running maximum of any single link's total symbol count; divided by
     /// the elapsed cycles it yields [`Simulator::peak_link_utilization`]
     /// without rescanning `usage`.
@@ -323,28 +311,21 @@ impl<C: Chip> Simulator<C> {
         for node in topo.nodes() {
             chips.push(make_chip(node)?);
         }
-        let mut links: Vec<[Option<Link>; 4]> = (0..n).map(|_| [None, None, None, None]).collect();
-        let mut feeders: Vec<[Option<(NodeId, Direction)>; 4]> =
-            (0..n).map(|_| [None; 4]).collect();
-        for node in topo.nodes() {
-            for dir in Direction::ALL {
-                if let Some(end) = topo.link_end(node, dir) {
-                    links[node.index()][dir_index(dir)] = Some(Link::new(link_latency));
-                    feeders[end.node.index()][dir_index(end.dir)] = Some((node, dir));
-                    // Initialise the transmitter's credit pool from the
-                    // receiver's flit buffer.
-                    let bytes = chips[end.node.index()].flit_buffer_bytes() as u32;
-                    chips[node.index()].set_output_credits(Port::Dir(dir), bytes);
-                }
+        let adj = LinkTable::build(&topo, link_latency);
+        for node in 0..n {
+            let (start, end) = adj.out_bounds(node);
+            for li in start..end {
+                // Initialise the transmitter's credit pool from the
+                // receiver's flit buffer.
+                let bytes = chips[adj.dst(li).node.index()].flit_buffer_bytes() as u32;
+                chips[node].set_output_credits(Port::Dir(adj.dir(li)), bytes);
             }
         }
         Ok(Simulator {
             chips,
             ios: (0..n).map(|_| ChipIo::new()).collect(),
             logs: (0..n).map(|_| DeliveryLog::default()).collect(),
-            links,
-            feeders,
-            usage: vec![[LinkUsage::default(); 4]; n],
+            adj,
             max_link_total: 0,
             sources: Vec::new(),
             tap: None,
@@ -596,7 +577,7 @@ impl<C: Chip> Simulator<C> {
         }
         let mut symbols = 0usize;
         let mut credit_batches = 0usize;
-        for link in self.links.iter().flat_map(|l| l.iter().flatten()) {
+        for link in self.adj.links() {
             symbols += link.in_flight();
             credit_batches += link.credits_in_flight();
         }
@@ -685,10 +666,13 @@ impl<C: Chip> Simulator<C> {
         }
     }
 
-    /// Traffic carried so far by the link leaving `node` in `dir`.
+    /// Traffic carried so far by the link leaving `node` in `dir`
+    /// (defaults to zero for unwired directions).
     #[must_use]
     pub fn link_usage(&self, node: NodeId, dir: Direction) -> LinkUsage {
-        self.usage[node.index()][dir_index(dir)]
+        self.adj
+            .out_index(node.index(), dir)
+            .map_or_else(LinkUsage::default, |li| self.adj.usage(li))
     }
 
     /// The busiest link's utilisation so far (symbols per cycle). Served
@@ -708,6 +692,42 @@ impl<C: Chip> Simulator<C> {
     #[must_use]
     pub fn ticks_executed(&self) -> u64 {
         self.ticks_executed
+    }
+
+    /// Estimated resident bytes per node: the struct-of-arrays arenas (CSR
+    /// link table, per-node I/O staging, event-core state) plus each chip's
+    /// own dominant allocations, divided by the node count. Allocated
+    /// *capacity* is counted, not occupancy — this is what the allocator
+    /// holds, the number the mega-mesh footprint guardrail pins down.
+    #[must_use]
+    pub fn bytes_per_node(&self) -> usize {
+        let n = self.chips.len();
+        let chips = n * std::mem::size_of::<C>()
+            + self.chips.iter().map(Chip::heap_bytes_estimate).sum::<usize>();
+        let ios = self.ios.capacity() * std::mem::size_of::<ChipIo>()
+            + self.ios.iter().map(ChipIo::heap_bytes).sum::<usize>();
+        let logs = self.logs.capacity() * std::mem::size_of::<DeliveryLog>()
+            + self
+                .logs
+                .iter()
+                .map(|log| {
+                    log.tc.capacity() * std::mem::size_of::<(Cycle, TcPacket)>()
+                        + log.be.capacity() * std::mem::size_of::<(Cycle, BePacket)>()
+                })
+                .sum::<usize>();
+        let events = self.events.queue.bytes_estimate()
+            + self.events.dirty.capacity() * std::mem::size_of::<u32>()
+            + self.events.stamp.capacity() * std::mem::size_of::<Cycle>()
+            + self.events.due.capacity() * std::mem::size_of::<WakeHandle>()
+            + self.events.tick_list.capacity() * std::mem::size_of::<u32>();
+        let total = chips
+            + ios
+            + logs
+            + events
+            + self.adj.heap_bytes()
+            + self.topo.heap_bytes()
+            + self.unticked.capacity() * std::mem::size_of::<Cycle>();
+        total / n.max(1)
     }
 
     /// Advances the network by one cycle.
@@ -797,30 +817,28 @@ impl<C: Chip> Simulator<C> {
             io.begin_cycle();
         }
 
-        // 1. Link arrivals (data forward, credits backward).
+        // 1. Link arrivals (data forward, credits backward). Links are
+        // walked in global CSR order — grouped by driving node, which
+        // matches the old node-major iteration exactly.
         for node in 0..n {
-            for dir in Direction::ALL {
-                let di = dir_index(dir);
-                let Some(link) = self.links[node][di].as_mut() else {
-                    continue;
+            let (start, end) = self.adj.out_bounds(node);
+            for li in start..end {
+                let (symbol, credits) = {
+                    let link = self.adj.link_mut(li);
+                    (link.recv(now), link.recv_credit(now))
                 };
-                let symbol = link.recv(now);
-                let credits = link.recv_credit(now);
                 if EV && (symbol.is_some() || credits > 0) {
-                    self.events.mark(n + node * 4 + di, now);
+                    self.events.mark(n + li, now);
                 }
                 if let Some(symbol) = symbol {
-                    let end = self
-                        .topo
-                        .link_end(NodeId(node as u16), dir)
-                        .expect("live link without wiring");
-                    self.ios[end.node.index()].rx[Port::Dir(end.dir).index()] = Some(symbol);
+                    let dst = self.adj.dst(li);
+                    self.ios[dst.node.index()].rx[Port::Dir(dst.dir).index()] = Some(symbol);
                     if EV {
-                        self.events.mark(end.node.index(), now);
+                        self.events.mark(dst.node.index(), now);
                     }
                 }
                 if credits > 0 {
-                    self.ios[node].credit_in[Port::Dir(dir).index()] += credits;
+                    self.ios[node].credit_in[Port::Dir(self.adj.dir(li)).index()] += credits;
                     if EV {
                         self.events.mark(node, now);
                     }
@@ -852,48 +870,63 @@ impl<C: Chip> Simulator<C> {
     /// links that carried a new symbol or credit batch are marked dirty.
     fn phase_post<const EV: bool>(&mut self, now: Cycle) {
         let n = self.chips.len();
-        // 4. Collect driven symbols and returned credits.
+        // 4. Collect driven symbols and returned credits — walking only
+        // the wired outputs and fed inputs via the CSR tables. A chip can
+        // only drive ports its wiring feeds credits through, so scanning
+        // the sparse tables covers every live port; the debug asserts
+        // below catch a chip writing to an unwired one.
         for node in 0..n {
             debug_assert!(
                 self.ios[node].tx[Port::Local.index()].is_none(),
                 "chips must deliver locally, not drive the local port"
             );
-            for dir in Direction::ALL {
+            let (start, end) = self.adj.out_bounds(node);
+            for li in start..end {
+                let dir = self.adj.dir(li);
                 let idx = Port::Dir(dir).index();
                 if let Some(symbol) = self.ios[node].tx[idx].take() {
-                    let usage = &mut self.usage[node][dir_index(dir)];
-                    if symbol.is_time_constrained() {
-                        usage.tc_symbols += 1;
-                    } else {
-                        usage.be_symbols += 1;
-                    }
-                    self.max_link_total =
-                        self.max_link_total.max(usage.tc_symbols + usage.be_symbols);
+                    let total = {
+                        let usage = self.adj.usage_mut(li);
+                        if symbol.is_time_constrained() {
+                            usage.tc_symbols += 1;
+                        } else {
+                            usage.be_symbols += 1;
+                        }
+                        usage.tc_symbols + usage.be_symbols
+                    };
+                    self.max_link_total = self.max_link_total.max(total);
                     if let Some(tap) = &mut self.tap {
                         tap(now, NodeId(node as u16), dir, &symbol);
                     }
-                    self.links[node][dir_index(dir)]
-                        .as_mut()
-                        .expect("symbol driven on an unwired link")
-                        .send(now, symbol);
+                    self.adj.link_mut(li).send(now, symbol);
                     if EV {
-                        self.events.mark(n + node * 4 + dir_index(dir), now);
-                    }
-                }
-                let credits = self.ios[node].credit_out[idx];
-                if credits > 0 {
-                    self.ios[node].credit_out[idx] = 0;
-                    let (feeder, feeder_dir) = self.feeders[node][dir_index(dir)]
-                        .expect("credit returned on an unfed input port");
-                    self.links[feeder.index()][dir_index(feeder_dir)]
-                        .as_mut()
-                        .expect("feeder link missing")
-                        .send_credit(now, credits);
-                    if EV {
-                        self.events.mark(n + feeder.index() * 4 + dir_index(feeder_dir), now);
+                        self.events.mark(n + li, now);
                     }
                 }
             }
+            let (fs, fe) = self.adj.in_bounds(node);
+            for fi in fs..fe {
+                let idx = Port::Dir(self.adj.in_dir(fi)).index();
+                let credits = self.ios[node].credit_out[idx];
+                if credits > 0 {
+                    self.ios[node].credit_out[idx] = 0;
+                    let li = self.adj.in_link(fi);
+                    self.adj.link_mut(li).send_credit(now, credits);
+                    if EV {
+                        self.events.mark(n + li, now);
+                    }
+                }
+            }
+            debug_assert!(
+                Direction::ALL.iter().all(|&d| self.ios[node].tx[Port::Dir(d).index()].is_none()),
+                "symbol driven on an unwired link"
+            );
+            debug_assert!(
+                Direction::ALL
+                    .iter()
+                    .all(|&d| self.ios[node].credit_out[Port::Dir(d).index()] == 0),
+                "credit returned on an unfed input port"
+            );
         }
 
         // 5. Drain deliveries — recording them in the flight ring when a
@@ -956,7 +989,7 @@ impl<C: Chip> Simulator<C> {
     /// component once, after which only dirty components are re-polled.
     fn ensure_events(&mut self) {
         if self.events_stale {
-            self.events = EventCore::new(self.chips.len() * 5 + self.sources.len());
+            self.events = EventCore::new(self.chips.len() + self.adj.len() + self.sources.len());
             self.events_stale = false;
         }
     }
@@ -1037,11 +1070,28 @@ impl<C: Chip> Simulator<C> {
     /// right after a rebuild) at the end of the cycle `now`.
     fn repoll_dirty(&mut self, now: Cycle) {
         if std::mem::take(&mut self.events.prime) {
-            let handles = self.events.queue.handles();
-            self.metrics.registry.inc(self.metrics.ids.stale_repolls, handles as u64);
-            for h in 0..handles {
+            // Priming a fresh queue: chips and sources are polled
+            // unconditionally, but links are swept directly and only the
+            // non-empty ones file a wake — the queue is empty, so there is
+            // nothing to clear for idle links, and at mega-mesh scale the
+            // links vastly outnumber the ones carrying traffic. Only the
+            // wakes actually filed count as (stale) repolls.
+            let n = self.chips.len();
+            let mut repolled = (n + self.sources.len()) as u64;
+            for h in 0..n {
                 self.repoll(h, now);
             }
+            for li in 0..self.adj.len() {
+                if let Some(at) = self.adj.link(li).next_event() {
+                    self.events.queue.set_wake(WakeHandle((n + li) as u32), at.max(now + 1));
+                    repolled += 1;
+                }
+            }
+            let base = n + self.adj.len();
+            for s in 0..self.sources.len() {
+                self.repoll(base + s, now);
+            }
+            self.metrics.registry.inc(self.metrics.ids.stale_repolls, repolled);
         } else {
             let dirty = std::mem::take(&mut self.events.dirty);
             for &h in &dirty {
@@ -1052,18 +1102,18 @@ impl<C: Chip> Simulator<C> {
     }
 
     /// Polls one component's `next_event` and files (or clears) its wake.
-    /// Handle layout for `n` chips: `0..n` are chips by node index,
-    /// `n..5n` are links (`n + node*4 + direction`), `5n..` are traffic
-    /// sources in registration order.
+    /// Handle layout for `n` chips and `L` wired links: `0..n` are chips
+    /// by node index, `n..n + L` are links by global CSR index, `n + L..`
+    /// are traffic sources in registration order.
     fn repoll(&mut self, handle: usize, now: Cycle) {
         let n = self.chips.len();
+        let nl = n + self.adj.len();
         let at = if handle < n {
             self.chips[handle].next_event(now)
-        } else if handle < 5 * n {
-            let li = handle - n;
-            self.links[li / 4][li % 4].as_ref().and_then(Link::next_event)
+        } else if handle < nl {
+            self.adj.link(handle - n).next_event()
         } else {
-            let (_, source) = &self.sources[handle - 5 * n];
+            let (_, source) = &self.sources[handle - nl];
             source.next_event(now)
         };
         match at {
@@ -1118,12 +1168,10 @@ impl<C: Chip> Simulator<C> {
                 }
             }
         }
-        for links in &self.links {
-            for link in links.iter().flatten() {
-                if let Some(at) = link.next_event() {
-                    if !merge(at) {
-                        return None;
-                    }
+        for link in self.adj.links() {
+            if let Some(at) = link.next_event() {
+                if !merge(at) {
+                    return None;
                 }
             }
         }
@@ -1301,10 +1349,6 @@ impl<C: Chip + Send> Simulator<C> {
 
         let n = self.chips.len();
         let prime = std::mem::take(&mut self.events.prime);
-        if prime {
-            let handles = self.events.queue.handles();
-            self.metrics.registry.inc(self.metrics.ids.stale_repolls, handles as u64);
-        }
         // The chips this cycle must tick and re-poll, in node order: all
         // of them on a prime step, otherwise exactly the dirty ones.
         let mut list = std::mem::take(&mut self.events.tick_list);
@@ -1414,11 +1458,25 @@ impl<C: Chip + Send> Simulator<C> {
         self.events.tick_list = list;
         self.phase_post::<true>(now);
         let t = self.metrics.profiler.lap(Phase::LinkPost, t);
-        // Links and sources: serial re-poll of the non-chip handles.
+        // Links and sources: serial re-poll of the non-chip handles. On a
+        // prime step links are swept directly (see `repoll_dirty`): only
+        // the non-empty ones file a wake, and the stale-repoll counter
+        // charges chips, sources, and the links that actually held
+        // traffic — identical to the serial prime, so the two drive modes
+        // emit byte-identical counters.
         if prime {
-            for h in n..self.events.queue.handles() {
-                self.repoll(h, now);
+            let mut repolled = (n + self.sources.len()) as u64;
+            for li in 0..self.adj.len() {
+                if let Some(at) = self.adj.link(li).next_event() {
+                    self.events.queue.set_wake(WakeHandle((n + li) as u32), at.max(now + 1));
+                    repolled += 1;
+                }
             }
+            let base = n + self.adj.len();
+            for s in 0..self.sources.len() {
+                self.repoll(base + s, now);
+            }
+            self.metrics.registry.inc(self.metrics.ids.stale_repolls, repolled);
         } else {
             let dirty = std::mem::take(&mut self.events.dirty);
             for &h in &dirty {

@@ -90,6 +90,24 @@ impl Topology {
         Topology { width: 1, height: 1, wiring }
     }
 
+    /// The same topology with the given output links unwired (link
+    /// failures, or deliberately irregular fabrics). Only the listed
+    /// direction is removed — the reverse link stays up unless it is
+    /// listed too, so asymmetric wiring is expressible.
+    #[must_use]
+    pub fn without_links(mut self, dead: &[(NodeId, Direction)]) -> Self {
+        for (node, dir) in dead {
+            self.wiring[node.index()][dir_index(*dir)] = None;
+        }
+        self
+    }
+
+    /// Heap bytes behind the wiring table (allocated capacity).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.wiring.capacity() * std::mem::size_of::<[Option<LinkEnd>; 4]>()
+    }
+
     /// Number of nodes.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -61,6 +61,17 @@ impl ChipIo {
         self.rx = Default::default();
         self.credit_in = [0; PORT_COUNT];
     }
+
+    /// Heap bytes held behind this bundle's queues (allocated capacity,
+    /// not occupancy), for the simulator's memory-footprint accounting.
+    /// Packet payloads boxed inside the queues are not followed.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.inject_tc.capacity() * std::mem::size_of::<TcPacket>()
+            + self.inject_be.capacity() * std::mem::size_of::<BePacket>()
+            + self.delivered_tc.capacity() * std::mem::size_of::<(Cycle, TcPacket)>()
+            + self.delivered_be.capacity() * std::mem::size_of::<(Cycle, BePacket)>()
+    }
 }
 
 /// A point-in-time occupancy snapshot of a router chip, for telemetry
@@ -203,6 +214,16 @@ pub trait Chip {
     /// [`MetricsRegistry`]: https://docs.rs/rtr-metrics
     fn counters(&self, emit: &mut dyn FnMut(&'static str, u64)) {
         let _ = emit;
+    }
+
+    /// Estimated heap bytes owned by this chip beyond `size_of::<Self>()`
+    /// — scheduler leaves, packet-memory slots, per-port buffers — for the
+    /// simulator's bytes-per-node footprint guardrail. An estimate, not an
+    /// audit: implementations count their dominant allocations (by
+    /// capacity, matching what the allocator holds) and may ignore small
+    /// fixed-size bookkeeping. The default reports none.
+    fn heap_bytes_estimate(&self) -> usize {
+        0
     }
 
     /// Checks the chip's internal conservation ledger (every packet

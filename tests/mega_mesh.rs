@@ -1,0 +1,167 @@
+//! The 256×256 (65 536-node) mega-mesh: `NodeId` boundary behaviour at the
+//! `u16` extremes, CSR adjacency vs. the dense wiring table on irregular
+//! topologies, and the struct-of-arrays memory-footprint guardrail.
+//!
+//! The paper's router targets "parallel signal-processing systems with
+//! hundreds of processing nodes"; the struct-of-arrays simulator layout is
+//! what lets the reproduction push two orders of magnitude past that on one
+//! host. These tests pin the node-identifier arithmetic exactly at the edge
+//! of the 16-bit space and keep the per-node footprint honest.
+
+use proptest::prelude::*;
+use realtime_router::core::{RealTimeRouter, RouterTemplate};
+use realtime_router::mesh::{LinkTable, Simulator, Topology};
+use realtime_router::types::config::RouterConfig;
+use realtime_router::types::ids::{Direction, NodeId};
+
+/// Builds an idle `width × height` simulator from one shared template —
+/// the construction path the mega-mesh benches time.
+fn idle_mesh(width: u16, height: u16) -> Simulator<RealTimeRouter> {
+    let template = RouterTemplate::new(RouterConfig::default()).unwrap();
+    Simulator::build(Topology::mesh(width, height), |_| {
+        Ok::<_, std::convert::Infallible>(template.build())
+    })
+    .unwrap()
+}
+
+#[test]
+fn node_ids_reach_the_u16_extremes() {
+    let topo = Topology::mesh(256, 256);
+    assert_eq!(topo.len(), 65_536);
+    // The far corner is the last representable NodeId.
+    assert_eq!(topo.node_at(255, 255), NodeId(65_535));
+    assert_eq!(topo.coords(NodeId(65_535)), (255, 255));
+    assert_eq!(topo.coords(NodeId(0)), (0, 0));
+    // Every corner's wiring: exactly two links, pointing inward.
+    for (x, y, wired, unwired) in [
+        (0, 0, [Direction::XPlus, Direction::YPlus], [Direction::XMinus, Direction::YMinus]),
+        (255, 0, [Direction::XMinus, Direction::YPlus], [Direction::XPlus, Direction::YMinus]),
+        (0, 255, [Direction::XPlus, Direction::YMinus], [Direction::XMinus, Direction::YPlus]),
+        (255, 255, [Direction::XMinus, Direction::YMinus], [Direction::XPlus, Direction::YPlus]),
+    ] {
+        let n = topo.node_at(x, y);
+        for dir in wired {
+            let end = topo.link_end(n, dir).expect("corner link inward");
+            assert_eq!(end.dir, dir.opposite());
+            assert_eq!(topo.link_end(end.node, end.dir).unwrap().node, n);
+        }
+        for dir in unwired {
+            assert!(topo.link_end(n, dir).is_none());
+        }
+    }
+    // node_at never overflows the u16 index arithmetic along the last row.
+    for x in 0..256u16 {
+        let n = topo.node_at(x, 255);
+        assert_eq!(topo.coords(n), (x, 255));
+    }
+}
+
+#[test]
+fn be_offsets_span_the_i8_header_field() {
+    let topo = Topology::mesh(256, 256);
+    // 127 hops is the largest offset the Figure 3b header can carry.
+    let src = topo.node_at(128, 255);
+    let dst = topo.node_at(255, 255);
+    assert_eq!(topo.be_offsets(src, dst), (127, 0));
+    assert_eq!(topo.be_offsets(dst, src), (-127, 0));
+    let down = topo.node_at(0, 127);
+    assert_eq!(topo.be_offsets(topo.node_at(0, 0), down), (0, 127));
+    // A route along both axes at the edge still walks to its destination.
+    let route = topo.dor_route(topo.node_at(200, 200), topo.node_at(255, 255));
+    assert_eq!(route.len(), 110);
+    assert_eq!(*topo.walk(topo.node_at(200, 200), &route).last().unwrap(), topo.node_at(255, 255));
+}
+
+#[test]
+fn mega_mesh_builds_and_ticks() {
+    let mut sim = idle_mesh(256, 256);
+    assert_eq!(sim.topology().len(), 65_536);
+    // The full open mesh wires 2·(256·255·2) directed links.
+    let expected_links = 2 * (256 * 255) * 2;
+    let table = LinkTable::build(sim.topology(), 0);
+    assert_eq!(table.len(), expected_links);
+    // An idle mega-mesh leaps through time without executing node ticks.
+    sim.run_leaping(1_000);
+    assert_eq!(sim.now(), 1_000);
+    assert!(
+        sim.ticks_executed() <= 65_536,
+        "idle leaping must not tick the mesh per cycle (executed {})",
+        sim.ticks_executed()
+    );
+}
+
+/// The footprint guardrail: an idle router costs ~4.4 KiB all in — the
+/// 3.3 KiB chip struct (ports, stats, scheduler registers) plus I/O
+/// staging, CSR link share, and event-core share, with *no* heap behind it
+/// (packet memory, scheduler leaves, and port queues materialise on first
+/// use, and the connection table and config are Arc-shared). The ceiling
+/// pins that: the seed's eager layout sat several KiB of heap higher per
+/// node. The bench reports the live number as a `bytes_per_node` column.
+#[test]
+fn bytes_per_node_stays_under_the_ceiling() {
+    let sim = idle_mesh(64, 64);
+    let idle = sim.bytes_per_node();
+    assert!(idle > 0, "estimate must count the fixed arenas");
+    assert!(idle < 5 * 1024, "idle mesh costs {idle} bytes/node, ceiling 5 KiB");
+
+    // Driving the mesh materialises lazy state but must stay bounded too.
+    let mut sim = rtr_bench::leaping::periodic_mesh_sized(64, 64, 512);
+    sim.run_leaping(20_000);
+    let driven = sim.bytes_per_node();
+    assert!(driven < 8 * 1024, "driven mesh costs {driven} bytes/node, ceiling 8 KiB");
+}
+
+proptest! {
+    /// On arbitrary irregular topologies (random meshes with random links
+    /// torn out) the CSR adjacency agrees link-for-link with the dense
+    /// wiring table in both directions: every wired `(node, dir)` appears
+    /// exactly once with the right endpoint, and every feeder points back
+    /// at the link that drives it.
+    #[test]
+    fn csr_agrees_with_dense_wiring(
+        w in 1u16..12,
+        h in 1u16..12,
+        dead in proptest::collection::vec((0u16..144, 0usize..4), 0..40),
+    ) {
+        let dead: Vec<(NodeId, Direction)> = dead
+            .into_iter()
+            .map(|(n, d)| (NodeId(n % (w * h)), Direction::ALL[d]))
+            .collect();
+        let topo = Topology::mesh(w, h).without_links(&dead);
+        let table = LinkTable::build(&topo, 0);
+
+        let mut wired = 0usize;
+        for node in topo.nodes() {
+            for dir in Direction::ALL {
+                match topo.link_end(node, dir) {
+                    Some(end) => {
+                        wired += 1;
+                        let li = table
+                            .out_index(node.index(), dir)
+                            .expect("wired link present in CSR");
+                        prop_assert_eq!(table.dir(li), dir);
+                        prop_assert_eq!(table.dst(li).node, end.node);
+                        prop_assert_eq!(table.dst(li).dir, end.dir);
+                        prop_assert_eq!(table.owner_of(li), node);
+                    }
+                    None => prop_assert_eq!(table.out_index(node.index(), dir), None),
+                }
+            }
+        }
+        prop_assert_eq!(table.len(), wired, "CSR holds exactly the wired links");
+
+        // Reverse map: each node's feeders are exactly the links that land
+        // on it, and each names the link that drives the input port.
+        let mut feeders = 0usize;
+        for node in topo.nodes() {
+            let (start, end) = table.in_bounds(node.index());
+            feeders += end - start;
+            for fi in start..end {
+                let li = table.in_link(fi);
+                prop_assert_eq!(table.dst(li).node, node);
+                prop_assert_eq!(table.dst(li).dir, table.in_dir(fi));
+            }
+        }
+        prop_assert_eq!(feeders, wired, "every link feeds exactly one input port");
+    }
+}
