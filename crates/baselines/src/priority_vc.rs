@@ -261,10 +261,18 @@ impl Chip for PriorityVcRouter {
         }
         for idx in 1..PORT_COUNT {
             if let Some(symbol) = io.rx[idx].take() {
+                // The baselines run only fault-free scenarios, so the
+                // torn-frame outcomes the shared port reports are unused.
                 match symbol {
-                    LinkSymbol::TcStart(packet) => self.inputs[idx].push_tc_start(now, *packet),
-                    LinkSymbol::TcCont { .. } => self.inputs[idx].push_tc_cont(now),
-                    LinkSymbol::Be(byte) => self.inputs[idx].push_be(now, byte),
+                    LinkSymbol::TcStart(packet) => {
+                        self.inputs[idx].push_tc_start(now, *packet);
+                    }
+                    LinkSymbol::TcCont { .. } => {
+                        self.inputs[idx].push_tc_cont(now);
+                    }
+                    LinkSymbol::Be(byte) => {
+                        self.inputs[idx].push_be(now, byte);
+                    }
                 }
             }
         }

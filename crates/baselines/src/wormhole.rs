@@ -135,7 +135,9 @@ impl Chip for WormholeRouter {
         for idx in 1..PORT_COUNT {
             if let Some(symbol) = io.rx[idx].take() {
                 match symbol {
-                    LinkSymbol::Be(byte) => self.inputs[idx].push_be(now, byte),
+                    LinkSymbol::Be(byte) => {
+                        self.inputs[idx].push_be(now, byte);
+                    }
                     _ => panic!("wormhole baseline received a time-constrained symbol"),
                 }
             }

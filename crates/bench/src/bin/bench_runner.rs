@@ -4,11 +4,14 @@
 //! throughput, scheduler selection cost across occupancies, full-mesh
 //! stepping (serial and pool-parallel), the sparse leaping suite (8×8,
 //! 32×32, 128×128, and the 256×256 mega-mesh; event-queue vs
-//! quiescence-scan), and mesh construction cost (with a per-node memory
-//! footprint column) — with fixed seeds and hand-rolled timing, then
-//! writes the results as JSON so a run can be committed next to the code
-//! it measured (`BENCH_6.json`; earlier revisions live in `BENCH_1.json`
-//! through `BENCH_5.json`).
+//! quiescence-scan), mesh construction cost (with a per-node memory
+//! footprint column), and the chaos fault-tolerance scenarios (link-kill
+//! recovery, flaky link, node crash — rows carrying measured
+//! violation-window, re-route-latency, and loss columns rather than just
+//! wall-clock) — with fixed seeds and hand-rolled timing, then writes
+//! the results as JSON so a run can be committed next to the code it
+//! measured (`BENCH_7.json`; earlier revisions live in `BENCH_1.json`
+//! through `BENCH_6.json`).
 //!
 //! Built with `--features metrics`, rows additionally embed counter and
 //! phase-profile columns from the unified metrics registry (wake polls,
@@ -555,7 +558,7 @@ fn render_json(results: &[BenchResult], smoke: bool) -> String {
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut flight_sample: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -712,6 +715,49 @@ fn main() {
         sparse256_cycles,
         sparse256_iters,
     ));
+
+    // The chaos rows are deterministic measurements (recovery windows and
+    // loss columns), identical in smoke and full runs; wall-clock is
+    // recorded but incidental.
+    eprintln!("chaos fault-tolerance scenarios...");
+    type ChaosFn = fn() -> rtr_bench::chaos::ChaosOutcome;
+    let scenarios: [ChaosFn; 3] = [
+        rtr_bench::chaos::link_down_recovery,
+        rtr_bench::chaos::flaky_link,
+        rtr_bench::chaos::node_crash,
+    ];
+    for scenario in scenarios {
+        let start = Instant::now();
+        let outcome = scenario();
+        let elapsed = start.elapsed().as_secs_f64();
+        let extra = format!(
+            "\"fault_at\": {}, \"detected_at\": {}, \"rerouted_at\": {}, \
+             \"recovered_at\": {}, \"reroute_latency\": {}, \
+             \"victim_delivered\": {}, \"victim_misses\": {}, \
+             \"bystander_delivered\": {}, \"bystander_misses\": {}, \
+             \"symbols_lost\": {}, \"symbols_corrupted\": {}",
+            outcome.fault_at,
+            outcome.detected_at,
+            outcome.rerouted_at,
+            outcome.recovered_at,
+            outcome.reroute_latency,
+            outcome.victim_delivered,
+            outcome.victim_misses,
+            outcome.bystander_delivered,
+            outcome.bystander_misses,
+            outcome.symbols_lost,
+            outcome.symbols_corrupted,
+        );
+        results.push(BenchResult {
+            name: outcome.scenario.to_string(),
+            iters: 1,
+            min_s: elapsed,
+            mean_s: elapsed,
+            metric: outcome.violation_window as f64,
+            unit: "cycles",
+            extra: Some(extra),
+        });
+    }
 
     let json = render_json(&results, smoke);
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

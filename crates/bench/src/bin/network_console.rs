@@ -10,7 +10,8 @@
 //! cargo run --release -p rtr-bench --bin network_console -- \
 //!     [side=4] [channels=12] [be_rate=0.1] [cycles=100000] \
 //!     [scheduler=tree|banded:<shift>] [vct=0|1] [seed=42] \
-//!     [sample=<N>] [trace=<path>] [metrics=<path>] [metrics_every=<N>]
+//!     [sample=<N>] [trace=<path>] [metrics=<path>] [metrics_every=<N>] \
+//!     [faults=<path>]
 //! ```
 //!
 //! `sample=N` snapshots packet-memory/scheduler/queue gauges every N cycles
@@ -20,7 +21,11 @@
 //! unified metrics registry as JSONL — one line per counter/gauge/histogram
 //! at the end of the run, or every `metrics_every=N` cycles when given
 //! (requires `--features metrics` for non-empty output; `trace_dump`
-//! summarises the file).
+//! summarises the file). `faults=<path>` loads a scripted fault schedule
+//! (`<cycle> link_down|link_up|node_crash|node_restore|link_flaky|\
+//! link_stable <x>,<y> [dir] [drop=N corrupt=N]`, plus `seed <n>` lines
+//! and `#` comments) and applies it mid-run; the run then reports the
+//! `fault.*` loss columns and any links still dark at the end.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,7 +33,7 @@ use rtr_channels::establish::ChannelManager;
 use rtr_channels::sender::ChannelSender;
 use rtr_channels::spec::{ChannelRequest, TrafficSpec};
 use rtr_core::RealTimeRouter;
-use rtr_mesh::{NetworkReport, Simulator, Topology};
+use rtr_mesh::{FaultSchedule, NetworkReport, Simulator, Topology};
 use rtr_types::config::{RouterConfig, SchedulerKind};
 use rtr_types::ids::NodeId;
 use rtr_workloads::be::{RandomBeSource, SizeDist};
@@ -50,6 +55,7 @@ usage: network_console [key=value ...]
   trace=PATH             write JSONL packet trace (needs --features trace)
   metrics=PATH           write metrics-registry JSONL (needs --features metrics)
   metrics_every=N        snapshot metrics every N cycles (default 0 = end only)
+  faults=PATH            scripted fault schedule applied mid-run
 
 Bare values are read positionally: side channels be_rate cycles scheduler
 vct seed.";
@@ -67,6 +73,7 @@ struct Options {
     trace: Option<String>,
     metrics: Option<String>,
     metrics_every: u64,
+    faults: Option<String>,
 }
 
 impl Default for Options {
@@ -83,6 +90,7 @@ impl Default for Options {
             trace: None,
             metrics: None,
             metrics_every: 0,
+            faults: None,
         }
     }
 }
@@ -140,6 +148,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "trace" => opts.trace = Some(value.to_string()),
             "metrics" => opts.metrics = Some(value.to_string()),
             "metrics_every" => opts.metrics_every = parse_num(&key, value)?,
+            "faults" => opts.faults = Some(value.to_string()),
             _ => return Err(format!("unknown key `{key}`")),
         }
     }
@@ -204,6 +213,22 @@ fn main() {
     }
     #[cfg(feature = "trace")]
     let trace_sink = opts.trace.as_deref().map(|p| attach_trace(&mut sim, &topo, p));
+    if let Some(path) = &opts.faults {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read fault schedule {path}: {e}");
+            std::process::exit(2);
+        });
+        let schedule = FaultSchedule::parse(&text, &topo).unwrap_or_else(|e| {
+            eprintln!("bad fault schedule {path}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "fault schedule: {} scripted events, seed {}",
+            schedule.events().len(),
+            schedule.seed()
+        );
+        sim.set_fault_schedule(schedule);
+    }
     let mut manager = ChannelManager::new(&config);
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -367,6 +392,35 @@ fn main() {
             usage.be_symbols,
             usage.utilization(report.cycles)
         );
+    }
+    if opts.faults.is_some() {
+        let stats = sim.fault_stats();
+        println!();
+        println!(
+            "fault plane: {} link-down, {} link-up, {} crash, {} restore, \
+             {} flaky, {} stable events",
+            stats.link_down_events,
+            stats.link_up_events,
+            stats.node_crash_events,
+            stats.node_restore_events,
+            stats.link_flaky_events,
+            stats.link_stable_events
+        );
+        println!(
+            "  symbols lost {}  corrupted {}  credits lost {}  late arrivals dropped {}",
+            stats.symbols_lost,
+            stats.symbols_corrupted,
+            stats.credits_lost,
+            stats.late_arrivals_dropped
+        );
+        for (node, dir) in sim.downed_links() {
+            println!("  still down at end of run: node {node} {dir}");
+        }
+        if let Err(violation) = sim.check_conservation() {
+            println!("  CONSERVATION VIOLATION: {violation}");
+        } else {
+            println!("  conservation: every symbol delivered, in flight, or counted lost");
+        }
     }
     let cut: u64 = topo.nodes().map(|n| sim.chip(n).stats().tc_cut_through).sum();
     if vct {

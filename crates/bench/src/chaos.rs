@@ -1,0 +1,266 @@
+//! Chaos scenarios: measured fault-tolerance outcomes for the recorded
+//! benchmark suite.
+//!
+//! Three scripted scenarios exercise the fault plane end to end and
+//! report *recovery* figures rather than wall-clock: a mid-run link kill
+//! answered by the detection/re-route loop, a flaky-link regime absorbed
+//! by the conservation ledger, and a node crash/restore blackout. Each
+//! scenario is fully deterministic (seeded schedule, seeded traffic), so
+//! the committed `BENCH_7.json` rows double as a regression surface: a
+//! violation window or loss column that drifts means the fault plane or
+//! the recovery loop changed behaviour.
+
+use rtr_channels::establish::ChannelManager;
+use rtr_channels::recovery::{watch_and_recover, RecoveryConfig};
+use rtr_channels::sender::ChannelSender;
+use rtr_channels::spec::{ChannelRequest, TrafficSpec};
+use rtr_core::RealTimeRouter;
+use rtr_mesh::{FaultKind, FaultSchedule, Simulator, Topology};
+use rtr_types::config::RouterConfig;
+use rtr_types::ids::{Direction, NodeId};
+use rtr_workloads::tc::PeriodicTcSource;
+
+/// Measured outcome of one chaos scenario.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Scenario identifier (the benchmark row name).
+    pub scenario: &'static str,
+    /// Cycle the scripted fault fired.
+    pub fault_at: u64,
+    /// Cycle the monitor declared the fault (0 when no detector ran).
+    pub detected_at: u64,
+    /// Cycle the replacement channel went live (0 when no re-route ran).
+    pub rerouted_at: u64,
+    /// Cycle service resumed at the victim's destination.
+    pub recovered_at: u64,
+    /// Full service interruption seen by the victim, fault to first
+    /// post-recovery arrival.
+    pub violation_window: u64,
+    /// Detection-to-installed control-plane latency (0 when no re-route).
+    pub reroute_latency: u64,
+    /// Deliveries on the victim channel across the whole run.
+    pub victim_delivered: usize,
+    /// Deadline misses on the victim channel.
+    pub victim_misses: usize,
+    /// Deliveries on the fault-avoiding bystander channel.
+    pub bystander_delivered: usize,
+    /// Deadline misses on the bystander — the guarantee under test: 0.
+    pub bystander_misses: usize,
+    /// Symbols blackholed or dropped by the fault plane.
+    pub symbols_lost: u64,
+    /// Symbols delivered corrupted by a flaky regime.
+    pub symbols_corrupted: u64,
+}
+
+fn build_pair(
+    topo: &Topology,
+    config: &RouterConfig,
+) -> (Simulator<RealTimeRouter>, ChannelManager, ChannelPair) {
+    let mut sim = Simulator::build(topo.clone(), |_| RealTimeRouter::new(config.clone())).unwrap();
+    let mut manager = ChannelManager::new(config);
+    let src = topo.node_at(0, 0);
+    let dst = topo.node_at(2, 0);
+    let far_src = topo.node_at(0, 2);
+    let far_dst = topo.node_at(2, 2);
+    let victim = manager
+        .establish(
+            topo,
+            ChannelRequest::unicast(src, dst, TrafficSpec::periodic(16, 18), 60),
+            &mut sim,
+        )
+        .unwrap();
+    let bystander = manager
+        .establish(
+            topo,
+            ChannelRequest::unicast(far_src, far_dst, TrafficSpec::periodic(16, 18), 60),
+            &mut sim,
+        )
+        .unwrap();
+    for (channel, node, offset, fill) in
+        [(&victim, src, 0u64, 0x44u8), (&bystander, far_src, 5, 0x55)]
+    {
+        let sender = ChannelSender::new(
+            channel,
+            sim.chip(node).clock(),
+            config.slot_bytes,
+            config.tc_data_bytes(),
+        );
+        sim.add_source(
+            node,
+            Box::new(PeriodicTcSource::new(
+                sender,
+                16,
+                offset,
+                config.slot_bytes,
+                vec![fill; config.tc_data_bytes()],
+            )),
+        );
+    }
+    let pair = ChannelPair { victim_id: victim.id, dst, far_dst };
+    (sim, manager, pair)
+}
+
+struct ChannelPair {
+    victim_id: u64,
+    dst: NodeId,
+    far_dst: NodeId,
+}
+
+/// A mid-run link kill on the victim's row, answered by the full
+/// watch → detect → localize → re-route loop while the mesh keeps
+/// running. The bystander channel on a disjoint row must keep a zero
+/// miss count throughout.
+#[must_use]
+pub fn link_down_recovery() -> ChaosOutcome {
+    let config = RouterConfig::default();
+    let topo = Topology::mesh(3, 3);
+    let (mut sim, mut manager, pair) = build_pair(&topo, &config);
+    let fault_at = 5_000;
+    sim.run(4_000);
+    sim.schedule_fault(
+        fault_at,
+        FaultKind::LinkDown { node: topo.node_at(1, 0), dir: Direction::XPlus },
+    );
+    let recovery = RecoveryConfig {
+        check_every: 64,
+        timeout: 768,
+        max_cycles: 60_000,
+        cycles_per_table_write: 8,
+    };
+    let report =
+        watch_and_recover(&mut sim, &mut manager, &topo, pair.victim_id, pair.dst, &recovery)
+            .expect("the 3x3 mesh always has a detour");
+    sim.run(20_000);
+    let stats = sim.fault_stats();
+    ChaosOutcome {
+        scenario: "chaos_link_down_recovery",
+        fault_at,
+        detected_at: report.detected_at,
+        rerouted_at: report.rerouted_at,
+        recovered_at: report.recovered_at,
+        violation_window: report.recovered_at - fault_at,
+        reroute_latency: report.reroute_latency(),
+        victim_delivered: sim.log(pair.dst).tc.len(),
+        victim_misses: sim.log(pair.dst).tc_deadline_misses(config.slot_bytes),
+        bystander_delivered: sim.log(pair.far_dst).tc.len(),
+        bystander_misses: sim.log(pair.far_dst).tc_deadline_misses(config.slot_bytes),
+        symbols_lost: stats.symbols_lost,
+        symbols_corrupted: stats.symbols_corrupted,
+    }
+}
+
+/// A flaky regime on the victim's first-hop link: a seeded fraction of
+/// packet heads is dropped whole-packet and another fraction delivered
+/// corrupted, then the link heals. No re-route runs — the scenario
+/// measures what the conservation ledger absorbs and that the healthy
+/// bystander never notices.
+#[must_use]
+pub fn flaky_link() -> ChaosOutcome {
+    let config = RouterConfig::default();
+    let topo = Topology::mesh(3, 3);
+    let (mut sim, _manager, pair) = build_pair(&topo, &config);
+    let fault_at = 4_000;
+    let schedule = FaultSchedule::new()
+        .with_seed(0xF1A2)
+        .link_flaky(fault_at, topo.node_at(0, 0), Direction::XPlus, 256, 128)
+        .link_stable(24_000, topo.node_at(0, 0), Direction::XPlus);
+    sim.set_fault_schedule(schedule);
+    sim.run(40_000);
+    sim.check_conservation().expect("losses must be ledgered, not leaked");
+    let stats = sim.fault_stats();
+    // Service was degraded, not interrupted: recovery is the heal cycle.
+    ChaosOutcome {
+        scenario: "chaos_flaky_link",
+        fault_at,
+        detected_at: 0,
+        rerouted_at: 0,
+        recovered_at: 24_000,
+        violation_window: 24_000 - fault_at,
+        reroute_latency: 0,
+        victim_delivered: sim.log(pair.dst).tc.len(),
+        victim_misses: sim.log(pair.dst).tc_deadline_misses(config.slot_bytes),
+        bystander_delivered: sim.log(pair.far_dst).tc.len(),
+        bystander_misses: sim.log(pair.far_dst).tc_deadline_misses(config.slot_bytes),
+        symbols_lost: stats.symbols_lost,
+        symbols_corrupted: stats.symbols_corrupted,
+    }
+}
+
+/// A crash/restore blackout of the router in the middle of the victim's
+/// route. No re-route: the scenario measures the self-healing gap — the
+/// node comes back, half-received packets are aborted with their credits
+/// refunded, and the channel resumes on its original reservation.
+#[must_use]
+pub fn node_crash() -> ChaosOutcome {
+    let config = RouterConfig::default();
+    let topo = Topology::mesh(3, 3);
+    let (mut sim, _manager, pair) = build_pair(&topo, &config);
+    let fault_at = 6_000;
+    let restore_at = 12_000;
+    let schedule = FaultSchedule::new()
+        .node_crash(fault_at, topo.node_at(1, 0))
+        .node_restore(restore_at, topo.node_at(1, 0));
+    sim.set_fault_schedule(schedule);
+    sim.run(40_000);
+    sim.check_conservation().expect("crash losses must be ledgered, not leaked");
+    let stats = sim.fault_stats();
+    let recovered_at = sim
+        .log(pair.dst)
+        .tc
+        .iter()
+        .map(|(cycle, _)| *cycle)
+        .find(|&cycle| cycle > restore_at)
+        .unwrap_or(0);
+    ChaosOutcome {
+        scenario: "chaos_node_crash",
+        fault_at,
+        detected_at: 0,
+        rerouted_at: 0,
+        recovered_at,
+        violation_window: recovered_at.saturating_sub(fault_at),
+        reroute_latency: 0,
+        victim_delivered: sim.log(pair.dst).tc.len(),
+        victim_misses: sim.log(pair.dst).tc_deadline_misses(config.slot_bytes),
+        bystander_delivered: sim.log(pair.far_dst).tc.len(),
+        bystander_misses: sim.log(pair.far_dst).tc_deadline_misses(config.slot_bytes),
+        symbols_lost: stats.symbols_lost,
+        symbols_corrupted: stats.symbols_corrupted,
+    }
+}
+
+/// Runs all three scenarios in order.
+#[must_use]
+pub fn run_all() -> Vec<ChaosOutcome> {
+    vec![link_down_recovery(), flaky_link(), node_crash()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_down_scenario_recovers_with_clean_bystander() {
+        let outcome = link_down_recovery();
+        assert_eq!(outcome.bystander_misses, 0);
+        assert!(outcome.violation_window > 0);
+        assert!(outcome.reroute_latency > 0);
+        assert!(outcome.recovered_at > outcome.rerouted_at);
+        assert!(outcome.symbols_lost > 0);
+    }
+
+    #[test]
+    fn flaky_scenario_ledgers_its_losses() {
+        let outcome = flaky_link();
+        assert_eq!(outcome.bystander_misses, 0);
+        assert!(outcome.symbols_lost > 0);
+        assert!(outcome.symbols_corrupted > 0);
+    }
+
+    #[test]
+    fn crash_scenario_heals_after_restore() {
+        let outcome = node_crash();
+        assert_eq!(outcome.bystander_misses, 0);
+        assert!(outcome.recovered_at > 12_000, "service resumed: {outcome:?}");
+        assert!(outcome.symbols_lost > 0);
+    }
+}

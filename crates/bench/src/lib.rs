@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline_compare;
+pub mod chaos;
 pub mod exp1;
 pub mod fig7;
 pub mod horizon;

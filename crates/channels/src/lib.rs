@@ -13,7 +13,9 @@
 //!   reservation accounting,
 //! * [`establish`] — the [`establish::ChannelManager`] that admits channels
 //!   and programs routers through the Table 3 control interface,
-//! * [`sender`] — source-side message stamping and packetisation.
+//! * [`sender`] — source-side message stamping and packetisation,
+//! * [`recovery`] — mid-run fault detection and guaranteed-safe
+//!   re-routing against a live simulation.
 //!
 //! # Example
 //!
@@ -50,6 +52,7 @@
 pub mod admission;
 pub mod arrival;
 pub mod establish;
+pub mod recovery;
 pub mod sender;
 pub mod spec;
 
@@ -57,6 +60,9 @@ pub use admission::{AdmissionError, AdmissionPolicy, BufferBook, LinkBook, LinkR
 pub use arrival::{ArrivalTracker, Policer};
 pub use establish::{
     ChannelManager, ControlPlane, EstablishError, EstablishedChannel, Hop, LinkLoad, WordLevelPlane,
+};
+pub use recovery::{
+    suspect_dead_links, watch_and_recover, RecoveryConfig, RecoveryError, RecoveryReport,
 };
 pub use sender::{ChannelSender, PolicedSender};
 pub use spec::{ChannelRequest, TrafficSpec};

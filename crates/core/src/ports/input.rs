@@ -34,6 +34,33 @@ pub struct RoutedByte {
     pub out: Port,
 }
 
+/// What [`InputPort::push_be`] did with a byte — all-zero in fault-free
+/// runs. Fault-torn streams (a crashed receiver dropped symbols upstream,
+/// a byzantine neighbour forged credits) are shed deliberately: every
+/// dropped byte is reported so the caller can count it and refund its
+/// upstream flow-control credit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BePush {
+    /// Bytes destroyed (the incoming byte and/or a held header byte);
+    /// each consumed an upstream credit that must be refunded.
+    pub dropped: u8,
+    /// A packet mid-stream lost its tail (the sink's reassembly will
+    /// count it `be_malformed` when the length check fails).
+    pub truncated: bool,
+}
+
+/// Partial arrivals cleared by [`InputPort::abort_partial`] (crash
+/// recovery).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbortedRx {
+    /// A time-constrained packet was mid-arrival and is abandoned.
+    pub tc_aborted: bool,
+    /// Held best-effort header bytes dropped (credits to refund).
+    pub be_dropped: u8,
+    /// A best-effort packet was streaming and is now truncated.
+    pub be_truncated: bool,
+}
+
 /// Routing progress of the best-effort stream currently crossing this port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BeRoute {
@@ -99,42 +126,44 @@ impl InputPort {
     /// Accepts the first symbol of a time-constrained packet that will be
     /// buffered (store-and-forward).
     ///
-    /// # Panics
-    ///
-    /// Panics if a packet is already mid-arrival (the link protocol never
-    /// interleaves two time-constrained packets on one channel).
-    pub fn push_tc_start(&mut self, now: Cycle, packet: TcPacket) {
-        assert!(self.tc_rx.is_none(), "TC start while a packet is mid-arrival");
+    /// The link protocol never interleaves two time-constrained packets on
+    /// one channel, but a crashed receiver can lose a packet's tail
+    /// symbols upstream; a start arriving while a packet is still
+    /// mid-arrival therefore abandons the torn predecessor. Returns `true`
+    /// when that happened (the caller counts it).
+    pub fn push_tc_start(&mut self, now: Cycle, packet: TcPacket) -> bool {
+        let truncated = self.tc_rx.take().is_some();
         let remaining = packet.wire_len() - 1;
         if remaining == 0 {
             self.tc_pending.push_back((now + self.tc_store_latency, packet));
         } else {
             self.tc_rx = Some((Some(packet), remaining));
         }
+        truncated
     }
 
     /// Accepts the first symbol of a packet that is *cutting through*: the
     /// remaining symbols are consumed for timing only and the packet never
     /// enters the arrival pipeline (the output port streams it directly).
     ///
-    /// # Panics
-    ///
-    /// Panics if a packet is already mid-arrival.
-    pub fn push_tc_start_cut(&mut self, wire_len: usize) {
-        assert!(self.tc_rx.is_none(), "TC start while a packet is mid-arrival");
+    /// Returns `true` if a torn mid-arrival packet was abandoned (see
+    /// [`Self::push_tc_start`]).
+    pub fn push_tc_start_cut(&mut self, wire_len: usize) -> bool {
+        let truncated = self.tc_rx.take().is_some();
         if wire_len > 1 {
             self.tc_rx = Some((None, wire_len - 1));
         }
+        truncated
     }
 
     /// Accepts a continuation symbol of the in-flight time-constrained
-    /// packet.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no packet is mid-arrival.
-    pub fn push_tc_cont(&mut self, now: Cycle) {
-        let (packet, remaining) = self.tc_rx.take().expect("TC continuation without a start");
+    /// packet. Returns `false` for an orphan continuation — its packet's
+    /// head was destroyed by a fault upstream — which is shed (the caller
+    /// counts it).
+    pub fn push_tc_cont(&mut self, now: Cycle) -> bool {
+        let Some((packet, remaining)) = self.tc_rx.take() else {
+            return false;
+        };
         if remaining == 1 {
             if let Some(packet) = packet {
                 self.tc_pending.push_back((now + self.tc_store_latency, packet));
@@ -142,6 +171,24 @@ impl InputPort {
         } else {
             self.tc_rx = Some((packet, remaining - 1));
         }
+        true
+    }
+
+    /// Clears partial arrivals on both virtual channels — the crash-restore
+    /// path: a restored node's reassembly registers are undefined, so a
+    /// mid-arrival time-constrained packet is abandoned and the best-effort
+    /// route machine reset to hunt for the next head byte. Completed
+    /// packets (the arrival pipeline, the flit buffer) are intact and keep
+    /// flowing.
+    pub fn abort_partial(&mut self) -> AbortedRx {
+        let tc_aborted = self.tc_rx.take().is_some();
+        let (be_dropped, be_truncated) = match self.be_route {
+            BeRoute::Idle => (0, false),
+            BeRoute::GotX { .. } => (1, false),
+            BeRoute::Streaming { .. } => (0, true),
+        };
+        self.be_route = BeRoute::Idle;
+        AbortedRx { tc_aborted, be_dropped, be_truncated }
     }
 
     /// Pops the next packet whose arrival pipeline has completed, if any.
@@ -160,21 +207,45 @@ impl InputPort {
 
     /// Accepts one best-effort byte from the link (or the local injector).
     ///
-    /// # Panics
-    ///
-    /// Panics if the flit buffer would overflow — upstream flow control must
-    /// prevent that — or if packet framing is violated (a head byte while
-    /// streaming, or a body byte while idle).
-    pub fn push_be(&mut self, now: Cycle, byte: BeByte) {
-        assert!(self.be_occupancy() < self.flit_capacity, "flit buffer overflow");
+    /// With honest flow control and coherent links the returned [`BePush`]
+    /// is all-zero. Faults break both assumptions — a byzantine neighbour
+    /// can forge credits (overflow) and a crashed receiver upstream can
+    /// tear frames (orphan fragments, missing tails, a head mid-stream) —
+    /// so instead of asserting, the port sheds exactly the bytes it cannot
+    /// frame and reports them for counting and credit refund.
+    pub fn push_be(&mut self, now: Cycle, byte: BeByte) -> BePush {
+        let mut outcome = BePush::default();
+        if self.be_occupancy() >= self.flit_capacity {
+            // Only reachable via forged credits: honest flow control never
+            // sends into a full buffer. Shed the byte; if it was a tail,
+            // resync the framer so the next packet starts clean.
+            outcome.dropped = 1;
+            if byte.tail {
+                outcome.truncated = matches!(self.be_route, BeRoute::Streaming { .. });
+                self.be_route = BeRoute::Idle;
+            }
+            return outcome;
+        }
         match self.be_route {
             BeRoute::Idle => {
-                assert!(byte.head, "body byte with no packet in progress");
-                assert!(!byte.tail, "best-effort packets are at least 4 header bytes");
+                if !byte.head || byte.tail {
+                    // Orphan fragment of a torn packet (or a runt shorter
+                    // than its 4 header bytes): shed it.
+                    outcome.dropped = 1;
+                    return outcome;
+                }
                 self.be_route = BeRoute::GotX { x: byte.byte, trace: byte.trace, arrived: now };
             }
             BeRoute::GotX { x, trace, arrived } => {
-                assert!(!byte.head && !byte.tail, "malformed header framing");
+                if byte.head || byte.tail {
+                    // The held x-offset belongs to a torn packet: shed it,
+                    // then refeed the byte to the idle framer.
+                    outcome.dropped = 1;
+                    self.be_route = BeRoute::Idle;
+                    let refeed = self.push_be(now, byte);
+                    outcome.dropped += refeed.dropped;
+                    return outcome;
+                }
                 let header = BeHeader { x_off: x as i8, y_off: byte.byte as i8, length: 0 };
                 let (out, rewritten) = header.dimension_ordered_step();
                 self.be_fifo.push_back(RoutedByte {
@@ -190,7 +261,16 @@ impl InputPort {
                 self.be_route = BeRoute::Streaming { out };
             }
             BeRoute::Streaming { out } => {
-                assert!(!byte.head, "head byte while a packet is streaming");
+                if byte.head {
+                    // The streaming packet's tail was destroyed upstream:
+                    // it is truncated (the sink's length check will flag
+                    // it) and this byte starts the next packet.
+                    outcome.truncated = true;
+                    self.be_route = BeRoute::Idle;
+                    let refeed = self.push_be(now, byte);
+                    outcome.dropped += refeed.dropped;
+                    return outcome;
+                }
                 self.be_fifo.push_back(RoutedByte {
                     ready_at: now + self.pipeline_latency,
                     byte,
@@ -201,6 +281,7 @@ impl InputPort {
                 }
             }
         }
+        outcome
     }
 
     /// Whether the byte at the head of the flit buffer is routed to `out`
@@ -352,20 +433,84 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "flit buffer overflow")]
-    fn overflow_panics() {
+    fn overflow_sheds_bytes_instead_of_panicking() {
         let mut p = InputPort::new(10, 6, 2);
-        p.push_be(0, BeByte { byte: 1, head: true, tail: false, trace: None });
-        p.push_be(1, BeByte::body(0));
-        p.push_be(2, BeByte::body(0));
+        assert_eq!(
+            p.push_be(0, BeByte { byte: 1, head: true, tail: false, trace: None }),
+            BePush::default()
+        );
+        assert_eq!(p.push_be(1, BeByte::body(0)), BePush::default());
+        // Forged credits pushed a third byte into a 2-byte buffer: shed.
+        assert_eq!(p.push_be(2, BeByte::body(0)), BePush { dropped: 1, truncated: false });
+        assert_eq!(p.be_occupancy(), 2, "buffer never exceeds capacity");
     }
 
     #[test]
-    #[should_panic(expected = "TC start while a packet is mid-arrival")]
-    fn interleaved_tc_packets_panic() {
+    fn interleaved_tc_start_abandons_the_torn_packet() {
+        let mut p = port();
+        assert!(!p.push_tc_start(0, tc_packet(18)));
+        // The first packet's remaining symbols were destroyed upstream; a
+        // new start abandons it and the new packet arrives whole.
+        assert!(p.push_tc_start(1, tc_packet(18)), "torn predecessor reported");
+        for i in 2..21 {
+            assert!(p.push_tc_cont(i));
+        }
+        assert!(p.take_ready_tc(20 + 6).is_some(), "successor unharmed");
+        assert!(p.take_ready_tc(10_000).is_none(), "torn packet never surfaces");
+    }
+
+    #[test]
+    fn orphan_tc_continuation_is_shed() {
+        let mut p = port();
+        assert!(!p.push_tc_cont(5), "continuation without a start reported");
+        assert!(!p.tc_rx_active());
+    }
+
+    #[test]
+    fn orphan_be_fragments_are_shed_until_the_next_head() {
+        let mut p = port();
+        // Head lost upstream: body/tail fragments shed one by one.
+        assert_eq!(p.push_be(0, BeByte::body(9)), BePush { dropped: 1, truncated: false });
+        assert_eq!(
+            p.push_be(1, BeByte { byte: 3, head: false, tail: true, trace: None }),
+            BePush { dropped: 1, truncated: false }
+        );
+        assert_eq!(p.be_occupancy(), 0);
+        // The next complete packet frames normally.
+        p.push_be(2, BeByte { byte: 1, head: true, tail: false, trace: None });
+        p.push_be(3, BeByte::body(0));
+        assert_eq!(p.be_occupancy(), 2);
+    }
+
+    #[test]
+    fn head_mid_stream_truncates_and_starts_the_next_packet() {
+        let mut p = port();
+        p.push_be(0, BeByte { byte: 1, head: true, tail: false, trace: None });
+        p.push_be(1, BeByte::body(0));
+        p.push_be(2, BeByte::body(2));
+        // Tail destroyed upstream; the next packet's head arrives while
+        // streaming: predecessor truncated, successor accepted.
+        let outcome = p.push_be(3, BeByte { byte: 0, head: true, tail: false, trace: None });
+        assert_eq!(outcome, BePush { dropped: 0, truncated: true });
+        p.push_be(4, BeByte::body(0));
+        // Both the truncated front and the new packet occupy the buffer.
+        assert_eq!(p.be_occupancy(), 5);
+    }
+
+    #[test]
+    fn abort_partial_clears_both_channels() {
         let mut p = port();
         p.push_tc_start(0, tc_packet(18));
-        p.push_tc_start(1, tc_packet(18));
+        p.push_be(0, BeByte { byte: 1, head: true, tail: false, trace: None });
+        let aborted = p.abort_partial();
+        assert_eq!(aborted, AbortedRx { tc_aborted: true, be_dropped: 1, be_truncated: false });
+        assert!(!p.tc_rx_active(), "port leaps again after the abort");
+        assert_eq!(p.be_occupancy(), 0);
+        // Streaming abort reports the truncation instead of a held byte.
+        p.push_be(2, BeByte { byte: 1, head: true, tail: false, trace: None });
+        p.push_be(3, BeByte::body(0));
+        let aborted = p.abort_partial();
+        assert_eq!(aborted, AbortedRx { tc_aborted: false, be_dropped: 0, be_truncated: true });
     }
 
     #[test]

@@ -3,5 +3,5 @@
 pub mod input;
 pub mod output;
 
-pub use input::{InputPort, RoutedByte};
+pub use input::{AbortedRx, BePush, InputPort, RoutedByte};
 pub use output::{OutputPort, TcTransmit};

@@ -353,8 +353,24 @@ impl RealTimeRouter {
             if let Some(symbol) = io.rx[idx].take() {
                 match symbol {
                     LinkSymbol::TcStart(packet) => self.ingest_tc_start(now, idx, *packet),
-                    LinkSymbol::TcCont { .. } => self.inputs[idx].push_tc_cont(now),
-                    LinkSymbol::Be(byte) => self.inputs[idx].push_be(now, byte),
+                    LinkSymbol::TcCont { .. } => {
+                        if !self.inputs[idx].push_tc_cont(now) {
+                            // Orphan of a packet whose head a fault destroyed.
+                            self.stats.tc_orphan_symbols += 1;
+                        }
+                    }
+                    LinkSymbol::Be(byte) => {
+                        let outcome = self.inputs[idx].push_be(now, byte);
+                        if outcome.dropped > 0 {
+                            self.stats.be_dropped_faulty += u64::from(outcome.dropped);
+                            // Shed bytes consumed upstream credits; refund
+                            // them so the sender's pool stays balanced.
+                            io.credit_out[idx] += u16::from(outcome.dropped);
+                        }
+                        if outcome.truncated {
+                            self.stats.be_truncated += 1;
+                        }
+                    }
                 }
             }
         }
@@ -435,7 +451,9 @@ impl RealTimeRouter {
                                     start_at: now + cut_latency,
                                     early: !on_time,
                                 });
-                            self.inputs[in_idx].push_tc_start_cut(wire_len);
+                            if self.inputs[in_idx].push_tc_start_cut(wire_len) {
+                                self.stats.tc_truncated += 1;
+                            }
                             self.stats.tc_arrived += 1;
                             self.stats.tc_cut_through += 1;
                             if !on_time {
@@ -447,13 +465,16 @@ impl RealTimeRouter {
                 }
             }
         }
-        self.inputs[in_idx].push_tc_start(now, packet);
+        if self.inputs[in_idx].push_tc_start(now, packet) {
+            self.stats.tc_truncated += 1;
+        }
     }
 
     fn run_injectors(&mut self, now: Cycle, io: &mut ChipIo) {
         // Time-constrained injection port: one byte per cycle.
         if let Some(remaining) = self.tc_inject_remaining {
-            self.inputs[0].push_tc_cont(now);
+            let fed = self.inputs[0].push_tc_cont(now);
+            debug_assert!(fed, "injection continuations always follow their start");
             self.tc_inject_remaining = if remaining == 1 { None } else { Some(remaining - 1) };
         } else if let Some(packet) = io.inject_tc.pop_front() {
             if packet.payload.len() != self.config.tc_data_bytes() {
@@ -499,7 +520,8 @@ impl RealTimeRouter {
                 let head = *pos == 0;
                 let tail = *pos == wire.len() - 1;
                 let byte = BeByte { byte: wire[*pos], head, tail, trace: head.then_some(*trace) };
-                self.inputs[0].push_be(now, byte);
+                let outcome = self.inputs[0].push_be(now, byte);
+                debug_assert_eq!(outcome, Default::default(), "injection is free-space gated");
                 *pos += 1;
                 if *pos == wire.len() {
                     self.be_inject = None;
@@ -1065,6 +1087,28 @@ impl Chip for RealTimeRouter {
 
     fn check_conservation(&self) -> Result<(), String> {
         RealTimeRouter::check_conservation(self)
+    }
+
+    fn abort_partial_rx(&mut self) -> [u8; PORT_COUNT] {
+        let mut dropped = [0u8; PORT_COUNT];
+        for (idx, input) in self.inputs.iter_mut().enumerate() {
+            let aborted = input.abort_partial();
+            if aborted.tc_aborted {
+                self.stats.tc_truncated += 1;
+            }
+            if aborted.be_truncated {
+                self.stats.be_truncated += 1;
+            }
+            self.stats.be_dropped_faulty += u64::from(aborted.be_dropped);
+            dropped[idx] = aborted.be_dropped;
+        }
+        // The injection machinery feeds port 0 from inside the node; its
+        // mid-flight packet died with the port's reassembly registers, and
+        // there is no upstream link to refund.
+        self.tc_inject_remaining = None;
+        self.be_inject = None;
+        dropped[0] = 0;
+        dropped
     }
 }
 

@@ -52,6 +52,21 @@ pub struct RouterStats {
     /// Transmissions whose sorting key was aliased by clock rollover (late
     /// packets; zero for admitted traffic).
     pub aliased_keys: u64,
+    /// Time-constrained packets abandoned mid-arrival because an upstream
+    /// fault destroyed their remaining symbols (a new start arrived, or
+    /// the node's own crash-restore aborted the reassembly).
+    pub tc_truncated: u64,
+    /// Orphan time-constrained continuation symbols shed (their packet's
+    /// head was destroyed upstream). Counted in symbols, not packets.
+    pub tc_orphan_symbols: u64,
+    /// Best-effort bytes shed at an input port (torn framing from an
+    /// upstream fault, or forged credits overflowing the flit buffer).
+    /// Every shed byte's upstream flow-control credit is refunded.
+    pub be_dropped_faulty: u64,
+    /// Best-effort packets whose tail was destroyed upstream; their
+    /// surviving prefix forwards and fails the sink's length check
+    /// (`be_malformed` there).
+    pub be_truncated: u64,
 }
 
 impl RouterStats {
@@ -131,6 +146,10 @@ impl RouterStats {
         emit("router.be_malformed", self.be_malformed);
         emit("router.idle_cycles", self.idle_cycles.iter().sum());
         emit("router.aliased_keys", self.aliased_keys);
+        emit("router.tc_truncated", self.tc_truncated);
+        emit("router.tc_orphan_symbols", self.tc_orphan_symbols);
+        emit("router.be_dropped_faulty", self.be_dropped_faulty);
+        emit("router.be_truncated", self.be_truncated);
     }
 }
 

@@ -11,6 +11,7 @@
 //! * [`topology`] — mesh coordinates and link wiring,
 //! * [`adjacency`] — the CSR link/feeder tables the simulator runs on,
 //! * [`link`] — the symbol/credit pipes with configurable wire latency,
+//! * [`fault`] — the scripted, seeded mid-run fault-injection plane,
 //! * [`source`] — the traffic-source trait workloads implement,
 //! * [`sim`] — the simulator main loop,
 //! * [`stats`] — delivery logs and derived metrics.
@@ -39,6 +40,7 @@
 #![deny(unsafe_code)]
 
 pub mod adjacency;
+pub mod fault;
 pub mod link;
 pub(crate) mod metrics;
 pub mod netstats;
@@ -49,6 +51,8 @@ pub mod stats;
 pub mod topology;
 
 pub use adjacency::LinkTable;
+pub use fault::{FaultEvent, FaultKind, FaultSchedule, FaultStats};
+pub use link::LinkLedger;
 pub use netstats::{ConnSlackReport, Histogram, NetworkReport, OccupancySummary};
 pub use sim::{LinkUsage, OccupancyHistory, OccupancySample, Quiescence, Simulator};
 pub use source::TrafficSource;

@@ -4,11 +4,65 @@
 //! (both virtual channels share the physical wires; the chip's output
 //! arbitration enforces the one-byte-per-cycle budget) and best-effort
 //! credits in the reverse direction (the acknowledgement bit of §3.2).
+//!
+//! Links are where the fault plane acts (see [`crate::fault`]): a link can
+//! be **down** (blackholing what is sent while down) or **flaky** (a seeded
+//! generator drops or corrupts a fraction of the *packets* it carries).
+//! Faults are packet-coherent: the fate of a packet is decided at its head
+//! symbol and its continuation symbols follow, so a packet either crosses
+//! whole or vanishes whole and the downstream reassembly state machines
+//! never see a torn frame from a link fault. (Crashed *receivers* can still
+//! tear packets — arrivals whose exact cycle passes unobserved are dropped
+//! and counted here, and the receiver's input ports tolerate the orphaned
+//! remainder.) Every symbol destroyed lands in the [`LinkLedger`], whose
+//! conservation identity `sent = delivered + lost + in flight` makes
+//! lost-to-fault a ledger column rather than a leak.
 
 use std::collections::VecDeque;
 
 use rtr_types::flit::LinkSymbol;
+use rtr_types::ids::ConnectionId;
 use rtr_types::time::Cycle;
+
+/// Per-link symbol accounting, including the fault-plane loss columns.
+///
+/// The conservation identity is
+/// `symbols_sent == symbols_delivered + symbols_lost + in_flight`;
+/// [`Link::check_conservation`] asserts it. `late_arrivals_dropped` is a
+/// sub-count of `symbols_lost` (the crashed-receiver case), and
+/// `symbols_corrupted` counts *delivered* symbols whose content was
+/// deliberately damaged (they are not lost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkLedger {
+    /// Symbols the transmitter put on the wire (including ones a fault
+    /// destroyed at the transmit end).
+    pub symbols_sent: u64,
+    /// Symbols taken off the wire at their exact arrival cycle.
+    pub symbols_delivered: u64,
+    /// Symbols destroyed by faults: blackholed while down, flaky-dropped,
+    /// or stale at a crashed receiver.
+    pub symbols_lost: u64,
+    /// Delivered symbols whose content was deliberately corrupted (a
+    /// sub-class of `symbols_delivered`).
+    pub symbols_corrupted: u64,
+    /// Best-effort credit bytes destroyed while the link was down.
+    pub credits_lost: u64,
+    /// The subset of `symbols_lost` dropped because their arrival cycle
+    /// passed while the receiver was not polling (node crash).
+    pub late_arrivals_dropped: u64,
+}
+
+impl LinkLedger {
+    /// Folds another ledger into this one (mesh-wide totals).
+    pub fn merge(&mut self, other: &LinkLedger) {
+        self.symbols_sent += other.symbols_sent;
+        self.symbols_delivered += other.symbols_delivered;
+        self.symbols_lost += other.symbols_lost;
+        self.symbols_corrupted += other.symbols_corrupted;
+        self.credits_lost += other.credits_lost;
+        self.late_arrivals_dropped += other.late_arrivals_dropped;
+    }
+}
 
 /// One unidirectional link (plus its reverse credit wire).
 #[derive(Debug, Default)]
@@ -17,18 +71,104 @@ pub struct Link {
     latency: Cycle,
     data: VecDeque<(Cycle, LinkSymbol)>,
     credits: VecDeque<(Cycle, u16)>,
+    /// Downed link: new packets and credits are blackholed (packets whose
+    /// head already crossed complete, keeping receivers coherent).
+    down: bool,
+    /// Flaky regime: packets dropped, per 1024 (0 = off).
+    drop_per_1024: u16,
+    /// Flaky regime: packets corrupted, per 1024 (0 = off).
+    corrupt_per_1024: u16,
+    /// Per-link xorshift64 state for the flaky decisions (0 = unseeded;
+    /// seeded by the first `set_flaky`).
+    rng: u64,
+    /// The time-constrained packet in transit had its head destroyed:
+    /// drop its continuation symbols too.
+    tc_dropping: bool,
+    /// Same for the best-effort packet in transit.
+    be_dropping: bool,
+    /// The current best-effort packet was chosen for corruption; the first
+    /// payload byte gets flipped.
+    be_corrupt_armed: bool,
+    /// Byte position within the current best-effort packet (0 = head).
+    be_pos: u16,
+    /// Corrupt decision stashed by the last flaky roll (both decisions
+    /// come from one draw so a packet is never dropped *and* corrupted).
+    pending_corrupt: bool,
+    ledger: LinkLedger,
 }
 
 impl Link {
     /// Creates a link with the given extra wire latency.
     #[must_use]
     pub fn new(latency: Cycle) -> Self {
-        Link { latency, data: VecDeque::new(), credits: VecDeque::new() }
+        Link { latency, ..Link::default() }
     }
 
     /// Puts a symbol on the wire at `now`; it arrives at `now + 1 +
-    /// latency`.
+    /// latency` — unless a fault destroys it, in which case it is counted
+    /// in the [`LinkLedger`] and never arrives. Fault decisions are made
+    /// at packet heads and inherited by continuation symbols, so packets
+    /// cross (or vanish) whole.
     pub fn send(&mut self, now: Cycle, symbol: LinkSymbol) {
+        self.ledger.symbols_sent += 1;
+        let symbol = match symbol {
+            LinkSymbol::TcStart(mut packet) => {
+                self.tc_dropping = false;
+                if self.down || self.roll_drop() {
+                    self.tc_dropping = true;
+                    self.ledger.symbols_lost += 1;
+                    return;
+                }
+                if self.roll_corrupt() {
+                    // Header corruption: a flipped connection id. Routers
+                    // drop unknown ids deliberately (`tc_dropped_no_conn`),
+                    // so the damage is observable and well-accounted.
+                    packet.conn = ConnectionId(packet.conn.0 ^ 0x155);
+                    self.ledger.symbols_corrupted += 1;
+                }
+                LinkSymbol::TcStart(packet)
+            }
+            LinkSymbol::TcCont { index } => {
+                if self.tc_dropping {
+                    self.ledger.symbols_lost += 1;
+                    return;
+                }
+                LinkSymbol::TcCont { index }
+            }
+            LinkSymbol::Be(mut byte) => {
+                if byte.head {
+                    self.be_dropping = false;
+                    self.be_corrupt_armed = false;
+                    self.be_pos = 0;
+                    if self.down || self.roll_drop() {
+                        self.be_dropping = true;
+                    } else if self.roll_corrupt() {
+                        self.be_corrupt_armed = true;
+                    }
+                } else {
+                    self.be_pos = self.be_pos.saturating_add(1);
+                }
+                if self.be_dropping {
+                    self.ledger.symbols_lost += 1;
+                    if byte.tail {
+                        self.be_dropping = false;
+                    }
+                    return;
+                }
+                // Payload corruption only (positions ≥ 4 skip the 4-byte
+                // header, whose offsets steer routing): the packet arrives
+                // whole, framed, and wrong.
+                if self.be_corrupt_armed && self.be_pos >= 4 {
+                    byte.byte ^= 0xA5;
+                    self.be_corrupt_armed = false;
+                    self.ledger.symbols_corrupted += 1;
+                }
+                if byte.tail {
+                    self.be_corrupt_armed = false;
+                }
+                LinkSymbol::Be(byte)
+            }
+        };
         let arrive = now + 1 + self.latency;
         debug_assert!(
             self.data.back().is_none_or(|(t, _)| *t < arrive),
@@ -37,23 +177,42 @@ impl Link {
         self.data.push_back((arrive, symbol));
     }
 
-    /// Takes the symbol arriving exactly at `now`, if any.
+    /// Takes the symbol arriving exactly at `now`, if any. Arrivals whose
+    /// exact cycle already passed unobserved — possible only when the
+    /// receiver stopped polling (node crash) — are dropped *deliberately*
+    /// and counted (`symbols_lost` / `late_arrivals_dropped`), never
+    /// delivered late: delivering them after the fact would retroactively
+    /// change what the receiver should have seen cycles ago.
     pub fn recv(&mut self, now: Cycle) -> Option<LinkSymbol> {
-        match self.data.front() {
-            Some((t, _)) if *t <= now => {
-                debug_assert_eq!(self.data.front().unwrap().0, now, "missed a link arrival");
-                self.data.pop_front().map(|(_, s)| s)
+        while let Some((t, _)) = self.data.front() {
+            if *t < now {
+                self.data.pop_front();
+                self.ledger.symbols_lost += 1;
+                self.ledger.late_arrivals_dropped += 1;
+            } else if *t == now {
+                self.ledger.symbols_delivered += 1;
+                return self.data.pop_front().map(|(_, s)| s);
+            } else {
+                return None;
             }
-            _ => None,
         }
+        None
     }
 
-    /// Puts credits on the reverse wire at `now`.
+    /// Puts credits on the reverse wire at `now` (blackholed while the
+    /// link is down — the reverse wire is part of the same cable).
     pub fn send_credit(&mut self, now: Cycle, bytes: u16) {
+        if self.down {
+            self.ledger.credits_lost += u64::from(bytes);
+            return;
+        }
         self.credits.push_back((now + 1 + self.latency, bytes));
     }
 
-    /// Takes the credits arriving at `now` (summed), if any.
+    /// Takes the credits arriving at `now` (summed), if any. Unlike data
+    /// symbols, credits are pure counters with no per-cycle framing, so
+    /// batches whose cycle passed while the receiver was crashed are
+    /// simply delivered late.
     pub fn recv_credit(&mut self, now: Cycle) -> u16 {
         let mut total = 0;
         while let Some((t, _)) = self.credits.front() {
@@ -64,6 +223,86 @@ impl Link {
             }
         }
         total
+    }
+
+    /// Fails the link: everything sent from now on is blackholed (and
+    /// counted). Symbols already in flight still arrive, and a packet
+    /// whose head already crossed completes — faults are packet-coherent,
+    /// so receivers never see a torn frame.
+    pub fn set_down(&mut self) {
+        self.down = true;
+    }
+
+    /// Repairs the link. Packets whose head was blackholed while down
+    /// stay blackholed to their tail (coherence); the next head crosses.
+    pub fn set_up(&mut self) {
+        self.down = false;
+    }
+
+    /// Whether the link is currently down.
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Configures the flaky regime: per-1024 packet drop and corruption
+    /// probabilities, decided per packet head by a seeded xorshift64
+    /// generator. Zero rates (with any seed) end the regime.
+    pub fn set_flaky(&mut self, drop_per_1024: u16, corrupt_per_1024: u16, seed: u64) {
+        self.drop_per_1024 = drop_per_1024.min(1024);
+        self.corrupt_per_1024 = corrupt_per_1024.min(1024);
+        self.rng = seed.max(1);
+    }
+
+    /// The link's symbol-accounting ledger.
+    #[must_use]
+    pub fn ledger(&self) -> LinkLedger {
+        self.ledger
+    }
+
+    /// Checks the ledger identity `sent == delivered + lost + in flight`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the imbalance.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let l = &self.ledger;
+        let accounted = l.symbols_delivered + l.symbols_lost + self.data.len() as u64;
+        if l.symbols_sent != accounted {
+            return Err(format!(
+                "link conservation violated: sent {} != delivered {} + lost {} + in-flight {}",
+                l.symbols_sent,
+                l.symbols_delivered,
+                l.symbols_lost,
+                self.data.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// One flaky-regime roll; both decisions (drop, corrupt) come from
+    /// disjoint bit ranges of a single draw so a packet is never both.
+    fn roll(&mut self) -> u64 {
+        let mut x = self.rng.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn roll_drop(&mut self) -> bool {
+        if self.drop_per_1024 == 0 && self.corrupt_per_1024 == 0 {
+            return false;
+        }
+        let r = self.roll();
+        let drop = (r % 1024) < u64::from(self.drop_per_1024);
+        self.pending_corrupt = !drop && ((r >> 10) % 1024) < u64::from(self.corrupt_per_1024);
+        drop
+    }
+
+    fn roll_corrupt(&mut self) -> bool {
+        std::mem::take(&mut self.pending_corrupt)
     }
 
     /// Symbols currently in flight.
@@ -106,10 +345,21 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_types::clock::SlotClock;
     use rtr_types::flit::BeByte;
+    use rtr_types::packet::{PacketTrace, TcPacket};
 
     fn be(byte: u8) -> LinkSymbol {
         LinkSymbol::Be(BeByte::body(byte))
+    }
+
+    fn tc_start(conn: u16) -> LinkSymbol {
+        LinkSymbol::TcStart(Box::new(TcPacket {
+            conn: ConnectionId(conn),
+            arrival: SlotClock::new(8).wrap(0),
+            payload: vec![0; 18].into(),
+            trace: PacketTrace::default(),
+        }))
     }
 
     #[test]
@@ -145,5 +395,133 @@ mod tests {
         l.send(1, be(2));
         assert_eq!(l.recv(2), Some(be(1)));
         assert_eq!(l.recv(3), Some(be(2)));
+    }
+
+    #[test]
+    fn stale_arrivals_are_dropped_and_counted_not_delivered_late() {
+        let mut l = Link::new(0);
+        l.send(0, be(1));
+        l.send(1, be(2));
+        l.send(2, be(3));
+        // Receiver crashed through cycles 1–2; polls again at 3: the two
+        // stale symbols are destroyed, the on-time one delivered.
+        assert_eq!(l.recv(3), Some(be(3)));
+        let ledger = l.ledger();
+        assert_eq!(ledger.late_arrivals_dropped, 2);
+        assert_eq!(ledger.symbols_lost, 2);
+        assert_eq!(ledger.symbols_delivered, 1);
+        l.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn downed_link_blackholes_new_packets_but_completes_in_flight() {
+        let mut l = Link::new(0);
+        l.send(0, tc_start(4));
+        l.send(1, LinkSymbol::TcCont { index: 1 });
+        l.set_down();
+        // The started packet's remaining symbol still crosses (coherence)…
+        l.send(2, LinkSymbol::TcCont { index: 2 });
+        assert!(l.recv(1).is_some());
+        assert!(l.recv(2).is_some());
+        assert!(l.recv(3).is_some());
+        // …but a new packet sent while down vanishes whole.
+        l.send(3, tc_start(5));
+        l.send(4, LinkSymbol::TcCont { index: 1 });
+        assert!(l.recv(4).is_none());
+        assert!(l.recv(5).is_none());
+        // Credits sent while down vanish too.
+        l.send_credit(3, 2);
+        assert_eq!(l.recv_credit(10), 0);
+        let ledger = l.ledger();
+        assert_eq!(ledger.symbols_lost, 2);
+        assert_eq!(ledger.credits_lost, 2);
+        l.check_conservation().unwrap();
+        // Repair: packets flow again.
+        l.set_up();
+        l.send(6, tc_start(6));
+        assert!(l.recv(7).is_some());
+    }
+
+    #[test]
+    fn repaired_link_finishes_blackholing_the_torn_packet() {
+        let mut l = Link::new(0);
+        l.set_down();
+        l.send(0, tc_start(1)); // head destroyed
+        l.set_up();
+        // Continuations of the destroyed packet must not leak through
+        // after the repair — the receiver never saw the head.
+        l.send(1, LinkSymbol::TcCont { index: 1 });
+        assert!(l.recv(2).is_none());
+        assert_eq!(l.ledger().symbols_lost, 2);
+        l.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn flaky_link_drops_whole_packets_deterministically() {
+        let run = |seed: u64| -> (u64, u64) {
+            let mut l = Link::new(0);
+            l.set_flaky(512, 0, seed);
+            let mut now = 0;
+            for p in 0..64u16 {
+                l.send(now, tc_start(p));
+                now += 1;
+                l.send(now, LinkSymbol::TcCont { index: 1 });
+                now += 1;
+            }
+            // Drain.
+            for t in 0..=now {
+                l.recv(t);
+            }
+            l.check_conservation().unwrap();
+            (l.ledger().symbols_lost, l.ledger().symbols_delivered)
+        };
+        let (lost_a, delivered_a) = run(42);
+        let (lost_b, delivered_b) = run(42);
+        assert_eq!((lost_a, delivered_a), (lost_b, delivered_b), "seeded => reproducible");
+        assert!(lost_a > 0 && delivered_a > 0, "a 50% regime drops some and passes some");
+        assert_eq!(lost_a % 2, 0, "packets drop whole (head + cont)");
+    }
+
+    #[test]
+    fn flaky_corruption_flips_the_connection_id() {
+        let mut l = Link::new(0);
+        l.set_flaky(0, 1024, 7);
+        l.send(0, tc_start(4));
+        match l.recv(1) {
+            Some(LinkSymbol::TcStart(p)) => {
+                assert_eq!(p.conn, ConnectionId(4 ^ 0x155), "corrupted header id");
+            }
+            other => panic!("expected a delivered TcStart, got {other:?}"),
+        }
+        assert_eq!(l.ledger().symbols_corrupted, 1);
+        l.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn be_corruption_hits_payload_never_the_header() {
+        let mut l = Link::new(0);
+        l.set_flaky(0, 1024, 9);
+        let bytes = [
+            BeByte { byte: 1, head: true, tail: false, trace: None },
+            BeByte::body(0),
+            BeByte::body(1),
+            BeByte::body(0),
+            BeByte::body(0x11),
+            BeByte { byte: 0x22, head: false, tail: true, trace: None },
+        ];
+        for (t, b) in bytes.into_iter().enumerate() {
+            l.send(t as Cycle, LinkSymbol::Be(b));
+        }
+        let mut out = Vec::new();
+        for t in 1..=6 {
+            if let Some(LinkSymbol::Be(b)) = l.recv(t) {
+                out.push(b.byte);
+            }
+        }
+        assert_eq!(out.len(), 6, "corrupted packets still arrive whole");
+        assert_eq!(&out[..4], &[1, 0, 1, 0], "header untouched");
+        assert_eq!(out[4], 0x11 ^ 0xA5, "first payload byte flipped");
+        assert_eq!(out[5], 0x22, "only one byte corrupted");
+        assert_eq!(l.ledger().symbols_corrupted, 1);
     }
 }

@@ -21,6 +21,8 @@ use rtr_types::packet::{BePacket, TcPacket};
 use rtr_types::time::{cycle_to_slot, Cycle};
 
 use crate::adjacency::LinkTable;
+use crate::fault::{FaultEvent, FaultKind, FaultSchedule, FaultStats};
+use crate::link::LinkLedger;
 use crate::metrics::SimMetrics;
 use crate::pool::{ClaimSlice, WorkerPool};
 use crate::source::TrafficSource;
@@ -266,6 +268,24 @@ pub struct Simulator<C: Chip> {
     /// Metrics registry, phase profiler, and flight recorder (all
     /// zero-sized no-ops without the `metrics` feature).
     metrics: SimMetrics,
+    /// Scripted fault events, sorted by cycle (stable, so same-cycle
+    /// events apply in schedule order); `fault_cursor` is the first entry
+    /// not yet applied. Every step path applies the due prefix *before*
+    /// link arrivals, and the leaping paths clamp their quiet targets to
+    /// the next entry's cycle, so all drive modes observe each fault at
+    /// exactly the same cycle boundary.
+    faults: Vec<FaultEvent>,
+    fault_cursor: usize,
+    /// Base seed for the per-link flaky generators (each link derives its
+    /// own stream, so one flaky link's traffic cannot perturb another's).
+    fault_seed: u64,
+    /// Counts of fault events actually applied (the loss columns live in
+    /// the per-link ledgers; [`Simulator::fault_stats`] merges both).
+    fault_events: FaultStats,
+    /// Per-node crash flags: a crashed chip is not ticked, receives no
+    /// arrivals or credits, and its sources stay silent until restore.
+    crashed: Vec<bool>,
+    crashed_count: usize,
     now: Cycle,
 }
 
@@ -342,6 +362,12 @@ impl<C: Chip> Simulator<C> {
             events_stale: true,
             quiescence: Quiescence::default(),
             metrics: SimMetrics::new(),
+            faults: Vec::new(),
+            fault_cursor: 0,
+            fault_seed: 1,
+            fault_events: FaultStats::default(),
+            crashed: vec![false; n],
+            crashed_count: 0,
             now: 0,
             topo,
         })
@@ -594,6 +620,11 @@ impl<C: Chip> Simulator<C> {
         }
         registry.absorb_counter("sim.ticks_executed", self.ticks_executed);
         registry.absorb_counter("sim.cycles", self.now);
+        if !self.faults.is_empty() {
+            self.fault_stats().emit_counters(&mut |name, value| {
+                registry.absorb_counter(name, value);
+            });
+        }
         for line in self.metrics.profiler.report() {
             if line.calls > 0 {
                 registry.absorb_counter(&format!("profile.{}.ns", line.phase.name()), line.ns);
@@ -649,7 +680,255 @@ impl<C: Chip> Simulator<C> {
                 return Err(message);
             }
         }
+        // Link ledgers: symbols destroyed by faults must land in a loss
+        // column, never leak (`sent = delivered + lost + in flight`).
+        for li in 0..self.adj.len() {
+            if let Err(violation) = self.adj.link(li).check_conservation() {
+                let node = self.adj.owner_of(li);
+                let message = format!("link {} {:?}: {violation}", node.index(), self.adj.dir(li));
+                if let Some(rec) = self.metrics.recorder() {
+                    rec.dump("conservation", &self.metrics_snapshot());
+                }
+                return Err(message);
+            }
+        }
         Ok(())
+    }
+
+    /// Installs a scripted fault schedule (replacing any previous one).
+    /// Events are applied at the start of the step simulating their cycle,
+    /// before link arrivals, identically in every drive mode; events
+    /// scheduled before the current cycle are skipped.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        let (mut events, seed) = schedule.into_parts();
+        events.sort_by_key(|e| e.at);
+        self.fault_cursor = events.partition_point(|e| e.at < self.now);
+        self.faults = events;
+        self.fault_seed = seed.max(1);
+    }
+
+    /// Schedules one fault event at cycle `at` (clamped to the current
+    /// cycle), merging it into any installed schedule.
+    pub fn schedule_fault(&mut self, at: Cycle, kind: FaultKind) {
+        let at = at.max(self.now);
+        let pos = self.faults.partition_point(|e| e.at <= at);
+        debug_assert!(pos >= self.fault_cursor, "insertion behind the fault cursor");
+        self.faults.insert(pos, FaultEvent { at, kind });
+    }
+
+    /// Applies a fault at the current cycle: the next stepped cycle
+    /// observes it (mid-run injection for interactive use and tests).
+    pub fn inject_fault(&mut self, kind: FaultKind) {
+        self.schedule_fault(self.now, kind);
+    }
+
+    /// Fault-plane statistics: event counts plus the loss columns summed
+    /// over every link's [`LinkLedger`].
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = self.fault_events;
+        for link in self.adj.links() {
+            let ledger = link.ledger();
+            stats.symbols_lost += ledger.symbols_lost;
+            stats.symbols_corrupted += ledger.symbols_corrupted;
+            stats.credits_lost += ledger.credits_lost;
+            stats.late_arrivals_dropped += ledger.late_arrivals_dropped;
+        }
+        stats
+    }
+
+    /// Whether the node is currently crashed.
+    #[must_use]
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.index()]
+    }
+
+    /// Every link currently down, as `(driving node, direction)` pairs in
+    /// node-major order.
+    #[must_use]
+    pub fn downed_links(&self) -> Vec<(NodeId, Direction)> {
+        let mut down = Vec::new();
+        for node in 0..self.chips.len() {
+            let (start, end) = self.adj.out_bounds(node);
+            for li in start..end {
+                if self.adj.link(li).is_down() {
+                    down.push((NodeId(node as u16), self.adj.dir(li)));
+                }
+            }
+        }
+        down
+    }
+
+    /// The symbol-accounting ledger of the link leaving `node` in `dir`
+    /// (defaults to zero for unwired directions).
+    #[must_use]
+    pub fn link_ledger(&self, node: NodeId, dir: Direction) -> LinkLedger {
+        self.adj
+            .out_index(node.index(), dir)
+            .map_or_else(LinkLedger::default, |li| self.adj.link(li).ledger())
+    }
+
+    /// The cycle of the next scheduled, not-yet-applied fault event. The
+    /// leaping paths clamp their quiet targets here so no leap ever
+    /// crosses a fault epoch.
+    fn next_fault_at(&self) -> Option<Cycle> {
+        self.faults.get(self.fault_cursor).map(|e| e.at)
+    }
+
+    /// Applies every scheduled fault due at or before the current cycle.
+    /// Runs at the top of all four step paths — before link arrivals are
+    /// delivered — so stepped, leaping, and parallel drives observe each
+    /// fault at the identical cycle boundary.
+    fn apply_due_faults(&mut self) {
+        while let Some(event) = self.faults.get(self.fault_cursor) {
+            if event.at > self.now {
+                break;
+            }
+            let kind = event.kind;
+            self.fault_cursor += 1;
+            self.apply_fault(kind);
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        let now = self.now;
+        let n = self.chips.len();
+        let warm = !self.events_stale;
+        match kind {
+            FaultKind::LinkDown { node, dir } => {
+                // Unwired directions are ignored: a schedule written for a
+                // larger mesh degrades to a no-op, not a panic.
+                if let Some(li) = self.adj.out_index(node.index(), dir) {
+                    self.adj.link_mut(li).set_down();
+                    self.fault_events.link_down_events += 1;
+                    if warm {
+                        self.events.mark(n + li, now);
+                    }
+                    self.record_fault(now, "fault_link_down", node, dir as u64);
+                }
+            }
+            FaultKind::LinkUp { node, dir } => {
+                if let Some(li) = self.adj.out_index(node.index(), dir) {
+                    self.adj.link_mut(li).set_up();
+                    self.fault_events.link_up_events += 1;
+                    if warm {
+                        self.events.mark(n + li, now);
+                    }
+                    self.record_fault(now, "fault_link_up", node, dir as u64);
+                }
+            }
+            FaultKind::NodeCrash { node } => {
+                let i = node.index();
+                if !self.crashed[i] {
+                    // Settle the chip's outstanding *alive* idle span now,
+                    // so every pending lag span stays homogeneous: the
+                    // span reconciled at restore is purely crashed cycles
+                    // (accounted without `skip_quiet` — a dead chip does
+                    // not idle, it does nothing at all).
+                    let u = self.unticked[i];
+                    if u < now {
+                        self.chips[i].skip_quiet(u, now);
+                        self.unticked[i] = now;
+                        #[cfg(debug_assertions)]
+                        {
+                            self.dbg_accounted[i] += now - u;
+                        }
+                    }
+                    self.crashed[i] = true;
+                    self.crashed_count += 1;
+                    self.fault_events.node_crash_events += 1;
+                    if warm {
+                        self.events.mark(i, now);
+                        self.mark_sources_at(i, now);
+                    }
+                    self.record_fault(now, "fault_node_crash", node, 0);
+                }
+            }
+            FaultKind::NodeRestore { node } => {
+                let i = node.index();
+                if self.crashed[i] {
+                    // The crashed span was never ticked; account it
+                    // without `skip_quiet` (see `NodeCrash`).
+                    let u = self.unticked[i];
+                    if u < now {
+                        self.unticked[i] = now;
+                        #[cfg(debug_assertions)]
+                        {
+                            self.dbg_accounted[i] += now - u;
+                        }
+                    }
+                    self.crashed[i] = false;
+                    self.crashed_count -= 1;
+                    self.fault_events.node_restore_events += 1;
+                    // A restored chip's reassembly registers are undefined:
+                    // abort partial arrivals and refund the flow-control
+                    // credits of the dropped best-effort bytes upstream.
+                    let dropped = self.chips[i].abort_partial_rx();
+                    let (fs, fe) = self.adj.in_bounds(i);
+                    for fi in fs..fe {
+                        let idx = Port::Dir(self.adj.in_dir(fi)).index();
+                        let bytes = u16::from(dropped[idx]);
+                        if bytes > 0 {
+                            let li = self.adj.in_link(fi);
+                            self.adj.link_mut(li).send_credit(now, bytes);
+                            if warm {
+                                self.events.mark(n + li, now);
+                            }
+                        }
+                    }
+                    if warm {
+                        self.events.mark(i, now);
+                        self.mark_sources_at(i, now);
+                    }
+                    self.record_fault(now, "fault_node_restore", node, 0);
+                }
+            }
+            FaultKind::LinkFlaky { node, dir, drop_per_1024, corrupt_per_1024 } => {
+                if let Some(li) = self.adj.out_index(node.index(), dir) {
+                    let seed = self.link_fault_seed(li);
+                    self.adj.link_mut(li).set_flaky(drop_per_1024, corrupt_per_1024, seed);
+                    self.fault_events.link_flaky_events += 1;
+                    if warm {
+                        self.events.mark(n + li, now);
+                    }
+                    self.record_fault(now, "fault_link_flaky", node, dir as u64);
+                }
+            }
+            FaultKind::LinkStable { node, dir } => {
+                if let Some(li) = self.adj.out_index(node.index(), dir) {
+                    let seed = self.link_fault_seed(li);
+                    self.adj.link_mut(li).set_flaky(0, 0, seed);
+                    self.fault_events.link_stable_events += 1;
+                    if warm {
+                        self.events.mark(n + li, now);
+                    }
+                    self.record_fault(now, "fault_link_stable", node, dir as u64);
+                }
+            }
+        }
+    }
+
+    /// The flaky-generator seed of link `li`: the schedule seed splayed by
+    /// the link index, so each link rolls an independent stream.
+    fn link_fault_seed(&self, li: usize) -> u64 {
+        (self.fault_seed ^ (li as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).max(1)
+    }
+
+    /// Marks every traffic source registered at node `i` for re-polling
+    /// (crash clears their wakes; restore re-registers them).
+    fn mark_sources_at(&mut self, i: usize, now: Cycle) {
+        let base = self.chips.len() + self.adj.len();
+        for (s, (node, _)) in self.sources.iter().enumerate() {
+            if node.index() == i {
+                self.events.mark(base + s, now);
+            }
+        }
+    }
+
+    fn record_fault(&self, cycle: Cycle, kind: &'static str, node: NodeId, a: u64) {
+        if let Some(rec) = self.metrics.recorder() {
+            rec.record(FlightEvent { cycle, kind, node: u32::from(node.0), a, b: 0 });
+        }
     }
 
     /// Dumps the flight ring if a trigger was raised mid-step. Triggers
@@ -752,25 +1031,37 @@ impl<C: Chip> Simulator<C> {
         }
         // The plain stepped path does no wake bookkeeping (keeping it at
         // zero event-core overhead); `events_stale` is already set.
+        self.apply_due_faults();
         let t = self.metrics.profiler.start();
         let now = self.phase_pre::<false>();
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
         // 3. Chips tick — reconciling first any idle span a sparse or
         // leaping cycle left pending, since a dense tick covers every chip.
+        // Crashed chips are passed over: the cycle is accounted (debug
+        // checksum) but neither ticked nor idle-reconciled.
         #[cfg(debug_assertions)]
         for i in 0..self.chips.len() {
             self.dbg_accounted[i] += now + 1 - self.unticked[i];
         }
-        for ((chip, io), u) in
-            self.chips.iter_mut().zip(self.ios.iter_mut()).zip(self.unticked.iter_mut())
+        let crashed = &self.crashed;
+        for (((chip, io), u), dead) in self
+            .chips
+            .iter_mut()
+            .zip(self.ios.iter_mut())
+            .zip(self.unticked.iter_mut())
+            .zip(crashed.iter())
         {
+            if *dead {
+                *u = now + 1;
+                continue;
+            }
             if *u < now {
                 chip.skip_quiet(*u, now);
             }
             chip.tick(now, io);
             *u = now + 1;
         }
-        self.ticks_executed += self.chips.len() as u64;
+        self.ticks_executed += (self.chips.len() - self.crashed_count) as u64;
         let t = self.metrics.profiler.lap(Phase::SerialTick, t);
         self.phase_post::<false>(now);
         self.metrics.profiler.stop(Phase::LinkPost, t);
@@ -788,7 +1079,12 @@ impl<C: Chip> Simulator<C> {
         for i in 0..self.chips.len() {
             let u = self.unticked[i];
             if u < now {
-                self.chips[i].skip_quiet(u, now);
+                // A crashed chip's pending span is homogeneously crashed
+                // (alive lag was settled when the crash applied): account
+                // it without `skip_quiet` — dead cycles are not idle ones.
+                if !self.crashed[i] {
+                    self.chips[i].skip_quiet(u, now);
+                }
                 self.unticked[i] = now;
                 #[cfg(debug_assertions)]
                 {
@@ -823,9 +1119,22 @@ impl<C: Chip> Simulator<C> {
         for node in 0..n {
             let (start, end) = self.adj.out_bounds(node);
             for li in start..end {
+                // A crashed receiver drains nothing: its arrivals age on
+                // the wire and are dropped (and counted) once stale. A
+                // crashed *transmitter* takes no credits either — credits
+                // are pure counters, so its batches simply deliver late
+                // after restore.
+                let recv_data = !self.crashed[self.adj.dst(li).node.index()];
+                let recv_credits = !self.crashed[node];
+                if !recv_data && !recv_credits {
+                    continue;
+                }
                 let (symbol, credits) = {
                     let link = self.adj.link_mut(li);
-                    (link.recv(now), link.recv_credit(now))
+                    (
+                        if recv_data { link.recv(now) } else { None },
+                        if recv_credits { link.recv_credit(now) } else { 0 },
+                    )
                 };
                 if EV && (symbol.is_some() || credits > 0) {
                     self.events.mark(n + li, now);
@@ -846,16 +1155,23 @@ impl<C: Chip> Simulator<C> {
             }
         }
 
-        // 2. Traffic sources.
+        // 2. Traffic sources (silent while their node is crashed).
         for (node, source) in &mut self.sources {
+            if self.crashed[node.index()] {
+                continue;
+            }
             source.pre_cycle(now, *node, &mut self.ios[node.index()]);
         }
 
         // 3. Chips with pending injections may start draining them this
         // tick (the injection queues live outside the chips, so their
-        // `next_event` cannot account for them).
+        // `next_event` cannot account for them). A crashed chip drains
+        // nothing; its restore event re-marks it.
         if EV {
             for node in 0..n {
+                if self.crashed[node] {
+                    continue;
+                }
                 let io = &self.ios[node];
                 if !io.inject_tc.is_empty() || !io.inject_be.is_empty() {
                     self.events.mark(node, now);
@@ -1009,6 +1325,7 @@ impl<C: Chip> Simulator<C> {
             self.events.mark(h.index(), now);
         }
         self.events.due = due;
+        self.apply_due_faults();
         let t = self.metrics.profiler.lap(Phase::WheelPop, t);
         self.phase_pre::<true>();
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
@@ -1016,20 +1333,30 @@ impl<C: Chip> Simulator<C> {
         if self.events.prime {
             // A freshly rebuilt core has no wakes to trust yet: tick every
             // chip once (`repoll_dirty` below re-polls everything too).
+            // Crashed chips are passed over exactly as in dense stepping.
             #[cfg(debug_assertions)]
             for i in 0..n {
                 self.dbg_accounted[i] += now + 1 - self.unticked[i];
             }
-            for ((chip, io), u) in
-                self.chips.iter_mut().zip(self.ios.iter_mut()).zip(self.unticked.iter_mut())
+            let crashed = &self.crashed;
+            for (((chip, io), u), dead) in self
+                .chips
+                .iter_mut()
+                .zip(self.ios.iter_mut())
+                .zip(self.unticked.iter_mut())
+                .zip(crashed.iter())
             {
+                if *dead {
+                    *u = now + 1;
+                    continue;
+                }
                 if *u < now {
                     chip.skip_quiet(*u, now);
                 }
                 chip.tick(now, io);
                 *u = now + 1;
             }
-            self.ticks_executed += n as u64;
+            self.ticks_executed += (n - self.crashed_count) as u64;
         } else {
             // Sparse ticking: only the dirty chips (due wakes, arrivals,
             // credits, pending injections) run this cycle. Every other
@@ -1039,7 +1366,14 @@ impl<C: Chip> Simulator<C> {
             // next time it ticks (or at the end-of-call settle).
             let mut list = std::mem::take(&mut self.events.tick_list);
             list.clear();
-            list.extend(self.events.dirty.iter().copied().filter(|&h| (h as usize) < n));
+            let crashed = &self.crashed;
+            list.extend(
+                self.events
+                    .dirty
+                    .iter()
+                    .copied()
+                    .filter(|&h| (h as usize) < n && !crashed[h as usize]),
+            );
             list.sort_unstable();
             for &h in &list {
                 let i = h as usize;
@@ -1079,7 +1413,9 @@ impl<C: Chip> Simulator<C> {
             let n = self.chips.len();
             let mut repolled = (n + self.sources.len()) as u64;
             for h in 0..n {
-                self.repoll(h, now);
+                if !self.crashed[h] {
+                    self.repoll(h, now);
+                }
             }
             for li in 0..self.adj.len() {
                 if let Some(at) = self.adj.link(li).next_event() {
@@ -1109,12 +1445,22 @@ impl<C: Chip> Simulator<C> {
         let n = self.chips.len();
         let nl = n + self.adj.len();
         let at = if handle < n {
-            self.chips[handle].next_event(now)
+            // A crashed chip has no wake: it is not ticked until restore,
+            // which marks it dirty again.
+            if self.crashed[handle] {
+                None
+            } else {
+                self.chips[handle].next_event(now)
+            }
         } else if handle < nl {
             self.adj.link(handle - n).next_event()
         } else {
-            let (_, source) = &self.sources[handle - nl];
-            source.next_event(now)
+            let (node, source) = &self.sources[handle - nl];
+            if self.crashed[node.index()] {
+                None
+            } else {
+                source.next_event(now)
+            }
         };
         match at {
             Some(at) => self.events.queue.set_wake(WakeHandle(handle as u32), at.max(now + 1)),
@@ -1127,7 +1473,12 @@ impl<C: Chip> Simulator<C> {
     /// component. The injection-backlog check stays a scan — those queues
     /// live outside the chips, so no wake describes them.
     fn events_quiet_target(&mut self, end: Cycle) -> Option<Cycle> {
-        if self.ios.iter().any(|io| !io.inject_tc.is_empty() || !io.inject_be.is_empty()) {
+        // Never leap across a fault epoch: the fault must apply at the
+        // start of exactly its own cycle in every drive mode.
+        let end = self.next_fault_at().map_or(end, |at| end.min(at));
+        if self.ios.iter().enumerate().any(|(i, io)| {
+            !self.crashed[i] && (!io.inject_tc.is_empty() || !io.inject_be.is_empty())
+        }) {
             return None;
         }
         let target = self.events.queue.next_wake().map_or(end, |w| w.min(end));
@@ -1142,11 +1493,16 @@ impl<C: Chip> Simulator<C> {
     fn quiet_until(&self, end: Cycle) -> Option<Cycle> {
         // Packets queued for injection live in simulator-owned ChipIo
         // queues the chips drain over time; any backlog keeps stepping.
-        if self.ios.iter().any(|io| !io.inject_tc.is_empty() || !io.inject_be.is_empty()) {
+        // (A crashed chip drains nothing, so its backlog cannot block a
+        // leap — the fault clamp below caps the leap at its restore.)
+        if self.ios.iter().enumerate().any(|(i, io)| {
+            !self.crashed[i] && (!io.inject_tc.is_empty() || !io.inject_be.is_empty())
+        }) {
             return None;
         }
         let last = self.now - 1;
-        let mut target = end;
+        // Never leap across a fault epoch (see `events_quiet_target`).
+        let mut target = self.next_fault_at().map_or(end, |at| end.min(at));
         let mut merge = |at: Cycle| {
             if at <= last + 1 {
                 return false;
@@ -1154,14 +1510,20 @@ impl<C: Chip> Simulator<C> {
             target = target.min(at);
             true
         };
-        for (_, source) in &self.sources {
+        for (node, source) in &self.sources {
+            if self.crashed[node.index()] {
+                continue;
+            }
             if let Some(at) = source.next_event(last) {
                 if !merge(at) {
                     return None;
                 }
             }
         }
-        for chip in &self.chips {
+        for (i, chip) in self.chips.iter().enumerate() {
+            if self.crashed[i] {
+                continue;
+            }
             if let Some(at) = chip.next_event(last) {
                 if !merge(at) {
                     return None;
@@ -1187,6 +1549,10 @@ impl<C: Chip> Simulator<C> {
     fn leap_to(&mut self, target: Cycle) {
         let from = self.now;
         debug_assert!(target > from, "leap must move forward");
+        debug_assert!(
+            self.next_fault_at().is_none_or(|at| target <= at),
+            "leap across a fault epoch"
+        );
         let t = self.metrics.profiler.start();
         self.metrics.registry.inc(self.metrics.ids.leaps, 1);
         self.metrics.registry.inc(self.metrics.ids.leaped_cycles, target - from);
@@ -1268,12 +1634,14 @@ impl<C: Chip + Send> Simulator<C> {
         // The pool mirrors the *configured* parallelism (it normally
         // already exists — `set_parallelism` builds it eagerly).
         self.ensure_pool();
+        self.apply_due_faults();
         let t = self.metrics.profiler.start();
         let now = self.phase_pre::<false>();
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
         // 3. Chips tick, one contiguous chunk of nodes per worker; the
         // first chunk runs on the calling thread, the rest are handed to
-        // the persistent pool (no per-cycle thread spawns).
+        // the persistent pool (no per-cycle thread spawns). Crashed chips
+        // are passed over exactly as in serial dense stepping.
         let n = self.chips.len();
         #[cfg(debug_assertions)]
         for i in 0..n {
@@ -1286,11 +1654,19 @@ impl<C: Chip + Send> Simulator<C> {
             .chunks_mut(chunk)
             .zip(self.ios.chunks_mut(chunk))
             .zip(self.unticked.chunks_mut(chunk))
-            .map(|((chips, ios), unticked)| (chips, ios, unticked))
+            .zip(self.crashed.chunks(chunk))
+            .map(|(((chips, ios), unticked), crashed)| (chips, ios, unticked, crashed))
             .collect();
         let claims = ClaimSlice::new(&mut items);
-        let run_chunk = |(chips, ios, unticked): &mut (&mut [C], &mut [ChipIo], &mut [Cycle])| {
-            for ((chip, io), u) in chips.iter_mut().zip(ios.iter_mut()).zip(unticked.iter_mut()) {
+        type DenseChunk<'s, C> = (&'s mut [C], &'s mut [ChipIo], &'s mut [Cycle], &'s [bool]);
+        let run_chunk = |(chips, ios, unticked, crashed): &mut DenseChunk<'_, C>| {
+            for (((chip, io), u), dead) in
+                chips.iter_mut().zip(ios.iter_mut()).zip(unticked.iter_mut()).zip(crashed.iter())
+            {
+                if *dead {
+                    *u = now + 1;
+                    continue;
+                }
                 if *u < now {
                     chip.skip_quiet(*u, now);
                 }
@@ -1313,7 +1689,7 @@ impl<C: Chip + Send> Simulator<C> {
         let t = self.metrics.profiler.lap(Phase::PoolWait, t);
         drop(claims);
         drop(items);
-        self.ticks_executed += n as u64;
+        self.ticks_executed += (n - self.crashed_count) as u64;
         self.phase_post::<false>(now);
         self.metrics.profiler.stop(Phase::LinkPost, t);
         self.flush_flight_trigger();
@@ -1343,6 +1719,7 @@ impl<C: Chip + Send> Simulator<C> {
             self.events.mark(h.index(), now);
         }
         self.events.due = due;
+        self.apply_due_faults();
         let t = self.metrics.profiler.lap(Phase::WheelPop, t);
         self.phase_pre::<true>();
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
@@ -1350,13 +1727,21 @@ impl<C: Chip + Send> Simulator<C> {
         let n = self.chips.len();
         let prime = std::mem::take(&mut self.events.prime);
         // The chips this cycle must tick and re-poll, in node order: all
-        // of them on a prime step, otherwise exactly the dirty ones.
+        // of them on a prime step, otherwise exactly the dirty ones —
+        // crashed chips excluded either way.
         let mut list = std::mem::take(&mut self.events.tick_list);
         list.clear();
+        let crashed = &self.crashed;
         if prime {
-            list.extend(0..n as u32);
+            list.extend((0..n as u32).filter(|&h| !crashed[h as usize]));
         } else {
-            list.extend(self.events.dirty.iter().copied().filter(|&h| (h as usize) < n));
+            list.extend(
+                self.events
+                    .dirty
+                    .iter()
+                    .copied()
+                    .filter(|&h| (h as usize) < n && !crashed[h as usize]),
+            );
             list.sort_unstable();
         }
         #[cfg(debug_assertions)]
@@ -1480,7 +1865,10 @@ impl<C: Chip + Send> Simulator<C> {
         } else {
             let dirty = std::mem::take(&mut self.events.dirty);
             for &h in &dirty {
-                if h as usize >= n {
+                // Links and sources — plus crashed chips, which the tick
+                // lists exclude but whose wakes must still be cleared
+                // (the serial path clears them through the same call).
+                if h as usize >= n || self.crashed[h as usize] {
                     self.repoll(h as usize, now);
                 }
             }

@@ -237,6 +237,20 @@ pub trait Chip {
     fn check_conservation(&self) -> Result<(), String> {
         Ok(())
     }
+
+    /// Aborts partially-received packets on every input port — the
+    /// simulator calls this when the node restores from a crash, because
+    /// the reassembly registers of a crashed node are undefined and the
+    /// wire has lost arbitrary symbols in between. Completed packets and
+    /// queued flits survive; only mid-arrival state is cleared.
+    ///
+    /// Returns, per input port ([`crate::ids::Port::index`] convention),
+    /// the number of best-effort bytes dropped whose upstream flow-control
+    /// credits the simulator must refund through the feeding links. Chips
+    /// without partial-arrival state (the default) drop nothing.
+    fn abort_partial_rx(&mut self) -> [u8; PORT_COUNT] {
+        [0; PORT_COUNT]
+    }
 }
 
 #[cfg(test)]

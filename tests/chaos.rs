@@ -1,0 +1,294 @@
+//! Chaos: the scripted fault plane is deterministic across every drive
+//! mode, and conservation still balances with loss columns included.
+//!
+//! A seeded [`FaultSchedule`] is part of the simulation's initial state,
+//! so a mid-run link kill, a flaky regime, or a node crash must produce
+//! byte-identical outcomes whether the mesh is stepped cycle-by-cycle,
+//! leapt serially or in parallel over the event queue, or leapt under
+//! scan quiescence — and the leaper must never leap *across* a fault
+//! epoch (the clamp is load-bearing: a fault applied late would tick
+//! routers against a stale topology).
+
+use realtime_router::channels::establish::{EstablishedChannel, Hop};
+use realtime_router::channels::sender::ChannelSender;
+use realtime_router::channels::spec::{ChannelRequest, TrafficSpec};
+use realtime_router::core::{ControlCommand, RealTimeRouter};
+use realtime_router::mesh::{FaultSchedule, NetworkReport, Quiescence, Simulator, Topology};
+use realtime_router::types::config::RouterConfig;
+use realtime_router::types::ids::{ConnectionId, Direction, NodeId, Port};
+use realtime_router::workloads::tc::PeriodicTcSource;
+
+const DELAY: u32 = 6;
+
+/// Adds a one-hop periodic TC channel from `(0, y)` to `(1, y)` by
+/// programming the tables directly (no admission round-trip, so builds
+/// stay cheap and identical).
+fn add_channel(sim: &mut Simulator<RealTimeRouter>, y: u16, index: usize, period_slots: u64) {
+    let config = RouterConfig::default();
+    let topo = sim.topology().clone();
+    let conn = ConnectionId(10 + index as u16);
+    let src = topo.node_at(0, y);
+    let dst = topo.node_at(1, y);
+    sim.chip_mut(src)
+        .apply_control(ControlCommand::SetConnection {
+            incoming: conn,
+            outgoing: conn,
+            delay: DELAY,
+            out_mask: Port::Dir(Direction::XPlus).mask(),
+        })
+        .unwrap();
+    sim.chip_mut(dst)
+        .apply_control(ControlCommand::SetConnection {
+            incoming: conn,
+            outgoing: conn,
+            delay: DELAY,
+            out_mask: Port::Local.mask(),
+        })
+        .unwrap();
+    let channel = EstablishedChannel {
+        id: u64::from(conn.0),
+        ingress: conn,
+        depth: 2,
+        guaranteed: 2 * DELAY,
+        hops: vec![
+            Hop {
+                node: src,
+                conn,
+                out_conn: conn,
+                delay: DELAY,
+                out_mask: Port::Dir(Direction::XPlus).mask(),
+                buffers: 2,
+            },
+            Hop {
+                node: dst,
+                conn,
+                out_conn: conn,
+                delay: DELAY,
+                out_mask: Port::Local.mask(),
+                buffers: 2,
+            },
+        ],
+        request: ChannelRequest::unicast(
+            src,
+            dst,
+            TrafficSpec::periodic(period_slots as u32, 18),
+            2 * DELAY,
+        ),
+    };
+    let sender = ChannelSender::new(
+        &channel,
+        sim.chip(src).clock(),
+        config.slot_bytes,
+        config.tc_data_bytes(),
+    );
+    sim.add_source(
+        src,
+        Box::new(PeriodicTcSource::new(
+            sender,
+            period_slots,
+            0,
+            config.slot_bytes,
+            vec![0xB0 + index as u8; config.tc_data_bytes()],
+        )),
+    );
+}
+
+/// The chaos scenario: a sparse 8×8 mesh (long quiet spans, so leaping
+/// really leaps) with every fault kind landing mid-run, several of them
+/// inside spans that would otherwise be leapt over.
+fn build_chaos_mesh() -> Simulator<RealTimeRouter> {
+    let config = RouterConfig::default();
+    let mut sim =
+        Simulator::build(Topology::mesh(8, 8), |_| RealTimeRouter::new(config.clone())).unwrap();
+    sim.enable_gauge_sampling(50);
+    // Row 5 runs dense (period 8) so the flaky regime sees enough packet
+    // heads to both drop and corrupt; the rest stay sparse so the mesh
+    // still has long quiet spans to leap.
+    for (i, (y, period)) in [(0u16, 64u64), (2, 64), (5, 8), (7, 64)].into_iter().enumerate() {
+        add_channel(&mut sim, y, i, period);
+    }
+    let topo = sim.topology().clone();
+    let schedule = FaultSchedule::new()
+        .with_seed(0xC4A05)
+        .link_down(3_000, topo.node_at(0, 2), Direction::XPlus)
+        .link_up(6_000, topo.node_at(0, 2), Direction::XPlus)
+        .link_flaky(8_000, topo.node_at(0, 5), Direction::XPlus, 256, 128)
+        .link_stable(12_500, topo.node_at(0, 5), Direction::XPlus)
+        .node_crash(13_000, topo.node_at(1, 7))
+        .node_restore(15_000, topo.node_at(1, 7));
+    sim.set_fault_schedule(schedule);
+    sim
+}
+
+const SPAN: u64 = 20_000;
+
+fn fingerprint(sim: &Simulator<RealTimeRouter>) -> String {
+    let mut out = String::new();
+    for node in sim.topology().nodes() {
+        let log = sim.log(node);
+        out.push_str(&format!("{node}: tc {:?} be {:?}\n", log.tc, log.be));
+    }
+    out.push_str(&format!("faults {:?}\n", sim.fault_stats()));
+    for node in sim.topology().nodes() {
+        for dir in Direction::ALL {
+            if sim.topology().link_end(node, dir).is_some() {
+                out.push_str(&format!("{node}/{dir:?}: {:?}\n", sim.link_ledger(node, dir)));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn all_four_drive_modes_agree_under_chaos() {
+    let mut stepped = build_chaos_mesh();
+    stepped.run(SPAN);
+    stepped.check_conservation().unwrap();
+    let reference = fingerprint(&stepped);
+    let reference_report =
+        format!("{:?}", NetworkReport::capture(&stepped, RouterConfig::default().slot_bytes));
+
+    let mut serial = build_chaos_mesh();
+    serial.run_leaping(SPAN);
+    serial.check_conservation().unwrap();
+    assert_eq!(reference, fingerprint(&serial), "serial leaping diverged");
+    assert!(
+        serial.ticks_executed() * 2 < stepped.ticks_executed(),
+        "the sparse chaos scenario must still leap: {} vs {} ticks",
+        serial.ticks_executed(),
+        stepped.ticks_executed()
+    );
+
+    let mut parallel = build_chaos_mesh();
+    parallel.set_parallelism(4);
+    parallel.run_leaping(SPAN);
+    parallel.check_conservation().unwrap();
+    assert_eq!(reference, fingerprint(&parallel), "parallel leaping diverged");
+
+    let mut scanned = build_chaos_mesh();
+    scanned.set_quiescence(Quiescence::Scan);
+    scanned.run_leaping(SPAN);
+    scanned.check_conservation().unwrap();
+    assert_eq!(reference, fingerprint(&scanned), "scan quiescence diverged");
+
+    // Full network reports agree too (the report holds per-router stats
+    // and link usage, not drive-mode internals like tick counts).
+    for sim in [&serial, &parallel, &scanned] {
+        let report =
+            format!("{:?}", NetworkReport::capture(sim, RouterConfig::default().slot_bytes));
+        assert_eq!(reference_report, report, "network reports diverged");
+    }
+
+    // The chaos really happened: the outage blackholed symbols, the flaky
+    // regime corrupted some, the crash aged arrivals into drops.
+    let stats = stepped.fault_stats();
+    assert_eq!(stats.link_down_events, 1);
+    assert_eq!(stats.node_crash_events, 1);
+    assert!(stats.symbols_lost > 0, "outage must lose symbols: {stats:?}");
+    assert!(stats.symbols_corrupted > 0, "flaky regime must corrupt symbols: {stats:?}");
+}
+
+#[test]
+fn faults_inside_quiet_spans_fire_at_their_exact_cycle() {
+    // Nothing is scheduled anywhere near the fault: a lone periodic
+    // channel sleeps 64 slots between packets, and the link kill lands
+    // mid-slumber. The leaper must split its quiet span at the epoch (the
+    // debug assert in `leap_to` would abort the test otherwise) and the
+    // downed link must blackhole the very next head that touches it.
+    let build = || {
+        let config = RouterConfig::default();
+        let mut sim =
+            Simulator::build(Topology::mesh(4, 1), |_| RealTimeRouter::new(config.clone()))
+                .unwrap();
+        add_channel(&mut sim, 0, 0, 64);
+        sim
+    };
+    let span = 12_000;
+    let broken = (NodeId(0), Direction::XPlus);
+
+    let mut stepped = build();
+    stepped.schedule_fault(
+        5_555,
+        realtime_router::mesh::FaultKind::LinkDown { node: broken.0, dir: broken.1 },
+    );
+    stepped.run(span);
+
+    let mut leaping = build();
+    leaping.schedule_fault(
+        5_555,
+        realtime_router::mesh::FaultKind::LinkDown { node: broken.0, dir: broken.1 },
+    );
+    leaping.run_leaping(span);
+
+    assert_eq!(fingerprint(&stepped), fingerprint(&leaping));
+    assert!(
+        leaping.ticks_executed() * 2 < stepped.ticks_executed(),
+        "quiet spans on both sides of the fault must still be leapt: {} vs {}",
+        leaping.ticks_executed(),
+        stepped.ticks_executed()
+    );
+    assert_eq!(leaping.downed_links(), vec![broken]);
+    // Deliveries stop after the kill: the last arrival predates the fault
+    // plus one in-flight packet's worth of slack.
+    let dst = leaping.topology().node_at(1, 0);
+    let last = leaping.log(dst).tc.last().map(|(cycle, _)| *cycle).unwrap_or(0);
+    assert!(last < 5_555 + 2_000, "no deliveries long after the kill (last {last})");
+    let ledger = leaping.link_ledger(broken.0, broken.1);
+    assert!(ledger.symbols_lost > 0, "the dead link blackholed traffic: {ledger:?}");
+    leaping.check_conservation().unwrap();
+}
+
+#[test]
+fn crash_and_restore_balance_the_ledger_in_every_mode() {
+    // A node crash stops the chip dead: arrivals age past their delivery
+    // cycle and are dropped-and-counted, credits deliver late, and the
+    // restore aborts half-received packets (refunding their flit-buffer
+    // credits). The conservation check must balance in all modes, with
+    // the losses showing up in the fault columns rather than vanishing.
+    let build = || {
+        let config = RouterConfig::default();
+        let mut sim =
+            Simulator::build(Topology::mesh(4, 1), |_| RealTimeRouter::new(config.clone()))
+                .unwrap();
+        // Period 8: dense enough that symbols are mid-link when the
+        // crash lands.
+        add_channel(&mut sim, 0, 0, 8);
+        let schedule =
+            FaultSchedule::new().node_crash(2_003, NodeId(1)).node_restore(4_007, NodeId(1));
+        sim.set_fault_schedule(schedule);
+        sim
+    };
+    let span = 10_000;
+
+    let mut stepped = build();
+    stepped.run(span);
+    stepped.check_conservation().unwrap();
+    let reference = fingerprint(&stepped);
+
+    type Configure = fn(&mut Simulator<RealTimeRouter>);
+    let modes: [(&str, Configure); 3] = [
+        ("serial", |_s| {}),
+        ("parallel", |s| s.set_parallelism(3)),
+        ("scan", |s| s.set_quiescence(Quiescence::Scan)),
+    ];
+    for (label, configure) in modes {
+        let mut sim = build();
+        configure(&mut sim);
+        sim.run_leaping(span);
+        sim.check_conservation().unwrap();
+        assert_eq!(reference, fingerprint(&sim), "{label} diverged under crash/restore");
+    }
+
+    let stats = stepped.fault_stats();
+    assert_eq!(stats.node_crash_events, 1);
+    assert_eq!(stats.node_restore_events, 1);
+    assert!(
+        stats.late_arrivals_dropped > 0,
+        "arrivals must age out while the node is dark: {stats:?}"
+    );
+    assert!(!stepped.is_crashed(NodeId(1)), "restored");
+    // Service resumed after the restore.
+    let dst = stepped.topology().node_at(1, 0);
+    let after = stepped.log(dst).tc.iter().filter(|(cycle, _)| *cycle > 4_007).count();
+    assert!(after > 20, "deliveries resumed after restore: {after}");
+}
