@@ -5,13 +5,15 @@
 //! stepping (serial and pool-parallel), the sparse leaping suite (8×8,
 //! 32×32, 128×128, and the 256×256 mega-mesh; event-queue vs
 //! quiescence-scan), mesh construction cost (with a per-node memory
-//! footprint column), and the chaos fault-tolerance scenarios (link-kill
+//! footprint column), the chaos fault-tolerance scenarios (link-kill
 //! recovery, flaky link, node crash — rows carrying measured
 //! violation-window, re-route-latency, and loss columns rather than just
-//! wall-clock) — with fixed seeds and hand-rolled timing, then writes
-//! the results as JSON so a run can be committed next to the code it
-//! measured (`BENCH_7.json`; earlier revisions live in `BENCH_1.json`
-//! through `BENCH_6.json`).
+//! wall-clock), and the connection-churn scenario (live establish/teardown
+//! through the signaling engine, with setup-throughput, rejection-rate,
+//! and teardown-ledger columns) — with fixed seeds and hand-rolled
+//! timing, then writes the results as JSON so a run can be committed next
+//! to the code it measured (`BENCH_8.json`; earlier revisions live in
+//! `BENCH_1.json` through `BENCH_7.json`).
 //!
 //! Built with `--features metrics`, rows additionally embed counter and
 //! phase-profile columns from the unified metrics registry (wake polls,
@@ -558,7 +560,7 @@ fn render_json(results: &[BenchResult], smoke: bool) -> String {
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_7.json");
+    let mut out_path = String::from("BENCH_8.json");
     let mut flight_sample: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -755,6 +757,47 @@ fn main() {
             mean_s: elapsed,
             metric: outcome.violation_window as f64,
             unit: "cycles",
+            extra: Some(extra),
+        });
+    }
+
+    // The churn row: live establish/teardown under load through the
+    // signaling engine. Deterministic like the chaos rows; the metric is
+    // setup throughput, the columns are the admission/teardown ledger.
+    eprintln!("connection churn under load...");
+    {
+        let start = Instant::now();
+        let outcome = rtr_bench::churn::run();
+        let elapsed = start.elapsed().as_secs_f64();
+        let extra = format!(
+            "\"attempted\": {}, \"accepted\": {}, \"rejected\": {}, \
+             \"teardowns\": {}, \"table_writes\": {}, \"write_cost_cycles\": {}, \
+             \"setup_cycles_per_establish\": {}, \"span_cycles\": {}, \
+             \"control_ops_applied\": {}, \"control_ops_rejected\": {}, \
+             \"aborted_packets\": {}, \"churn_delivered\": {}, \
+             \"bystander_delivered\": {}, \"bystander_misses\": {}",
+            outcome.attempted,
+            outcome.accepted,
+            outcome.rejected,
+            outcome.teardowns,
+            outcome.table_writes,
+            outcome.write_cost_cycles,
+            outcome.setup_cycles_per_establish,
+            outcome.span_cycles,
+            outcome.control_ops_applied,
+            outcome.control_ops_rejected,
+            outcome.aborted_packets,
+            outcome.churn_delivered,
+            outcome.bystander_delivered,
+            outcome.bystander_misses,
+        );
+        results.push(BenchResult {
+            name: outcome.scenario.to_string(),
+            iters: 1,
+            min_s: elapsed,
+            mean_s: elapsed,
+            metric: outcome.accepted_per_mcycle as f64,
+            unit: "establishments/Mcycle",
             extra: Some(extra),
         });
     }

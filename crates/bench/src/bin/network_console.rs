@@ -27,8 +27,12 @@
 //! and `#` comments) and applies it mid-run; the run then reports the
 //! `fault.*` loss columns and any links still dark at the end.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rtr_channels::control_plane::{SignalingEngine, TeardownStyle};
 use rtr_channels::establish::ChannelManager;
 use rtr_channels::sender::ChannelSender;
 use rtr_channels::spec::{ChannelRequest, TrafficSpec};
@@ -36,7 +40,9 @@ use rtr_core::RealTimeRouter;
 use rtr_mesh::{FaultSchedule, NetworkReport, Simulator, Topology};
 use rtr_types::config::{RouterConfig, SchedulerKind};
 use rtr_types::ids::NodeId;
+use rtr_types::time::{cycle_to_slot, slot_to_cycle};
 use rtr_workloads::be::{RandomBeSource, SizeDist};
+use rtr_workloads::churn::{churn_schedule, ChurnConfig, WindowedSource};
 use rtr_workloads::patterns::TrafficPattern;
 use rtr_workloads::tc::PeriodicTcSource;
 
@@ -56,6 +62,7 @@ usage: network_console [key=value ...]
   metrics=PATH           write metrics-registry JSONL (needs --features metrics)
   metrics_every=N        snapshot metrics every N cycles (default 0 = end only)
   faults=PATH            scripted fault schedule applied mid-run
+  churn=N                live establish/teardown arrivals mid-run (default 0 = off)
 
 Bare values are read positionally: side channels be_rate cycles scheduler
 vct seed.";
@@ -74,6 +81,7 @@ struct Options {
     metrics: Option<String>,
     metrics_every: u64,
     faults: Option<String>,
+    churn: usize,
 }
 
 impl Default for Options {
@@ -91,6 +99,7 @@ impl Default for Options {
             metrics: None,
             metrics_every: 0,
             faults: None,
+            churn: 0,
         }
     }
 }
@@ -149,6 +158,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "metrics" => opts.metrics = Some(value.to_string()),
             "metrics_every" => opts.metrics_every = parse_num(&key, value)?,
             "faults" => opts.faults = Some(value.to_string()),
+            "churn" => opts.churn = parse_num(&key, value)?,
             _ => return Err(format!("unknown key `{key}`")),
         }
     }
@@ -173,6 +183,97 @@ fn attach_trace(
         sim.chip_mut(node).set_trace_sink(node, sink.clone());
     }
     sink
+}
+
+/// Drives `arrivals` live establish/teardown events through the signaling
+/// engine while the run progresses, then runs out the remaining cycles.
+/// The schedule is a pure function of the seed and fits inside the run
+/// window; churned channels carry periodic traffic for their lifetime.
+fn drive_churn(
+    sim: &mut Simulator<RealTimeRouter>,
+    engine: &mut SignalingEngine,
+    topo: &Topology,
+    config: &RouterConfig,
+    seed: u64,
+    arrivals: usize,
+    cycles: u64,
+) {
+    let slots_total = cycles / config.slot_bytes as u64;
+    let churn_cfg = ChurnConfig {
+        seed: seed ^ 0xC4A2,
+        arrivals,
+        mean_interarrival_slots: (slots_total as f64 * 0.6 / (arrivals as f64 + 1.0)).max(1.0),
+        mean_lifetime_slots: (slots_total as f64 / 4.0).max(32.0),
+        min_lifetime_slots: 32,
+    };
+    let events = churn_schedule(&churn_cfg, topo);
+
+    enum Action {
+        Establish(usize),
+        Teardown(u64, TeardownStyle),
+    }
+    let mut actions: Vec<Action> = Vec::new();
+    let mut due: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (i, event) in events.iter().enumerate() {
+        let at = slot_to_cycle(event.start_slot, config.slot_bytes).max(1);
+        if at >= cycles {
+            continue; // the Poisson tail can overshoot the run window
+        }
+        due.push(Reverse((at, actions.len())));
+        actions.push(Action::Establish(i));
+    }
+    while let Some(Reverse((at, seq))) = due.pop() {
+        let gap = at.saturating_sub(sim.now());
+        sim.run(gap);
+        match actions[seq] {
+            Action::Establish(i) => {
+                let event = events[i];
+                let (sx, sy) = topo.coords(event.src);
+                let (dx, dy) = topo.coords(event.dst);
+                let dist = u32::from(sx.abs_diff(dx) + sy.abs_diff(dy));
+                let request = ChannelRequest::unicast(
+                    event.src,
+                    event.dst,
+                    TrafficSpec::periodic(8, 18),
+                    6 * (dist + 1),
+                );
+                let Ok(ticket) = engine.request_establish(topo, request, sim) else {
+                    continue;
+                };
+                // Tear down inside the run window so the clears land.
+                let stop = slot_to_cycle(event.stop_slot(), config.slot_bytes)
+                    .clamp(ticket.ready_at + 1, cycles.saturating_sub(1).max(1));
+                let style = if i % 2 == 0 { TeardownStyle::Abort } else { TeardownStyle::Drain };
+                due.push(Reverse((stop, actions.len())));
+                actions.push(Action::Teardown(ticket.channel.id, style));
+
+                let sender = ChannelSender::new(
+                    &ticket.channel,
+                    sim.chip(event.src).clock(),
+                    config.slot_bytes,
+                    config.tc_data_bytes(),
+                );
+                let first_slot = cycle_to_slot(ticket.ready_at, config.slot_bytes) + 1;
+                let source = PeriodicTcSource::new(
+                    sender,
+                    8,
+                    first_slot,
+                    config.slot_bytes,
+                    vec![0x80 ^ i as u8; config.tc_data_bytes()],
+                )
+                .with_limit((event.lifetime_slots / 8).max(1));
+                sim.add_source(
+                    event.src,
+                    Box::new(WindowedSource::new(source, ticket.ready_at, stop)),
+                );
+            }
+            Action::Teardown(id, style) => {
+                engine.request_teardown(id, style, sim).expect("teardown of a known channel");
+            }
+        }
+    }
+    let tail = cycles.saturating_sub(sim.now());
+    sim.run(tail);
 }
 
 fn main() {
@@ -290,17 +391,31 @@ fn main() {
         }
     }
 
+    let mut engine = SignalingEngine::from_manager(manager, &config);
     let mut metrics_file = opts.metrics.as_deref().map(|path| {
         std::fs::File::create(path).unwrap_or_else(|e| {
             eprintln!("cannot create metrics file {path}: {e}");
             std::process::exit(2);
         })
     });
-    if let Some(file) = metrics_file.as_mut() {
-        use std::io::Write as _;
+    if let Some(file) = &metrics_file {
+        let _ = file;
         if !sim.metrics_registry().enabled() {
             eprintln!("note: metrics registry inactive; rebuild with --features metrics for data");
         }
+    }
+    if opts.churn > 0 {
+        if opts.metrics_every > 0 {
+            eprintln!("note: metrics_every is ignored with churn= (one end-of-run snapshot)");
+        }
+        drive_churn(&mut sim, &mut engine, &topo, &config, seed, opts.churn, cycles);
+        if let Some(file) = metrics_file.as_mut() {
+            use std::io::Write as _;
+            file.write_all(sim.metrics_snapshot().to_jsonl(sim.now()).as_bytes())
+                .expect("write metrics JSONL");
+        }
+    } else if let Some(file) = metrics_file.as_mut() {
+        use std::io::Write as _;
         // Run in snapshot-sized chunks so the JSONL stream carries one
         // full registry snapshot per boundary (cycle-stamped lines).
         let every = if opts.metrics_every > 0 { opts.metrics_every } else { cycles };
@@ -316,9 +431,36 @@ fn main() {
         sim.run(cycles);
     }
 
+    if opts.churn > 0 {
+        let stats = engine.stats();
+        let aborted: u64 = topo.nodes().map(|n| sim.chip(n).stats().tc_aborted_teardown).sum();
+        let control = sim.control_stats();
+        println!();
+        println!(
+            "churn: {} attempted, {} accepted, {} rejected ({:.1}% rejection)",
+            stats.establish_attempted,
+            stats.establish_accepted,
+            stats.establish_rejected,
+            stats.rejection_rate() * 100.0
+        );
+        println!(
+            "  table writes {} at {} cycles each ({} applied, {} failed); \
+             teardown-aborted packets {}",
+            stats.table_writes,
+            engine.write_cost(),
+            control.ops_applied,
+            control.ops_rejected,
+            aborted
+        );
+        match sim.check_conservation() {
+            Ok(()) => println!("  conservation: every arrival delivered, in flight, or ledgered"),
+            Err(violation) => println!("  CONSERVATION VIOLATION: {violation}"),
+        }
+    }
+
     println!();
     println!("reserved links (top 8, densest first):");
-    for row in manager.utilization_report().iter().take(8) {
+    for row in engine.manager().utilization_report().iter().take(8) {
         println!(
             "  node {:>4} port {:<5}  {:>2} conn  util {:.4}  headroom {:>3} slots",
             row.node.to_string(),

@@ -10,6 +10,7 @@
 
 pub mod baseline_compare;
 pub mod chaos;
+pub mod churn;
 pub mod exp1;
 pub mod fig7;
 pub mod horizon;

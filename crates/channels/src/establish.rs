@@ -200,6 +200,20 @@ pub struct ChannelManager {
     links: HashMap<(NodeId, usize), LinkBook>,
     buffers: HashMap<NodeId, BufferBook>,
     used_ids: HashMap<NodeId, HashSet<u16>>,
+    /// Generation tag of the most recent release of each `(node, id)` —
+    /// the teardown recency record behind [`ChannelManager::pick_free_id`]:
+    /// never-released ids are handed out first (smallest), then the
+    /// least-recently-released, so a just-torn-down identifier goes to the
+    /// back of the reuse queue and its in-flight packets drain into the
+    /// teardown ledger before the id can carry new traffic.
+    released_gen: HashMap<NodeId, HashMap<u16, u64>>,
+    /// Monotone teardown clock stamping `released_gen` entries.
+    release_clock: u64,
+    /// One-shot ingress-id preference consumed by the next establishment's
+    /// source pick (set by [`ChannelManager::reroute`] so a replacement
+    /// channel keeps its predecessor's ingress id and senders stamped with
+    /// it keep working, generation ordering notwithstanding).
+    prefer_ingress: Option<u16>,
     channels: HashMap<u64, EstablishedChannel>,
     next_id: u64,
 }
@@ -219,6 +233,9 @@ impl ChannelManager {
             links: HashMap::new(),
             buffers: HashMap::new(),
             used_ids: HashMap::new(),
+            released_gen: HashMap::new(),
+            release_clock: 0,
+            prefer_ingress: None,
             channels: HashMap::new(),
             next_id: 0,
         }
@@ -333,6 +350,9 @@ impl ChannelManager {
         if request.destinations.is_empty() {
             return Err(AdmissionError::NoRoute.into());
         }
+        // The ingress preference is one-shot: consumed here so a failed
+        // establishment cannot leak it into an unrelated later one.
+        let prefer_ingress = self.prefer_ingress.take();
         let packets = request.spec.packets_per_message(self.data_bytes);
 
         // 1. Build the routing tree (BFS order; each node has a unique
@@ -413,8 +433,14 @@ impl ChannelManager {
         let mut assigned: HashMap<NodeId, ConnectionId> = HashMap::new();
         let mut newly_used: Vec<(NodeId, u16)> = Vec::new();
         {
-            let source_id = self
-                .pick_free_id(&[request.source])
+            let preferred = prefer_ingress
+                .filter(|&id| {
+                    (id as usize) < self.conn_capacity
+                        && self.used_ids.get(&request.source).is_none_or(|used| !used.contains(&id))
+                })
+                .map(ConnectionId);
+            let source_id = preferred
+                .or_else(|| self.pick_free_id(&[request.source]))
                 .ok_or(AdmissionError::NoFreeConnectionId { node: request.source })?;
             assigned.insert(request.source, source_id);
             newly_used.push((request.source, source_id.0));
@@ -540,6 +566,11 @@ impl ChannelManager {
             routes.push(route);
         }
         self.teardown(channel_id, plane)?;
+        // Keep the torn-down channel's ingress id for the replacement:
+        // senders stamped with the old ingress keep working unmodified,
+        // and the generation-ordered allocator would otherwise send the
+        // just-released id to the back of the reuse queue.
+        self.prefer_ingress = Some(channel.ingress.0);
         self.establish_routed(topo, request, &routes, plane)
     }
 
@@ -559,6 +590,8 @@ impl ChannelManager {
             return Ok(());
         };
         let packets = channel.request.spec.packets_per_message(self.data_bytes);
+        self.release_clock += 1;
+        let stamp = self.release_clock;
         let mut first_error: Option<ControlError> = None;
         for hop in &channel.hops {
             let reservation =
@@ -572,6 +605,7 @@ impl ChannelManager {
             if let Some(ids) = self.used_ids.get_mut(&hop.node) {
                 ids.remove(&hop.conn.0);
             }
+            self.released_gen.entry(hop.node).or_default().insert(hop.conn.0, stamp);
             if let Err(e) =
                 plane.apply(hop.node, ControlCommand::ClearConnection { incoming: hop.conn })
             {
@@ -584,13 +618,35 @@ impl ChannelManager {
         }
     }
 
-    /// Smallest identifier free at every listed node.
+    /// Generation-ordered identifier allocation: among the ids free at
+    /// every listed node, the smallest never-released one wins; when all
+    /// free ids have been released before, the least-recently-released
+    /// (smallest on ties). Recycling an id therefore waits as long as the
+    /// id space allows, giving a torn-down predecessor's in-flight packets
+    /// the longest possible window to drain into the teardown ledger.
     fn pick_free_id(&self, nodes: &[NodeId]) -> Option<ConnectionId> {
-        (0..self.conn_capacity as u16).find_map(|id| {
+        let mut best: Option<(u64, u16)> = None;
+        for id in 0..self.conn_capacity as u16 {
             let free_everywhere =
                 nodes.iter().all(|n| self.used_ids.get(n).is_none_or(|used| !used.contains(&id)));
-            free_everywhere.then_some(ConnectionId(id))
-        })
+            if !free_everywhere {
+                continue;
+            }
+            // The id's reuse recency is its *latest* release anywhere on
+            // the candidate node set (zero = never released).
+            let gen = nodes
+                .iter()
+                .map(|n| self.released_gen.get(n).and_then(|m| m.get(&id)).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            if gen == 0 {
+                return Some(ConnectionId(id));
+            }
+            if best.is_none_or(|(bg, _)| gen < bg) {
+                best = Some((gen, id));
+            }
+        }
+        best.map(|(_, id)| ConnectionId(id))
     }
 }
 
@@ -1089,6 +1145,75 @@ mod tests {
         ));
         // A slower connection (1 buffer) still fits the partition.
         mgr.establish(&topo, request(32), &mut plane).unwrap();
+    }
+
+    #[test]
+    fn torn_down_ids_go_to_the_back_of_the_reuse_queue() {
+        let topo = Topology::mesh(2, 1);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let spec = TrafficSpec::periodic(64, 18);
+        let request = || ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 8);
+        let a = mgr.establish(&topo, request(), &mut plane).unwrap();
+        let b = mgr.establish(&topo, request(), &mut plane).unwrap();
+        assert_eq!((a.ingress.0, b.ingress.0), (0, 1));
+        mgr.teardown(a.id, &mut plane).unwrap();
+        // Id 0 is free again, but it was just released: the next channel
+        // takes the smallest never-released id instead.
+        let c = mgr.establish(&topo, request(), &mut plane).unwrap();
+        assert_eq!(c.ingress.0, 2, "a just-torn-down id must not be recycled immediately");
+    }
+
+    #[test]
+    fn exhausted_id_space_recycles_least_recently_released_first() {
+        let topo = Topology::mesh(2, 1);
+        let mut mgr =
+            ChannelManager::new(&RouterConfig { connections: 3, ..RouterConfig::default() });
+        let mut plane = MockPlane::default();
+        let spec = TrafficSpec::periodic(64, 18);
+        let request = || ChannelRequest::unicast(topo.node_at(0, 0), topo.node_at(1, 0), spec, 16);
+        let ids: Vec<_> =
+            (0..3).map(|_| mgr.establish(&topo, request(), &mut plane).unwrap()).collect();
+        // Release in the order 1, 0, 2: with no never-released id left, the
+        // oldest release (id 1) is recycled first, then 0, then 2.
+        mgr.teardown(ids[1].id, &mut plane).unwrap();
+        mgr.teardown(ids[0].id, &mut plane).unwrap();
+        mgr.teardown(ids[2].id, &mut plane).unwrap();
+        let order: Vec<u16> = (0..3)
+            .map(|_| mgr.establish(&topo, request(), &mut plane).unwrap().ingress.0)
+            .collect();
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn reroute_keeps_the_ingress_id_despite_generation_ordering() {
+        let topo = Topology::mesh(3, 3);
+        let mut mgr = manager();
+        let mut plane = MockPlane::default();
+        let src = topo.node_at(0, 0);
+        let ch = mgr
+            .establish(
+                &topo,
+                ChannelRequest::unicast(src, topo.node_at(2, 0), TrafficSpec::periodic(16, 18), 60),
+                &mut plane,
+            )
+            .unwrap();
+        let old_ingress = ch.ingress;
+        let rerouted = mgr.reroute(ch.id, &topo, &[(src, Direction::XPlus)], &mut plane).unwrap();
+        assert_eq!(
+            rerouted.ingress, old_ingress,
+            "reroute must prefer the old ingress id so stamped senders keep working"
+        );
+        // The preference is one-shot: an unrelated establishment afterwards
+        // still follows generation order (fresh id, not the rerouted one).
+        let other = mgr
+            .establish(
+                &topo,
+                ChannelRequest::unicast(src, topo.node_at(0, 2), TrafficSpec::periodic(16, 18), 60),
+                &mut plane,
+            )
+            .unwrap();
+        assert_ne!(other.ingress, old_ingress);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   and programs routers through the Table 3 control interface,
 //! * [`sender`] — source-side message stamping and packetisation,
 //! * [`recovery`] — mid-run fault detection and guaranteed-safe
-//!   re-routing against a live simulation.
+//!   re-routing against a live simulation,
+//! * [`control_plane`] — the live [`control_plane::SignalingEngine`]:
+//!   establish/teardown against a *running* mesh, with table writes
+//!   applied as timed simulated work instead of an instantaneous pause.
 //!
 //! # Example
 //!
@@ -51,6 +54,7 @@
 
 pub mod admission;
 pub mod arrival;
+pub mod control_plane;
 pub mod establish;
 pub mod recovery;
 pub mod sender;
@@ -58,6 +62,9 @@ pub mod spec;
 
 pub use admission::{AdmissionError, AdmissionPolicy, BufferBook, LinkBook, LinkReservation};
 pub use arrival::{ArrivalTracker, Policer};
+pub use control_plane::{
+    DeferredPlane, EstablishTicket, SignalingEngine, SignalingStats, TeardownStyle, TeardownTicket,
+};
 pub use establish::{
     ChannelManager, ControlPlane, EstablishError, EstablishedChannel, Hop, LinkLoad, WordLevelPlane,
 };

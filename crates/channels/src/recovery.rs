@@ -66,9 +66,11 @@ pub struct RecoveryReport {
     /// The replacement channel.
     pub channel: EstablishedChannel,
     /// Whether the replacement kept the original ingress connection id.
-    /// [`ChannelManager`] hands out the smallest free identifier, so a
-    /// re-route normally reuses the torn-down channel's ids and senders
-    /// stamped with the old ingress keep working unmodified.
+    /// [`ChannelManager::reroute`] explicitly prefers the torn-down
+    /// channel's ingress id for the replacement (the generation-ordered
+    /// allocator would otherwise put the just-released id at the back of
+    /// the reuse queue), so senders stamped with the old ingress keep
+    /// working unmodified whenever the id is still free at the source.
     pub ingress_preserved: bool,
 }
 

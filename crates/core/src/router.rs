@@ -95,6 +95,12 @@ pub struct RealTimeRouter {
     skew_slots: u64,
     table: ConnectionTable,
     control: ControlPort,
+    /// Incoming connection ids cleared by a `ClearConnection` whose entry
+    /// existed — the teardown tombstones. A packet arriving for one is an
+    /// accounted teardown abort (`tc_aborted_teardown`), not a `no_conn`
+    /// routing error; re-installing the id lifts the tombstone, so a
+    /// recycled identifier starts clean.
+    torn_down: std::collections::HashSet<u16>,
     memory: PacketMemory,
     sched: Scheduler,
     inputs: [InputPort; PORT_COUNT],
@@ -183,6 +189,7 @@ impl RouterTemplate {
             skew_slots: 0,
             table: self.table.clone(),
             control: ControlPort::new(clock),
+            torn_down: std::collections::HashSet::new(),
             memory: PacketMemory::new(config.packet_slots),
             sched: Scheduler::new(config.scheduler, config.packet_slots, clock, config.late_policy),
             inputs,
@@ -309,12 +316,35 @@ impl RealTimeRouter {
     ///
     /// See [`ControlError`].
     pub fn apply_control(&mut self, cmd: ControlCommand) -> Result<(), ControlError> {
+        // A clear of a live entry tombstones the id (packets still in
+        // flight become accounted teardown aborts); checked before the
+        // apply, which consumes the entry.
+        let cleared_live = match cmd {
+            ControlCommand::ClearConnection { incoming } => self.table.lookup(incoming).is_some(),
+            _ => false,
+        };
         let mut horizons: [u32; PORT_COUNT] = std::array::from_fn(|i| self.outputs[i].horizon);
         self.control.apply(cmd, &mut self.table, &mut horizons)?;
         for (out, h) in self.outputs.iter_mut().zip(horizons) {
             out.horizon = h;
         }
+        self.note_control(&cmd, cleared_live);
         Ok(())
+    }
+
+    /// Maintains the teardown tombstones after a successful control
+    /// command: clearing a live entry marks the id, re-installing it (a
+    /// recycled identifier) lifts the mark.
+    fn note_control(&mut self, cmd: &ControlCommand, cleared_live: bool) {
+        match *cmd {
+            ControlCommand::SetConnection { incoming, .. } => {
+                self.torn_down.remove(&incoming.0);
+            }
+            ControlCommand::ClearConnection { incoming } if cleared_live => {
+                self.torn_down.insert(incoming.0);
+            }
+            _ => {}
+        }
     }
 
     /// Performs one word-level control-register write (the Table 3 pin
@@ -332,6 +362,11 @@ impl RealTimeRouter {
         let r = self.control.write(reg, value, &mut self.table, &mut horizons)?;
         for (out, h) in self.outputs.iter_mut().zip(horizons) {
             out.horizon = h;
+        }
+        if let Some(cmd) = &r {
+            // The word-level protocol has no clear register, so a
+            // completed command can only install (lifting a tombstone).
+            self.note_control(cmd, false);
         }
         Ok(r)
     }
@@ -547,17 +582,33 @@ impl RealTimeRouter {
                 }
             );
             let Some(entry) = self.table.lookup(packet.conn) else {
-                self.stats.tc_dropped_no_conn += 1;
-                trace_event!(
-                    self,
-                    now,
-                    TraceEvent::TcDrop {
-                        conn: packet.conn,
-                        reason: DropReason::NoConnection,
-                        src: packet.trace.source,
-                        seq: packet.trace.sequence,
-                    }
-                );
+                if self.torn_down.contains(&packet.conn.0) {
+                    // The connection was torn down while this packet was
+                    // in flight: an accounted abort, not a routing error.
+                    self.stats.tc_aborted_teardown += 1;
+                    trace_event!(
+                        self,
+                        now,
+                        TraceEvent::TcDrop {
+                            conn: packet.conn,
+                            reason: DropReason::TornDown,
+                            src: packet.trace.source,
+                            seq: packet.trace.sequence,
+                        }
+                    );
+                } else {
+                    self.stats.tc_dropped_no_conn += 1;
+                    trace_event!(
+                        self,
+                        now,
+                        TraceEvent::TcDrop {
+                            conn: packet.conn,
+                            reason: DropReason::NoConnection,
+                            src: packet.trace.source,
+                            seq: packet.trace.sequence,
+                        }
+                    );
+                }
                 continue;
             };
             let l = packet.arrival;
@@ -1083,6 +1134,7 @@ impl Chip for RealTimeRouter {
             + self.inputs.iter().map(InputPort::heap_bytes).sum::<usize>()
             + self.be_inject_buf.capacity()
             + self.rx_be_buf.capacity()
+            + self.torn_down.capacity() * std::mem::size_of::<u16>()
     }
 
     fn check_conservation(&self) -> Result<(), String> {
@@ -1167,6 +1219,54 @@ mod tests {
         // Injection takes 20 cycles, storage ~6, scheduling ~4, reception 20.
         let (cycle, _) = io.delivered_tc[0];
         assert!((40..=80).contains(&cycle), "delivery at {cycle}");
+    }
+
+    #[test]
+    fn torn_down_connection_aborts_arrivals_into_its_own_column() {
+        let mut r = router();
+        r.apply_control(ControlCommand::SetConnection {
+            incoming: ConnectionId(3),
+            outgoing: ConnectionId(3),
+            delay: 4,
+            out_mask: Port::Local.mask(),
+        })
+        .unwrap();
+        r.apply_control(ControlCommand::ClearConnection { incoming: ConnectionId(3) }).unwrap();
+        let mut io = io();
+        io.inject_tc.push_back(tc_packet(3, 0, &r));
+        let mut now = 0;
+        run(&mut r, &mut io, &mut now, 100);
+        assert_eq!(r.stats().tc_aborted_teardown, 1, "abort lands in the teardown column");
+        assert_eq!(r.stats().tc_dropped_no_conn, 0, "not a routing error");
+        r.check_conservation().unwrap();
+        // Re-installing the id lifts the tombstone: the recycled
+        // identifier's traffic routes normally.
+        r.apply_control(ControlCommand::SetConnection {
+            incoming: ConnectionId(3),
+            outgoing: ConnectionId(3),
+            delay: 4,
+            out_mask: Port::Local.mask(),
+        })
+        .unwrap();
+        io.inject_tc.push_back(tc_packet(3, now / 20 + 1, &r));
+        run(&mut r, &mut io, &mut now, 200);
+        assert_eq!(r.stats().tc_delivered, 1, "recycled id delivers");
+        assert_eq!(r.stats().tc_aborted_teardown, 1, "no new aborts");
+        r.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn clearing_an_absent_connection_leaves_no_tombstone() {
+        let mut r = router();
+        // Clearing an id that never existed is a no-op teardown: a later
+        // arrival for it is a genuine routing error, not an abort.
+        let _ = r.apply_control(ControlCommand::ClearConnection { incoming: ConnectionId(7) });
+        let mut io = io();
+        io.inject_tc.push_back(tc_packet(7, 0, &r));
+        let mut now = 0;
+        run(&mut r, &mut io, &mut now, 100);
+        assert_eq!(r.stats().tc_aborted_teardown, 0);
+        assert_eq!(r.stats().tc_dropped_no_conn, 1);
     }
 
     #[test]

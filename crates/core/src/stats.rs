@@ -19,6 +19,11 @@ pub struct RouterStats {
     pub tc_dropped_no_buffer: u64,
     /// Packets dropped because no connection-table entry matched.
     pub tc_dropped_no_conn: u64,
+    /// Packets aborted because their connection was torn down while they
+    /// were still in flight — the graceful-teardown ledger column, kept
+    /// separate from `tc_dropped_no_conn` so mid-churn conservation
+    /// distinguishes a misrouted packet from an accounted teardown abort.
+    pub tc_aborted_teardown: u64,
     /// Malformed injections rejected (wrong payload size).
     pub tc_malformed: u64,
     /// Time-constrained packets transmitted, per output port.
@@ -73,15 +78,18 @@ impl RouterStats {
     /// Total time-constrained packets dropped for any reason.
     #[must_use]
     pub fn tc_dropped(&self) -> u64 {
-        self.tc_dropped_no_buffer + self.tc_dropped_no_conn + self.tc_malformed
+        self.tc_dropped_no_buffer
+            + self.tc_dropped_no_conn
+            + self.tc_malformed
+            + self.tc_aborted_teardown
     }
 
     /// Checks the time-constrained packet-conservation invariants against
     /// the current packet-memory occupancy:
     ///
     /// 1. every arrival is accounted for exactly once —
-    ///    `arrived = dropped(no-conn) + dropped(no-buffer) + cut-through +
-    ///    buffered`;
+    ///    `arrived = dropped(no-conn) + aborted(teardown) +
+    ///    dropped(no-buffer) + cut-through + buffered`;
     /// 2. every buffered packet is either retired or still in memory —
     ///    `buffered = retired + occupied`.
     ///
@@ -93,15 +101,17 @@ impl RouterStats {
     /// Returns a description of the first violated invariant.
     pub fn check_conservation(&self, memory_occupied: usize) -> Result<(), String> {
         let accounted = self.tc_dropped_no_conn
+            + self.tc_aborted_teardown
             + self.tc_dropped_no_buffer
             + self.tc_cut_through
             + self.tc_buffered;
         if self.tc_arrived != accounted {
             return Err(format!(
-                "arrival conservation violated: arrived {} != no-conn {} + no-buffer {} \
-                 + cut-through {} + buffered {}",
+                "arrival conservation violated: arrived {} != no-conn {} + torn-down {} \
+                 + no-buffer {} + cut-through {} + buffered {}",
                 self.tc_arrived,
                 self.tc_dropped_no_conn,
+                self.tc_aborted_teardown,
                 self.tc_dropped_no_buffer,
                 self.tc_cut_through,
                 self.tc_buffered
@@ -133,6 +143,7 @@ impl RouterStats {
         emit("router.tc_arrived", self.tc_arrived);
         emit("router.tc_dropped_no_buffer", self.tc_dropped_no_buffer);
         emit("router.tc_dropped_no_conn", self.tc_dropped_no_conn);
+        emit("router.tc_aborted_teardown", self.tc_aborted_teardown);
         emit("router.tc_malformed", self.tc_malformed);
         emit("router.tc_transmitted", self.tc_transmitted.iter().sum());
         emit("router.tc_early_transmitted", self.tc_early_transmitted.iter().sum());
@@ -159,14 +170,15 @@ impl std::fmt::Display for RouterStats {
         writeln!(
             f,
             "tc: injected {}, arrived {}, delivered {}, dropped {} \
-             (no-buffer {}, no-conn {}, malformed {})",
+             (no-buffer {}, no-conn {}, malformed {}, torn-down {})",
             self.tc_injected,
             self.tc_arrived,
             self.tc_delivered,
             self.tc_dropped(),
             self.tc_dropped_no_buffer,
             self.tc_dropped_no_conn,
-            self.tc_malformed
+            self.tc_malformed,
+            self.tc_aborted_teardown
         )?;
         writeln!(
             f,
@@ -206,9 +218,27 @@ mod tests {
             tc_dropped_no_buffer: 2,
             tc_dropped_no_conn: 3,
             tc_malformed: 5,
+            tc_aborted_teardown: 4,
             ..RouterStats::default()
         };
-        assert_eq!(stats.tc_dropped(), 10);
+        assert_eq!(stats.tc_dropped(), 14);
+    }
+
+    #[test]
+    fn teardown_aborts_balance_the_arrival_ledger() {
+        // A packet aborted mid-churn lands in its own column; the arrival
+        // invariant holds with the column included and flags it missing.
+        let stats = RouterStats {
+            tc_arrived: 6,
+            tc_aborted_teardown: 2,
+            tc_buffered: 4,
+            tc_retired: 4,
+            ..RouterStats::default()
+        };
+        stats.check_conservation(0).unwrap();
+        let broken = RouterStats { tc_aborted_teardown: 0, ..stats };
+        let e = broken.check_conservation(0).unwrap_err();
+        assert!(e.contains("torn-down"), "{e}");
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use adjacency::LinkTable;
 pub use fault::{FaultEvent, FaultKind, FaultSchedule, FaultStats};
 pub use link::LinkLedger;
 pub use netstats::{ConnSlackReport, Histogram, NetworkReport, OccupancySummary};
-pub use sim::{LinkUsage, OccupancyHistory, OccupancySample, Quiescence, Simulator};
+pub use sim::{ControlStats, LinkUsage, OccupancyHistory, OccupancySample, Quiescence, Simulator};
 pub use source::TrafficSource;
 pub use stats::DeliveryLog;
 pub use topology::Topology;

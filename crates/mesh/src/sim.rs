@@ -286,12 +286,56 @@ pub struct Simulator<C: Chip> {
     /// arrivals or credits, and its sources stay silent until restore.
     crashed: Vec<bool>,
     crashed_count: usize,
+    /// Scheduled control-plane operations (mid-run routing-table deltas),
+    /// sorted by cycle with the same stable ordering and cursor discipline
+    /// as `faults`: every step path applies the due prefix before link
+    /// arrivals, and the leaping paths clamp their quiet targets to the
+    /// next entry's cycle, so no leap ever crosses a table update.
+    controls: Vec<ControlOp<C>>,
+    control_cursor: usize,
+    control_events: ControlStats,
     now: Cycle,
 }
 
 /// An observer invoked for every symbol placed on a link (debugging and
 /// custom instrumentation); see [`Simulator::set_link_tap`].
 pub type LinkTap = Box<dyn FnMut(Cycle, NodeId, Direction, &LinkSymbol)>;
+
+/// The boxed closure form of a scheduled control operation; see
+/// [`Simulator::schedule_control`].
+pub type ControlFn<C> = Box<dyn FnOnce(&mut C) -> Result<(), String>>;
+
+/// One scheduled control-plane operation: a closure applied to the chip at
+/// `node` at the start of the step simulating cycle `at` — the same epoch
+/// discipline as the fault plane, so every drive mode observes the table
+/// delta at the identical cycle boundary.
+struct ControlOp<C> {
+    at: Cycle,
+    node: NodeId,
+    /// Taken (not removed) on application so the cursor arithmetic stays
+    /// index-stable; an applied entry is a tombstoned `None`.
+    op: Option<ControlFn<C>>,
+}
+
+/// Counters for the scheduled control-operation plane (see
+/// [`Simulator::schedule_control`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// Operations applied whose closure returned `Ok`.
+    pub ops_applied: u64,
+    /// Operations applied whose closure returned `Err` (e.g. a control
+    /// write the router rejected); the error is counted, not propagated —
+    /// the schedule keeps running like hardware would.
+    pub ops_rejected: u64,
+}
+
+impl ControlStats {
+    /// Emits the counters under `control.*` names.
+    pub fn emit_counters(&self, emit: &mut impl FnMut(&'static str, u64)) {
+        emit("control.ops_applied", self.ops_applied);
+        emit("control.ops_rejected", self.ops_rejected);
+    }
+}
 
 impl<C: Chip> std::fmt::Debug for Simulator<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -368,6 +412,9 @@ impl<C: Chip> Simulator<C> {
             fault_events: FaultStats::default(),
             crashed: vec![false; n],
             crashed_count: 0,
+            controls: Vec::new(),
+            control_cursor: 0,
+            control_events: ControlStats::default(),
             now: 0,
             topo,
         })
@@ -625,6 +672,11 @@ impl<C: Chip> Simulator<C> {
                 registry.absorb_counter(name, value);
             });
         }
+        if self.control_events != ControlStats::default() {
+            self.control_events.emit_counters(&mut |name, value| {
+                registry.absorb_counter(name, value);
+            });
+        }
         for line in self.metrics.profiler.report() {
             if line.calls > 0 {
                 registry.absorb_counter(&format!("profile.{}.ns", line.phase.name()), line.ns);
@@ -735,6 +787,79 @@ impl<C: Chip> Simulator<C> {
             stats.late_arrivals_dropped += ledger.late_arrivals_dropped;
         }
         stats
+    }
+
+    /// Schedules a control-plane operation against the chip at `node`,
+    /// applied at the start of the step simulating cycle `at` (clamped to
+    /// the current cycle), before link arrivals — identically in every
+    /// drive mode, including inside spans the leaper would otherwise skip.
+    ///
+    /// This is the simulator half of live channel signaling: a signaling
+    /// engine models its per-write reprogramming latency by scheduling
+    /// each table delta a few cycles out instead of mutating through
+    /// [`Simulator::chip_mut`] (which would also cold-stale a warm event
+    /// core; scheduled ops keep it warm and just mark the written chip
+    /// dirty). The closure's `Err` is counted in [`ControlStats`], not
+    /// propagated — the schedule keeps running like hardware would.
+    pub fn schedule_control(
+        &mut self,
+        at: Cycle,
+        node: NodeId,
+        op: impl FnOnce(&mut C) -> Result<(), String> + 'static,
+    ) {
+        let at = at.max(self.now);
+        let pos = self.controls.partition_point(|e| e.at <= at);
+        debug_assert!(pos >= self.control_cursor, "insertion behind the control cursor");
+        self.controls.insert(pos, ControlOp { at, node, op: Some(Box::new(op)) });
+    }
+
+    /// Counters for the scheduled control-operation plane.
+    #[must_use]
+    pub fn control_stats(&self) -> ControlStats {
+        self.control_events
+    }
+
+    /// The cycle of the next scheduled, not-yet-applied control operation.
+    /// The leaping paths clamp their quiet targets here so no leap ever
+    /// crosses a table update.
+    fn next_control_at(&self) -> Option<Cycle> {
+        self.controls.get(self.control_cursor).map(|e| e.at)
+    }
+
+    /// Applies every scheduled control operation due at or before the
+    /// current cycle. Runs at the top of all four step paths, right after
+    /// [`Simulator::apply_due_faults`] and before link arrivals, so every
+    /// drive mode observes each table delta at the identical boundary.
+    fn apply_due_controls(&mut self) {
+        while let Some(event) = self.controls.get_mut(self.control_cursor) {
+            if event.at > self.now {
+                break;
+            }
+            let node = event.node;
+            let op = event.op.take();
+            self.control_cursor += 1;
+            let now = self.now;
+            let i = node.index();
+            match op.map_or(Ok(()), |op| op(&mut self.chips[i])) {
+                Ok(()) => self.control_events.ops_applied += 1,
+                Err(_) => self.control_events.ops_rejected += 1,
+            }
+            // A table delta can change what the chip will do next (e.g. a
+            // buffered packet becomes routable); mark it dirty so a warm
+            // event core ticks and re-polls it this cycle, exactly like a
+            // chip the fault plane touched. Dense stepping ticks every
+            // chip anyway, so the outcomes stay byte-identical.
+            if !self.events_stale {
+                self.events.mark(i, now);
+            }
+            self.record_fault(now, "control_op", node, 0);
+        }
+        // The applied prefix is all tombstones; reclaim it once it grows,
+        // keeping long churn runs O(live entries), not O(history).
+        if self.control_cursor > 1024 && self.control_cursor * 2 > self.controls.len() {
+            self.controls.drain(..self.control_cursor);
+            self.control_cursor = 0;
+        }
     }
 
     /// Whether the node is currently crashed.
@@ -1032,6 +1157,7 @@ impl<C: Chip> Simulator<C> {
         // The plain stepped path does no wake bookkeeping (keeping it at
         // zero event-core overhead); `events_stale` is already set.
         self.apply_due_faults();
+        self.apply_due_controls();
         let t = self.metrics.profiler.start();
         let now = self.phase_pre::<false>();
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
@@ -1326,6 +1452,7 @@ impl<C: Chip> Simulator<C> {
         }
         self.events.due = due;
         self.apply_due_faults();
+        self.apply_due_controls();
         let t = self.metrics.profiler.lap(Phase::WheelPop, t);
         self.phase_pre::<true>();
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
@@ -1473,9 +1600,10 @@ impl<C: Chip> Simulator<C> {
     /// component. The injection-backlog check stays a scan — those queues
     /// live outside the chips, so no wake describes them.
     fn events_quiet_target(&mut self, end: Cycle) -> Option<Cycle> {
-        // Never leap across a fault epoch: the fault must apply at the
-        // start of exactly its own cycle in every drive mode.
+        // Never leap across a fault or control epoch: both must apply at
+        // the start of exactly their own cycle in every drive mode.
         let end = self.next_fault_at().map_or(end, |at| end.min(at));
+        let end = self.next_control_at().map_or(end, |at| end.min(at));
         if self.ios.iter().enumerate().any(|(i, io)| {
             !self.crashed[i] && (!io.inject_tc.is_empty() || !io.inject_be.is_empty())
         }) {
@@ -1501,8 +1629,10 @@ impl<C: Chip> Simulator<C> {
             return None;
         }
         let last = self.now - 1;
-        // Never leap across a fault epoch (see `events_quiet_target`).
+        // Never leap across a fault or control epoch (see
+        // `events_quiet_target`).
         let mut target = self.next_fault_at().map_or(end, |at| end.min(at));
+        target = self.next_control_at().map_or(target, |at| target.min(at));
         let mut merge = |at: Cycle| {
             if at <= last + 1 {
                 return false;
@@ -1552,6 +1682,10 @@ impl<C: Chip> Simulator<C> {
         debug_assert!(
             self.next_fault_at().is_none_or(|at| target <= at),
             "leap across a fault epoch"
+        );
+        debug_assert!(
+            self.next_control_at().is_none_or(|at| target <= at),
+            "leap across a control epoch"
         );
         let t = self.metrics.profiler.start();
         self.metrics.registry.inc(self.metrics.ids.leaps, 1);
@@ -1635,6 +1769,7 @@ impl<C: Chip + Send> Simulator<C> {
         // already exists — `set_parallelism` builds it eagerly).
         self.ensure_pool();
         self.apply_due_faults();
+        self.apply_due_controls();
         let t = self.metrics.profiler.start();
         let now = self.phase_pre::<false>();
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
@@ -1720,6 +1855,7 @@ impl<C: Chip + Send> Simulator<C> {
         }
         self.events.due = due;
         self.apply_due_faults();
+        self.apply_due_controls();
         let t = self.metrics.profiler.lap(Phase::WheelPop, t);
         self.phase_pre::<true>();
         let t = self.metrics.profiler.lap(Phase::LinkPre, t);
@@ -2325,6 +2461,74 @@ mod tests {
             format!("{:?}", stepped.chip(dst).stats()),
             format!("{:?}", leaping.chip(dst).stats())
         );
+    }
+
+    #[test]
+    fn scheduled_control_op_installs_a_route_mid_run() {
+        let mut sim = two_node_sim();
+        let src = NodeId(0);
+        let dst = sim.topology().node_at(1, 0);
+        for (node, mask) in [(src, Port::Dir(Direction::XPlus).mask()), (dst, Port::Local.mask())] {
+            sim.schedule_control(500, node, move |chip| {
+                chip.apply_control(ControlCommand::SetConnection {
+                    incoming: ConnectionId(9),
+                    outgoing: ConnectionId(9),
+                    delay: 4,
+                    out_mask: mask,
+                })
+                .map_err(|e| e.to_string())
+            });
+        }
+        sim.run(400);
+        assert_eq!(sim.control_stats().ops_applied, 0, "not due yet");
+        sim.run(200);
+        assert_eq!(sim.control_stats().ops_applied, 2);
+        // The mid-run table writes route traffic exactly like t=0 setup.
+        let clock = sim.chip(src).clock();
+        let slot_bytes = sim.chip(src).config().slot_bytes;
+        let payload = vec![0xEE; sim.chip(src).config().tc_data_bytes()];
+        sim.inject_tc(
+            src,
+            TcPacket {
+                conn: ConnectionId(9),
+                arrival: clock.wrap(rtr_types::time::cycle_to_slot(sim.now(), slot_bytes) + 2),
+                payload: payload.clone().into(),
+                trace: PacketTrace::default(),
+            },
+        );
+        assert!(sim.run_until(3000, |s| !s.log(dst).tc.is_empty()));
+        assert_eq!(sim.log(dst).tc[0].1.payload, payload);
+    }
+
+    #[test]
+    fn control_op_failures_are_counted_not_propagated() {
+        let mut sim = two_node_sim();
+        sim.schedule_control(10, NodeId(0), |_chip| Err("nope".to_string()));
+        sim.run(20);
+        assert_eq!(sim.control_stats().ops_rejected, 1);
+        assert_eq!(sim.control_stats().ops_applied, 0);
+    }
+
+    #[test]
+    fn leaping_never_crosses_a_control_epoch() {
+        // An idle mesh with one control op mid-slumber: the leaper must
+        // split its quiet span at the epoch (the debug assert in `leap_to`
+        // aborts the test otherwise), apply the op at its exact cycle, and
+        // keep leaping on both sides.
+        let mut sim = two_node_sim();
+        sim.schedule_control(5_555, NodeId(0), |chip| {
+            chip.apply_control(ControlCommand::SetConnection {
+                incoming: ConnectionId(3),
+                outgoing: ConnectionId(3),
+                delay: 4,
+                out_mask: Port::Local.mask(),
+            })
+            .map_err(|e| e.to_string())
+        });
+        sim.run_leaping(10_000);
+        assert_eq!(sim.now(), 10_000);
+        assert_eq!(sim.control_stats().ops_applied, 1);
+        assert!(sim.ticks_executed() <= 16, "still leaps: {}", sim.ticks_executed());
     }
 
     #[test]

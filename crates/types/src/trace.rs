@@ -88,6 +88,9 @@ pub enum DropReason {
     NoBuffer,
     /// The injected packet violated the fixed wire format.
     Malformed,
+    /// The packet's connection was torn down while it was in flight; the
+    /// drop is an accounted teardown abort, not a routing error.
+    TornDown,
 }
 
 impl DropReason {
@@ -96,6 +99,7 @@ impl DropReason {
             DropReason::NoConnection => "no_conn",
             DropReason::NoBuffer => "no_buffer",
             DropReason::Malformed => "malformed",
+            DropReason::TornDown => "torn_down",
         }
     }
 
@@ -104,6 +108,7 @@ impl DropReason {
             "no_conn" => DropReason::NoConnection,
             "no_buffer" => DropReason::NoBuffer,
             "malformed" => DropReason::Malformed,
+            "torn_down" => DropReason::TornDown,
             _ => return None,
         })
     }
